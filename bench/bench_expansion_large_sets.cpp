@@ -1,0 +1,135 @@
+// Experiment T1.b -- Expansion of large subsets without edge regeneration
+// (paper Lemma 3.6 / Lemma 4.11).
+//
+// Claim: for d >= 20, every subset S with n e^{-d/10} <= |S| <= n/2 has
+// |bd_out(S)|/|S| >= 0.1, w.h.p. (SDG: Lemma 3.6; PDG with the window
+// n e^{-d/20}: Lemma 4.11).
+//
+// We probe the restricted size window with the adversarial candidate
+// families and report the minimum ratio found. A probe minimum >= 0.1 is
+// evidence (not a certificate) that the instance satisfies the lemma.
+#include <cmath>
+#include <cstdio>
+#include <iostream>
+
+#include "churnet/churnet.hpp"
+
+int main(int argc, char** argv) {
+  using namespace churnet;
+  Cli cli("T1.b: large-set expansion in SDG/PDG (Lemmas 3.6, 4.11)");
+  cli.add_int("n", 20000, "network size");
+  cli.add_int("reps", 3, "replications per configuration");
+  add_standard_options(cli);
+  if (!cli.parse(argc, argv)) return 0;
+  const BenchScale scale = scale_from_cli(cli);
+  const auto n = static_cast<std::uint32_t>(
+      scaled(static_cast<std::uint64_t>(cli.get_int("n")),
+             scale.size_factor, 2000));
+  const std::uint64_t reps =
+      scaled(static_cast<std::uint64_t>(cli.get_int("reps")),
+             scale.rep_factor);
+  const std::uint64_t seed = seed_from_cli(cli);
+
+  print_experiment_header(
+      "T1.b large-set expansion",
+      "min ratio >= 0.1 over n e^{-d/10} <= |S| <= n/2 for d >= 20 "
+      "(SDG Lemma 3.6; PDG Lemma 4.11 with window n e^{-d/20})");
+
+  Table table({"model", "d", "size window", "min ratio", "worst family",
+               "worst |S|", "verdict"});
+
+  const std::uint32_t degrees[] = {12, 16, 20, 24};
+  for (const std::uint32_t d : degrees) {
+    const auto min_size = static_cast<std::uint32_t>(
+        std::ceil(n * std::exp(-static_cast<double>(d) / 10.0)));
+    double worst = 1e9;
+    std::string worst_family;
+    std::uint32_t worst_size = 0;
+    for (std::uint64_t rep = 0; rep < reps; ++rep) {
+      StreamingConfig config;
+      config.n = n;
+      config.d = d;
+      config.policy = EdgePolicy::kNone;
+      config.seed = derive_seed(seed, d, rep);
+      StreamingNetwork net(config);
+      net.warm_up();
+      net.run_rounds(n);
+      Rng probe_rng(derive_seed(seed, d + 1000, rep));
+      ProbeOptions options;
+      options.min_size = std::max(1u, min_size);
+      options.low_degree_singletons = 0;  // singletons are below the window
+      const ProbeResult probe =
+          probe_expansion(net.snapshot(), probe_rng, options);
+      if (probe.min_ratio < worst) {
+        worst = probe.min_ratio;
+        worst_family = probe.argmin_family;
+        worst_size = probe.argmin_size;
+      }
+    }
+    table.add_row({"SDG", fmt_int(d),
+                   "[" + fmt_int(min_size) + ", " + fmt_int(n / 2) + "]",
+                   fmt_fixed(worst, 3), worst_family, fmt_int(worst_size),
+                   verdict(worst >= 0.1)});
+  }
+
+  for (const std::uint32_t d : degrees) {
+    const auto window = static_cast<std::uint32_t>(
+        std::ceil(n * std::exp(-static_cast<double>(d) / 20.0)));
+    if (window >= n / 2) {
+      // The lemma's size range is empty at this (n, d): nothing to check.
+      table.add_row({"PDG", fmt_int(d),
+                     "[" + fmt_int(window) + ", ~n/2] (empty)", "-", "-",
+                     "-", "SKIP"});
+      continue;
+    }
+    double worst = 1e9;
+    std::string worst_family;
+    std::uint32_t worst_size = 0;
+    for (std::uint64_t rep = 0; rep < reps; ++rep) {
+      PoissonNetwork net(PoissonConfig::with_n(
+          n, d, EdgePolicy::kNone, derive_seed(seed, 100 + d, rep)));
+      net.warm_up(8.0);
+      Rng probe_rng(derive_seed(seed, d + 2000, rep));
+      ProbeOptions options;
+      options.min_size = std::max(1u, window);
+      options.low_degree_singletons = 0;
+      const ProbeResult probe =
+          probe_expansion(net.snapshot(), probe_rng, options);
+      if (probe.min_ratio < worst) {
+        worst = probe.min_ratio;
+        worst_family = probe.argmin_family;
+        worst_size = probe.argmin_size;
+      }
+    }
+    table.add_row({"PDG", fmt_int(d),
+                   "[" + fmt_int(window) + ", ~n/2]", fmt_fixed(worst, 3),
+                   worst_family, fmt_int(worst_size),
+                   verdict(worst >= 0.1)});
+  }
+
+  // Contrast: the full size range INCLUDING small sets fails for SDG/PDG
+  // (isolated nodes give ratio 0), which is why the lemma needs the window.
+  {
+    StreamingConfig config;
+    config.n = n;
+    config.d = 2;
+    config.policy = EdgePolicy::kNone;
+    config.seed = derive_seed(seed, 999, 0);
+    StreamingNetwork net(config);
+    net.warm_up();
+    net.run_rounds(n);
+    Rng probe_rng(derive_seed(seed, 998, 0));
+    const ProbeResult probe = probe_expansion(net.snapshot(), probe_rng, {});
+    table.add_row({"SDG (full range)", "2", "[1, n/2]",
+                   fmt_fixed(probe.min_ratio, 3), probe.argmin_family,
+                   fmt_int(probe.argmin_size),
+                   verdict(probe.min_ratio < 0.1) + " (expected fail)"});
+  }
+
+  table.print(std::cout);
+  std::printf("\nn=%u, %llu replications; 'min ratio' is the minimum over "
+              "all probed candidate subsets in the window (upper bound on "
+              "the true restricted expansion).\n",
+              n, static_cast<unsigned long long>(reps));
+  return 0;
+}

@@ -1,0 +1,137 @@
+// Experiment T1.c -- Vertex expansion with edge regeneration
+// (paper Theorem 3.15 / Theorem 4.16).
+//
+// Claim: SDGR snapshots are 0.1-expanders w.h.p. for d >= 14; PDGR
+// snapshots for d >= 35 (the theorem constants are not tight; the sweep
+// shows where expansion actually kicks in).
+//
+// Also cross-validates the probe against exhaustive h_out on tiny graphs,
+// and prints the static d-out baseline (Lemma B.1) for reference.
+#include <cstdio>
+#include <iostream>
+
+#include "churnet/churnet.hpp"
+
+int main(int argc, char** argv) {
+  using namespace churnet;
+  Cli cli("T1.c: expansion of SDGR/PDGR (Theorems 3.15, 4.16)");
+  cli.add_int("n", 20000, "network size");
+  cli.add_int("reps", 3, "replications per configuration");
+  add_standard_options(cli);
+  if (!cli.parse(argc, argv)) return 0;
+  const BenchScale scale = scale_from_cli(cli);
+  const auto n = static_cast<std::uint32_t>(
+      scaled(static_cast<std::uint64_t>(cli.get_int("n")),
+             scale.size_factor, 2000));
+  const std::uint64_t reps =
+      scaled(static_cast<std::uint64_t>(cli.get_int("reps")),
+             scale.rep_factor);
+  const std::uint64_t seed = seed_from_cli(cli);
+
+  print_experiment_header(
+      "T1.c expansion under regeneration",
+      "SDGR is a 0.1-expander w.h.p. for d >= 14 (Thm 3.15); PDGR for "
+      "d >= 35 (Thm 4.16); theorem constants are conservative");
+
+  Table table({"model", "d", "min ratio", "worst family", "worst |S|",
+               "isolated", "verdict (>=0.1)"});
+  const std::uint32_t degrees[] = {3, 6, 10, 14, 21, 35};
+
+  for (const std::uint32_t d : degrees) {
+    double worst = 1e9;
+    std::string worst_family;
+    std::uint32_t worst_size = 0;
+    std::uint64_t isolated = 0;
+    for (std::uint64_t rep = 0; rep < reps; ++rep) {
+      StreamingConfig config;
+      config.n = n;
+      config.d = d;
+      config.policy = EdgePolicy::kRegenerate;
+      config.seed = derive_seed(seed, d, rep);
+      StreamingNetwork net(config);
+      net.warm_up();
+      net.run_rounds(n);
+      const Snapshot snap = net.snapshot();
+      isolated += isolated_census(snap).isolated_nodes;
+      Rng probe_rng(derive_seed(seed, d + 1000, rep));
+      const ProbeResult probe = probe_expansion(snap, probe_rng, {});
+      if (probe.min_ratio < worst) {
+        worst = probe.min_ratio;
+        worst_family = probe.argmin_family;
+        worst_size = probe.argmin_size;
+      }
+    }
+    table.add_row({"SDGR", fmt_int(d), fmt_fixed(worst, 3), worst_family,
+                   fmt_int(worst_size),
+                   fmt_int(static_cast<std::int64_t>(isolated)),
+                   verdict(worst >= 0.1)});
+  }
+
+  for (const std::uint32_t d : degrees) {
+    double worst = 1e9;
+    std::string worst_family;
+    std::uint32_t worst_size = 0;
+    std::uint64_t isolated = 0;
+    for (std::uint64_t rep = 0; rep < reps; ++rep) {
+      PoissonNetwork net(PoissonConfig::with_n(
+          n, d, EdgePolicy::kRegenerate, derive_seed(seed, 100 + d, rep)));
+      net.warm_up(8.0);
+      const Snapshot snap = net.snapshot();
+      isolated += isolated_census(snap).isolated_nodes;
+      Rng probe_rng(derive_seed(seed, d + 2000, rep));
+      const ProbeResult probe = probe_expansion(snap, probe_rng, {});
+      if (probe.min_ratio < worst) {
+        worst = probe.min_ratio;
+        worst_family = probe.argmin_family;
+        worst_size = probe.argmin_size;
+      }
+    }
+    table.add_row({"PDGR", fmt_int(d), fmt_fixed(worst, 3), worst_family,
+                   fmt_int(worst_size),
+                   fmt_int(static_cast<std::int64_t>(isolated)),
+                   verdict(worst >= 0.1)});
+  }
+
+  // Baseline: static d-out graph (Lemma B.1, expander for d >= 3).
+  for (const std::uint32_t d : {3u, 8u, 21u}) {
+    Rng rng(derive_seed(seed, 300 + d, 0));
+    const Snapshot snap = static_dout_snapshot(n, d, rng);
+    Rng probe_rng(derive_seed(seed, 400 + d, 0));
+    const ProbeResult probe = probe_expansion(snap, probe_rng, {});
+    table.add_row({"static d-out", fmt_int(d), fmt_fixed(probe.min_ratio, 3),
+                   probe.argmin_family, fmt_int(probe.argmin_size), "0",
+                   verdict(probe.min_ratio >= 0.1)});
+  }
+  table.print(std::cout);
+
+  // Probe-vs-exact cross-validation on tiny instances: the probe value must
+  // upper-bound exhaustive h_out and typically matches it.
+  std::printf("\nprobe validation on tiny SDGR snapshots (exact h_out by "
+              "exhaustive subsets):\n");
+  Table tiny({"n", "d", "exact h_out", "probe min", "probe >= exact"});
+  for (const std::uint32_t tiny_n : {12u, 16u}) {
+    StreamingConfig config;
+    config.n = tiny_n;
+    config.d = 4;
+    config.policy = EdgePolicy::kRegenerate;
+    config.seed = derive_seed(seed, 500 + tiny_n, 0);
+    StreamingNetwork net(config);
+    net.warm_up();
+    net.run_rounds(tiny_n + 4);
+    const Snapshot snap = net.snapshot();
+    const double exact = exact_vertex_expansion(snap);
+    Rng probe_rng(derive_seed(seed, 600 + tiny_n, 0));
+    ProbeOptions options;
+    options.random_sets_per_size = 64;
+    const ProbeResult probe = probe_expansion(snap, probe_rng, options);
+    tiny.add_row({fmt_int(tiny_n), "4", fmt_fixed(exact, 3),
+                  fmt_fixed(probe.min_ratio, 3),
+                  verdict(probe.min_ratio >= exact - 1e-12)});
+  }
+  tiny.print(std::cout);
+
+  std::printf("\nn=%u, %llu replications; expansion kicks in well below the "
+              "theorem constants (they are not tight).\n",
+              n, static_cast<unsigned long long>(reps));
+  return 0;
+}

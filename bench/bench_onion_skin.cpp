@@ -1,0 +1,150 @@
+// Experiment C3.10 -- The onion-skin process (paper Section 3.1.2,
+// Claim 3.10, Lemma 3.9, Claim 3.11).
+//
+// Claims:
+//   * Claim 3.10: each HALF-step multiplies the fresh layer by >= d/20
+//     (young layer >= (d/20) * previous old layer, old layer >= (d/20) *
+//     fresh young layer), so a full phase grows the old side by (d/20)^2.
+//   * Lemma 3.9 / Claim 3.11: after O(log n / log d) phases the process
+//     has informed >= n/d nodes on each side, with probability
+//     >= 1 - 4e^{-d/100}.
+//
+// Table 1 measures the success probability at the paper's d >= 200 regime.
+// Table 2 measures the realized half-step growth factors at moderate d,
+// where the process takes several phases before saturating.
+#include <cmath>
+#include <cstdio>
+#include <iostream>
+#include <vector>
+
+#include "churnet/churnet.hpp"
+
+int main(int argc, char** argv) {
+  using namespace churnet;
+  Cli cli("C3.10/L3.9: onion-skin process growth");
+  cli.add_int("n", 100000, "network size");
+  cli.add_int("reps", 50, "replications per d");
+  add_standard_options(cli);
+  if (!cli.parse(argc, argv)) return 0;
+  const BenchScale scale = scale_from_cli(cli);
+  const auto n = static_cast<std::uint32_t>(
+      scaled(static_cast<std::uint64_t>(cli.get_int("n")),
+             scale.size_factor, 10000));
+  const std::uint64_t reps =
+      scaled(static_cast<std::uint64_t>(cli.get_int("reps")),
+             scale.rep_factor, 10);
+  const std::uint64_t seed = seed_from_cli(cli);
+
+  print_experiment_header(
+      "C3.10 onion-skin process",
+      "half-step layer growth >= d/20 (Claim 3.10); >= n/d informed per "
+      "side after O(log n / log d) phases w.p. >= 1 - 4e^{-d/100} "
+      "(Lemma 3.9, Claim 3.11)");
+
+  std::printf("--- success probability at the paper's regime (n=%u) ---\n",
+              n);
+  Table success_table({"d", "paper bound", "measured success", "mean phases",
+                       "phase bound", "verdict"});
+  for (const std::uint32_t d : {100u, 200u, 400u}) {
+    std::uint64_t successes = 0;
+    OnlineStats phases;
+    for (std::uint64_t rep = 0; rep < reps; ++rep) {
+      OnionSkinConfig config;
+      config.n = n;
+      config.d = d;
+      config.seed = derive_seed(seed, d, rep);
+      const OnionSkinResult result = run_onion_skin(config);
+      successes += result.reached_target ? 1 : 0;
+      phases.add(static_cast<double>(result.phases));
+    }
+    const double success_rate =
+        static_cast<double>(successes) / static_cast<double>(reps);
+    const double paper_bound =
+        std::max(0.0, 1.0 - 4.0 * std::exp(-static_cast<double>(d) / 100.0));
+    // O(log n / log d) phases, generous constant.
+    const double phase_bound =
+        2.0 + 2.0 * std::log(static_cast<double>(n)) /
+                  std::log(static_cast<double>(d) / 20.0);
+    success_table.add_row(
+        {fmt_int(d), fmt_percent(paper_bound, 1),
+         fmt_percent(success_rate, 1), fmt_fixed(phases.mean(), 2),
+         fmt_fixed(phase_bound, 1),
+         verdict(success_rate >= paper_bound &&
+                 phases.mean() <= phase_bound)});
+  }
+  success_table.print(std::cout);
+
+  std::printf("\n--- half-step growth factors at moderate d (multi-phase "
+              "regime) ---\n");
+  Table growth_table({"d", "median Y/O factor", "median O/Y factor", "d/20",
+                      "success", "verdict (>= d/20)"});
+  for (const std::uint32_t d : {40u, 60u, 80u}) {
+    std::vector<double> young_factors;  // |Y_k - Y_{k-1}| / |O_{k-1} layer|
+    std::vector<double> old_factors;    // |O_k layer| / |Y_k layer|
+    std::uint64_t successes = 0;
+    const std::uint64_t target = n / d;
+    for (std::uint64_t rep = 0; rep < reps; ++rep) {
+      OnionSkinConfig config;
+      config.n = n;
+      config.d = d;
+      config.seed = derive_seed(seed, 1000 + d, rep);
+      const OnionSkinResult result = run_onion_skin(config);
+      successes += result.reached_target ? 1 : 0;
+      // young_layers[k-1] pairs with old_layers[k-1] (previous) and
+      // old_layers[k] (next); only count layers still in the growth phase.
+      for (std::size_t k = 0; k < result.young_layers.size(); ++k) {
+        const std::uint64_t prev_old = result.old_layers[k];
+        const std::uint64_t young = result.young_layers[k];
+        if (prev_old == 0 || young == 0) break;
+        if (prev_old < target) {
+          young_factors.push_back(static_cast<double>(young) /
+                                  static_cast<double>(prev_old));
+        }
+        if (k + 1 < result.old_layers.size() && young < target) {
+          const std::uint64_t next_old = result.old_layers[k + 1];
+          if (next_old == 0) break;
+          old_factors.push_back(static_cast<double>(next_old) /
+                                static_cast<double>(young));
+        }
+      }
+    }
+    const double young_median =
+        young_factors.empty() ? 0.0 : median(young_factors);
+    const double old_median =
+        old_factors.empty() ? 0.0 : median(old_factors);
+    const double bound = static_cast<double>(d) / 20.0;
+    const bool has_samples = !young_factors.empty() && !old_factors.empty();
+    growth_table.add_row(
+        {fmt_int(d),
+         young_factors.empty() ? "-" : fmt_fixed(young_median, 2),
+         old_factors.empty() ? "-" : fmt_fixed(old_median, 2),
+         fmt_fixed(bound, 1),
+         fmt_percent(static_cast<double>(successes) /
+                         static_cast<double>(reps),
+                     0),
+         has_samples
+             ? verdict(young_median >= bound && old_median >= bound)
+             : "SKIP (single-phase)"});
+  }
+  growth_table.print(std::cout);
+
+  // One run in detail: layer sizes per phase.
+  std::printf("\nlayer trace (n=%u, d=40, one run):\n  old layers:  ", n);
+  OnionSkinConfig config;
+  config.n = n;
+  config.d = 40;
+  config.seed = derive_seed(seed, 9999, 0);
+  const OnionSkinResult result = run_onion_skin(config);
+  for (const std::uint64_t layer : result.old_layers) {
+    std::printf("%llu ", static_cast<unsigned long long>(layer));
+  }
+  std::printf("\n  young layers: ");
+  for (const std::uint64_t layer : result.young_layers) {
+    std::printf("%llu ", static_cast<unsigned long long>(layer));
+  }
+  std::printf("\n  reached n/d per side: %s after %u phases\n",
+              result.reached_target ? "yes" : "no", result.phases);
+  std::printf("\nn=%u, %llu replications per d.\n", n,
+              static_cast<unsigned long long>(reps));
+  return 0;
+}

@@ -1,0 +1,125 @@
+// Experiment L4.4/L4.6-4.8 -- Properties of the Poisson churn process
+// (paper Lemmas 4.4, 4.6, 4.7, 4.8).
+//
+// Claims:
+//   * Lemma 4.4: for t >= 3n, |N_t| in [0.9n, 1.1n] with probability
+//     >= 1 - 2e^{-sqrt(n)}.
+//   * Lemma 4.6/4.7: each jump is a birth/death with probability in
+//     [0.47, 0.53] once the chain mixes; a fixed node dies in a given round
+//     with probability in [1/2.2n, 1/1.8n].
+//   * Lemma 4.8: w.h.p. every node alive at round r >= 7n log n was born
+//     within the last 7n log n rounds (max age bound).
+//   * Lifetimes are exactly Exp(1/n) (construction, Def. 4.1).
+#include <cmath>
+#include <cstdio>
+#include <iostream>
+
+#include "churnet/churnet.hpp"
+
+int main(int argc, char** argv) {
+  using namespace churnet;
+  Cli cli("L4.4-4.8: Poisson churn process properties");
+  cli.add_int("n", 5000, "expected network size");
+  add_standard_options(cli);
+  if (!cli.parse(argc, argv)) return 0;
+  const BenchScale scale = scale_from_cli(cli);
+  const auto n = static_cast<std::uint32_t>(
+      scaled(static_cast<std::uint64_t>(cli.get_int("n")),
+             scale.size_factor, 500));
+  const std::uint64_t seed = seed_from_cli(cli);
+
+  print_experiment_header(
+      "L4.4-4.8 Poisson churn",
+      "size band [0.9n, 1.1n] after t >= 3n (L4.4); jump probabilities in "
+      "[0.47, 0.53] (L4.7); max age <= 7n log n (L4.8); lifetimes Exp(1/n)");
+
+  PoissonNetwork net(PoissonConfig::with_n(n, 1, EdgePolicy::kNone, seed));
+
+  // Observe lifetimes and birth/death counts via hooks over a long horizon.
+  OnlineStats lifetimes;
+  std::uint64_t births = 0;
+  std::uint64_t deaths = 0;
+  NetworkHooks hooks;
+  hooks.on_birth = [&](NodeId, double) { ++births; };
+  hooks.on_death = [&](NodeId node, double time) {
+    ++deaths;
+    lifetimes.add(time - net.graph().birth_time(node));
+  };
+  net.set_hooks(std::move(hooks));
+
+  // Warm-up to t = 3n, then sample the band over many checkpoints.
+  net.run_until(3.0 * n);
+  std::uint64_t in_band = 0;
+  std::uint64_t max_size = 0;
+  std::uint64_t min_size = ~std::uint64_t{0};
+  constexpr int kCheckpoints = 2000;
+  const double horizon = 7.0 * static_cast<double>(n) * std::log(n);
+  const double step = (horizon - 3.0 * n) / kCheckpoints;
+  double max_age = 0.0;
+  for (int checkpoint = 0; checkpoint < kCheckpoints; ++checkpoint) {
+    net.run_until(net.now() + step);
+    const std::uint64_t size = net.graph().alive_count();
+    in_band += (size >= 0.9 * n && size <= 1.1 * n) ? 1 : 0;
+    max_size = std::max(max_size, size);
+    min_size = std::min(min_size, size);
+  }
+  for (const NodeId node : net.graph().alive_nodes()) {
+    max_age = std::max(max_age, net.age(node));
+  }
+  net.set_hooks({});
+
+  const double birth_fraction =
+      static_cast<double>(births) / static_cast<double>(births + deaths);
+
+  Table table({"quantity", "paper claim", "measured", "verdict"});
+  table.add_row({"size band occupancy", ">= ~1 - 2e^{-sqrt(n)}",
+                 fmt_percent(static_cast<double>(in_band) / kCheckpoints, 2),
+                 verdict(static_cast<double>(in_band) / kCheckpoints >
+                         0.999)});
+  table.add_row({"size extremes", "[0.9n, 1.1n] w.h.p.",
+                 "[" + fmt_int(static_cast<std::int64_t>(min_size)) + ", " +
+                     fmt_int(static_cast<std::int64_t>(max_size)) + "]",
+                 verdict(min_size >= 0.85 * n && max_size <= 1.15 * n)});
+  table.add_row({"P[jump is birth]", "[0.47, 0.53] (Lemma 4.7)",
+                 fmt_fixed(birth_fraction, 4),
+                 verdict(birth_fraction >= 0.47 && birth_fraction <= 0.53)});
+  table.add_row({"mean lifetime", "n (Exp(1/n))", fmt_fixed(lifetimes.mean(), 1),
+                 verdict(std::abs(lifetimes.mean() - n) < 0.05 * n)});
+  table.add_row({"lifetime stddev", "n (Exp(1/n))",
+                 fmt_fixed(lifetimes.stddev(), 1),
+                 verdict(std::abs(lifetimes.stddev() - n) < 0.08 * n)});
+  table.add_row({"max age at horizon", "<= 7n ln n = " +
+                     fmt_fixed(7.0 * n * std::log(n), 0) + " (Lemma 4.8)",
+                 fmt_fixed(max_age, 0),
+                 verdict(max_age <= 7.0 * n * std::log(n))});
+  table.print(std::cout);
+
+  // Lifetime distribution tail: P(L > kn) = e^{-k}.
+  std::printf("\nlifetime tail vs Exp(1/n):\n");
+  Table tail({"k", "P[L > k*n] measured", "e^{-k}"});
+  // Recompute tails from a fresh run with recorded lifetimes.
+  PoissonNetwork net2(
+      PoissonConfig::with_n(n, 1, EdgePolicy::kNone, seed + 1));
+  std::vector<double> observed;
+  NetworkHooks hooks2;
+  hooks2.on_death = [&](NodeId node, double time) {
+    observed.push_back((time - net2.graph().birth_time(node)) /
+                       static_cast<double>(n));
+  };
+  net2.set_hooks(std::move(hooks2));
+  net2.run_until(30.0 * n);
+  net2.set_hooks({});
+  for (const double k : {0.5, 1.0, 2.0, 3.0}) {
+    std::uint64_t above = 0;
+    for (const double lifetime : observed) above += lifetime > k ? 1 : 0;
+    tail.add_row({fmt_fixed(k, 1),
+                  fmt_fixed(static_cast<double>(above) / observed.size(), 4),
+                  fmt_fixed(std::exp(-k), 4)});
+  }
+  tail.print(std::cout);
+  std::printf("\nn=%u; horizon 7n ln n = %.0f time units, %llu births, "
+              "%llu deaths observed.\n",
+              n, horizon, static_cast<unsigned long long>(births),
+              static_cast<unsigned long long>(deaths));
+  return 0;
+}

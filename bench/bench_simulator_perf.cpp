@@ -1,0 +1,138 @@
+// Engineering microbenchmarks (google-benchmark): event throughput of the
+// four models and the P2P overlay, snapshot capture cost, flooding and
+// expansion-probe throughput. These guard against performance regressions;
+// they reproduce no paper claim.
+#include <benchmark/benchmark.h>
+
+#include "churnet/churnet.hpp"
+
+namespace {
+
+using namespace churnet;
+
+void BM_StreamingStep(benchmark::State& state) {
+  const auto n = static_cast<std::uint32_t>(state.range(0));
+  const auto policy = state.range(1) == 0 ? EdgePolicy::kNone
+                                          : EdgePolicy::kRegenerate;
+  StreamingConfig config;
+  config.n = n;
+  config.d = 8;
+  config.policy = policy;
+  config.seed = 1;
+  StreamingNetwork net(config);
+  net.warm_up();
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(net.step().born);
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()));
+}
+BENCHMARK(BM_StreamingStep)
+    ->Args({10000, 0})
+    ->Args({10000, 1})
+    ->Args({100000, 0})
+    ->Args({100000, 1});
+
+void BM_PoissonStep(benchmark::State& state) {
+  const auto n = static_cast<std::uint32_t>(state.range(0));
+  const auto policy = state.range(1) == 0 ? EdgePolicy::kNone
+                                          : EdgePolicy::kRegenerate;
+  PoissonNetwork net(PoissonConfig::with_n(n, 8, policy, 1));
+  net.warm_up(3.0);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(net.step().time);
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()));
+}
+BENCHMARK(BM_PoissonStep)
+    ->Args({10000, 0})
+    ->Args({10000, 1})
+    ->Args({100000, 0})
+    ->Args({100000, 1});
+
+void BM_P2pStep(benchmark::State& state) {
+  const auto n = static_cast<std::uint32_t>(state.range(0));
+  P2pNetwork net(P2pConfig::with_n(n, 1));
+  net.warm_up(3.0);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(net.step().time);
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()));
+}
+BENCHMARK(BM_P2pStep)->Arg(10000)->Arg(50000);
+
+void BM_SnapshotCapture(benchmark::State& state) {
+  const auto n = static_cast<std::uint32_t>(state.range(0));
+  PoissonNetwork net(PoissonConfig::with_n(n, 8, EdgePolicy::kRegenerate, 1));
+  net.warm_up(5.0);
+  for (auto _ : state) {
+    const Snapshot snap = net.snapshot();
+    benchmark::DoNotOptimize(snap.node_count());
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          net.graph().alive_count());
+}
+BENCHMARK(BM_SnapshotCapture)->Arg(10000)->Arg(100000);
+
+void BM_FloodStreaming(benchmark::State& state) {
+  const auto n = static_cast<std::uint32_t>(state.range(0));
+  StreamingConfig config;
+  config.n = n;
+  config.d = 21;
+  config.policy = EdgePolicy::kRegenerate;
+  config.seed = 1;
+  StreamingNetwork net(config);
+  net.warm_up();
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(flood_streaming(net).completed);
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) * n);
+}
+BENCHMARK(BM_FloodStreaming)->Arg(10000)->Arg(100000);
+
+void BM_FloodPoissonAsync(benchmark::State& state) {
+  const auto n = static_cast<std::uint32_t>(state.range(0));
+  PoissonNetwork net(
+      PoissonConfig::with_n(n, 21, EdgePolicy::kRegenerate, 1));
+  net.warm_up(5.0);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(flood_poisson_async(net).completed);
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) * n);
+}
+BENCHMARK(BM_FloodPoissonAsync)->Arg(10000)->Arg(100000);
+
+void BM_ExpansionProbe(benchmark::State& state) {
+  const auto n = static_cast<std::uint32_t>(state.range(0));
+  Rng rng(1);
+  const Snapshot snap = static_dout_snapshot(n, 8, rng);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(probe_expansion(snap, rng, {}).min_ratio);
+  }
+}
+BENCHMARK(BM_ExpansionProbe)->Arg(10000)->Arg(100000);
+
+void BM_BfsDistances(benchmark::State& state) {
+  const auto n = static_cast<std::uint32_t>(state.range(0));
+  Rng rng(1);
+  const Snapshot snap = static_dout_snapshot(n, 8, rng);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(bfs_distances(snap, 0).size());
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) * n);
+}
+BENCHMARK(BM_BfsDistances)->Arg(10000)->Arg(100000);
+
+void BM_OnionSkin(benchmark::State& state) {
+  OnionSkinConfig config;
+  config.n = static_cast<std::uint32_t>(state.range(0));
+  config.d = 200;
+  config.seed = 1;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(run_onion_skin(config).phases);
+  }
+}
+BENCHMARK(BM_OnionSkin)->Arg(100000);
+
+}  // namespace
+
+BENCHMARK_MAIN();

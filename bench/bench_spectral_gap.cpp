@@ -1,0 +1,138 @@
+// Experiment T1.b/c supplement -- Spectral expansion across the models.
+//
+// The combinatorial probe (bench_expansion_*) can only exhibit bad sets;
+// the spectral gap 1 - lambda_2 of the lazy random walk *excludes* them:
+// by Cheeger, conductance >= gap/2 everywhere. This bench reports the gap
+// for all four models and the baselines, giving an independent
+// confirmation of the Table-1 expansion column:
+//   * SDG/PDG: isolated nodes force lambda_2 = 1 (zero gap) -- the
+//     spectral face of Lemmas 3.5/4.10;
+//   * SDGR/PDGR: gap comparable to the static d-out baseline
+//     (Theorems 3.15/4.16).
+#include <cstdio>
+#include <iostream>
+
+#include "churnet/churnet.hpp"
+
+int main(int argc, char** argv) {
+  using namespace churnet;
+  Cli cli("T1.b/c supplement: spectral gap of the lazy walk per model");
+  cli.add_int("n", 10000, "network size");
+  cli.add_int("reps", 3, "replications per configuration");
+  add_standard_options(cli);
+  if (!cli.parse(argc, argv)) return 0;
+  const BenchScale scale = scale_from_cli(cli);
+  const auto n = static_cast<std::uint32_t>(
+      scaled(static_cast<std::uint64_t>(cli.get_int("n")),
+             scale.size_factor, 1000));
+  const std::uint64_t reps =
+      scaled(static_cast<std::uint64_t>(cli.get_int("reps")),
+             scale.rep_factor);
+  const std::uint64_t seed = seed_from_cli(cli);
+
+  print_experiment_header(
+      "spectral gap per model",
+      "1 - lambda_2(lazy walk); conductance >= gap/2 everywhere (Cheeger). "
+      "Zero gap = disconnected (the isolated nodes of Lemmas 3.5/4.10); "
+      "regenerating models match the static baseline (Thms 3.15/4.16)");
+
+  Table table({"model", "d", "spectral gap", "lambda_2", "Cheeger lower",
+               "probe min", "verdict"});
+
+  auto add_row = [&](const std::string& name, std::uint32_t d,
+                     auto make_snapshot, bool expect_gap) {
+    double worst_gap = 1.0;
+    double worst_lambda = 0.0;
+    double worst_probe = 1e9;
+    for (std::uint64_t rep = 0; rep < reps; ++rep) {
+      const Snapshot snap = make_snapshot(rep);
+      Rng power_rng(derive_seed(seed, 900 + d, rep));
+      const SpectralResult spectral = spectral_gap(snap, power_rng, 300, 1e-6);
+      Rng probe_rng(derive_seed(seed, 950 + d, rep));
+      const ProbeResult probe = probe_expansion(snap, probe_rng, {});
+      worst_gap = std::min(worst_gap, spectral.spectral_gap);
+      worst_lambda = std::max(worst_lambda, spectral.lambda2);
+      worst_probe = std::min(worst_probe, probe.min_ratio);
+    }
+    const bool pass = expect_gap ? worst_gap > 0.05 : worst_gap < 0.05;
+    table.add_row({name, fmt_int(d), fmt_fixed(worst_gap, 4),
+                   fmt_fixed(worst_lambda, 4),
+                   fmt_fixed(worst_gap / 2.0, 4), fmt_fixed(worst_probe, 3),
+                   verdict(pass) + (expect_gap ? "" : " (gap ~ 0 expected)")});
+  };
+
+  for (const std::uint32_t d : {2u, 8u}) {
+    add_row("SDG", d,
+            [&](std::uint64_t rep) {
+              StreamingConfig config;
+              config.n = n;
+              config.d = d;
+              config.policy = EdgePolicy::kNone;
+              config.seed = derive_seed(seed, d, rep);
+              StreamingNetwork net(config);
+              net.warm_up();
+              return net.snapshot();
+            },
+            /*expect_gap=*/false);
+  }
+  for (const std::uint32_t d : {8u, 14u, 21u}) {
+    add_row("SDGR", d,
+            [&](std::uint64_t rep) {
+              StreamingConfig config;
+              config.n = n;
+              config.d = d;
+              config.policy = EdgePolicy::kRegenerate;
+              config.seed = derive_seed(seed, 100 + d, rep);
+              StreamingNetwork net(config);
+              net.warm_up();
+              return net.snapshot();
+            },
+            /*expect_gap=*/true);
+  }
+  add_row("PDG", 2,
+          [&](std::uint64_t rep) {
+            PoissonNetwork net(PoissonConfig::with_n(
+                n, 2, EdgePolicy::kNone, derive_seed(seed, 200, rep)));
+            net.warm_up(8.0);
+            return net.snapshot();
+          },
+          /*expect_gap=*/false);
+  for (const std::uint32_t d : {8u, 35u}) {
+    add_row("PDGR", d,
+            [&](std::uint64_t rep) {
+              PoissonNetwork net(PoissonConfig::with_n(
+                  n, d, EdgePolicy::kRegenerate,
+                  derive_seed(seed, 300 + d, rep)));
+              net.warm_up(8.0);
+              return net.snapshot();
+            },
+            /*expect_gap=*/true);
+  }
+  for (const std::uint32_t d : {8u, 21u}) {
+    add_row("static d-out", d,
+            [&](std::uint64_t rep) {
+              Rng rng(derive_seed(seed, 400 + d, rep));
+              return static_dout_snapshot(n, d, rng);
+            },
+            /*expect_gap=*/true);
+  }
+  add_row("walk overlay", 8,
+          [&](std::uint64_t rep) {
+            WalkOverlayConfig config;
+            config.n = n;
+            config.m = 8;
+            config.seed = derive_seed(seed, 500, rep);
+            WalkOverlay overlay(config);
+            overlay.warm_up();
+            return overlay.snapshot();
+          },
+          /*expect_gap=*/true);
+
+  table.print(std::cout);
+  std::printf("\nn=%u, %llu replications (worst over reps). 'probe min' is "
+              "the combinatorial probe for comparison; a positive spectral "
+              "gap EXCLUDES sparse cuts everywhere, which the probe alone "
+              "cannot.\n",
+              n, static_cast<unsigned long long>(reps));
+  return 0;
+}

@@ -1,0 +1,100 @@
+// Expansion explorer: measure vertex-expansion probes across all four
+// paper models and the static baselines, at a configurable scale.
+//
+//   ./expansion_explorer [--n 8000] [--d 8] [--seed 31]
+//
+// Prints, per topology: isolated nodes, largest-component coverage, the
+// minimum boundary/|S| ratio found by the adversarial probe families, and
+// which family found it. This makes the paper's Table-1 expansion column
+// tangible: SDG/PDG fail expansion outright (isolated nodes -> ratio 0)
+// while SDGR/PDGR look like static random graphs.
+#include <cstdio>
+#include <iostream>
+
+#include "churnet/churnet.hpp"
+
+namespace {
+
+struct Row {
+  std::string name;
+  churnet::Snapshot snapshot;
+};
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  using namespace churnet;
+
+  Cli cli("expansion_explorer: expansion probes across models");
+  cli.add_int("n", 8000, "network size / expected size");
+  cli.add_int("d", 8, "out-requests per node");
+  cli.add_int("seed", 31, "random seed");
+  if (!cli.parse(argc, argv)) return 0;
+
+  const auto n = static_cast<std::uint32_t>(cli.get_int("n"));
+  const auto d = static_cast<std::uint32_t>(cli.get_int("d"));
+  const auto seed = static_cast<std::uint64_t>(cli.get_int("seed"));
+
+  std::vector<Row> rows;
+
+  {
+    StreamingConfig config{n, d, EdgePolicy::kNone, seed};
+    StreamingNetwork net(config);
+    net.warm_up();
+    net.run_rounds(n);
+    rows.push_back({"SDG  (streaming, no regen)", net.snapshot()});
+  }
+  {
+    StreamingConfig config{n, d, EdgePolicy::kRegenerate, seed + 1};
+    StreamingNetwork net(config);
+    net.warm_up();
+    net.run_rounds(n);
+    rows.push_back({"SDGR (streaming, regen)", net.snapshot()});
+  }
+  {
+    PoissonNetwork net(
+        PoissonConfig::with_n(n, d, EdgePolicy::kNone, seed + 2));
+    net.warm_up();
+    rows.push_back({"PDG  (poisson, no regen)", net.snapshot()});
+  }
+  {
+    PoissonNetwork net(
+        PoissonConfig::with_n(n, d, EdgePolicy::kRegenerate, seed + 3));
+    net.warm_up();
+    rows.push_back({"PDGR (poisson, regen)", net.snapshot()});
+  }
+  {
+    Rng rng(seed + 4);
+    rows.push_back({"static d-out (Lemma B.1)",
+                    static_dout_snapshot(n, d, rng)});
+  }
+  {
+    Rng rng(seed + 5);
+    rows.push_back({"Erdos-Renyi (same mean degree)",
+                    erdos_renyi_snapshot(
+                        n, 2.0 * d / static_cast<double>(n), rng)});
+  }
+
+  Table table({"model", "nodes", "isolated", "giant comp", "min ratio",
+               "worst family", "worst |S|"});
+  Rng probe_rng(seed + 100);
+  for (const Row& row : rows) {
+    const IsolatedCensus census = isolated_census(row.snapshot);
+    const Components comps = connected_components(row.snapshot);
+    const ProbeResult probe = probe_expansion(row.snapshot, probe_rng, {});
+    table.add_row(
+        {row.name, fmt_int(row.snapshot.node_count()),
+         fmt_int(static_cast<std::int64_t>(census.isolated_nodes)),
+         fmt_percent(static_cast<double>(comps.largest_size) /
+                     static_cast<double>(row.snapshot.node_count())),
+         fmt_fixed(probe.min_ratio, 3), probe.argmin_family,
+         fmt_int(probe.argmin_size)});
+  }
+  table.print(std::cout);
+  std::printf(
+      "\nreading: 'min ratio' is an upper bound on h_out from adversarial\n"
+      "probes (random sets, BFS balls, age prefixes, greedy growth). The\n"
+      "regenerating models clear the paper's epsilon = 0.1 line; the\n"
+      "non-regenerating ones are pinned at 0 by isolated old nodes.\n");
+  return 0;
+}

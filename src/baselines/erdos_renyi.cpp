@@ -1,0 +1,54 @@
+#include "baselines/erdos_renyi.hpp"
+
+#include <cmath>
+#include <utility>
+#include <vector>
+
+#include "common/assertx.hpp"
+
+namespace churnet {
+
+Snapshot erdos_renyi_snapshot(std::uint32_t n, double p, Rng& rng) {
+  CHURNET_EXPECTS(n >= 2);
+  CHURNET_EXPECTS(p >= 0.0 && p <= 1.0);
+  std::vector<std::pair<std::uint32_t, std::uint32_t>> edges;
+  if (p > 0.0) {
+    // Enumerate the n(n-1)/2 pairs in lexicographic order, skipping a
+    // Geometric(p) gap between successive present edges (Batagelj-Brandes).
+    const double log_q = std::log1p(-p);
+    const std::uint64_t total_pairs =
+        static_cast<std::uint64_t>(n) * (n - 1) / 2;
+    std::uint64_t position = 0;
+    if (p >= 1.0) {
+      for (std::uint32_t u = 0; u < n; ++u) {
+        for (std::uint32_t v = u + 1; v < n; ++v) edges.emplace_back(u, v);
+      }
+      return Snapshot::from_edges(n, edges);
+    }
+    while (true) {
+      const double gap = std::floor(std::log1p(-rng.real01()) / log_q);
+      position += static_cast<std::uint64_t>(gap) + 1;
+      if (position > total_pairs) break;
+      // Decode pair index (1-based) -> (u, v) with u < v.
+      const std::uint64_t index = position - 1;
+      // Row u holds (n-1-u) pairs; find u by solving the triangular sum.
+      const double nd = static_cast<double>(n);
+      const double disc = (2.0 * nd - 1.0) * (2.0 * nd - 1.0) -
+                          8.0 * static_cast<double>(index);
+      auto u = static_cast<std::uint32_t>(
+          std::floor(((2.0 * nd - 1.0) - std::sqrt(disc)) / 2.0));
+      // Guard float rounding at row boundaries.
+      auto row_start = [&](std::uint32_t row) {
+        return static_cast<std::uint64_t>(row) * (2 * n - row - 1) / 2;
+      };
+      while (u > 0 && row_start(u) > index) --u;
+      while (row_start(u + 1) <= index) ++u;
+      const auto v = static_cast<std::uint32_t>(u + 1 + (index - row_start(u)));
+      CHURNET_ASSERT(u < v && v < n);
+      edges.emplace_back(u, v);
+    }
+  }
+  return Snapshot::from_edges(n, edges);
+}
+
+}  // namespace churnet

@@ -1,0 +1,17 @@
+// Erdős–Rényi G(n, p) baseline, sampled in O(n + m) expected time with
+// geometric edge skipping. Used as a second static reference topology in
+// tests and the expansion benches.
+#pragma once
+
+#include <cstdint>
+
+#include "common/rng.hpp"
+#include "graph/snapshot.hpp"
+
+namespace churnet {
+
+/// One G(n, p) sample as a Snapshot (undirected, no self-loops, no
+/// parallel edges).
+Snapshot erdos_renyi_snapshot(std::uint32_t n, double p, Rng& rng);
+
+}  // namespace churnet

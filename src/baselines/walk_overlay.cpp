@@ -1,0 +1,92 @@
+#include "baselines/walk_overlay.hpp"
+
+#include "common/assertx.hpp"
+
+namespace churnet {
+
+WalkOverlay::WalkOverlay(WalkOverlayConfig config)
+    : config_(config), churn_(config.n), rng_(config.seed) {
+  CHURNET_EXPECTS(config.m >= 1);
+  CHURNET_EXPECTS(config.walk_length >= 1);
+}
+
+NodeId WalkOverlay::sample_by_walk(NodeId start, NodeId avoid) {
+  NodeId position = start;
+  for (std::uint32_t step = 0; step < config_.walk_length; ++step) {
+    neighbor_scratch_.clear();
+    graph_.append_neighbors(position, neighbor_scratch_);
+    if (neighbor_scratch_.empty()) break;  // stuck: stay (lazy at leaves)
+    position = neighbor_scratch_[static_cast<std::size_t>(
+        rng_.below(neighbor_scratch_.size()))];
+  }
+  if (position == avoid) return kInvalidNode;
+  return position;
+}
+
+void WalkOverlay::wire_by_walk(NodeId owner, std::uint32_t index,
+                               NodeId start, bool regenerated) {
+  const NodeId endpoint = sample_by_walk(start, owner);
+  if (!endpoint.valid()) {
+    ++failed_walks_;
+    return;  // slot stays dangling
+  }
+  graph_.set_out_edge(owner, index, endpoint);
+  if (hooks_.on_edge_created) {
+    hooks_.on_edge_created(owner, index, endpoint, regenerated, now());
+  }
+}
+
+WalkOverlay::RoundReport WalkOverlay::step() {
+  RoundReport report;
+  const std::optional<NodeId> victim = churn_.begin_round();
+  const double time_of_round = static_cast<double>(churn_.round());
+
+  if (victim.has_value()) {
+    report.died = victim;
+    if (hooks_.on_death) hooks_.on_death(*victim, time_of_round);
+    const std::vector<OutSlotRef> orphans = graph_.remove_node(*victim);
+    if (config_.regenerate) {
+      for (const OutSlotRef& orphan : orphans) {
+        // Decentralized regeneration: restart the walk from a surviving
+        // neighbor of the owner; with no neighbors left, from the owner
+        // itself (the walk then fails unless an edge arrives later).
+        neighbor_scratch_.clear();
+        graph_.append_neighbors(orphan.owner, neighbor_scratch_);
+        const NodeId start =
+            neighbor_scratch_.empty()
+                ? orphan.owner
+                : neighbor_scratch_[static_cast<std::size_t>(
+                      rng_.below(neighbor_scratch_.size()))];
+        wire_by_walk(orphan.owner, orphan.index, start, true);
+      }
+    }
+  }
+
+  const NodeId born = graph_.add_node(config_.m, time_of_round);
+  // One oracle bootstrap contact (the DNS-seed analogue), then sampling
+  // walks started from it.
+  const NodeId contact = graph_.random_alive_other(rng_, born);
+  if (contact.valid()) {
+    for (std::uint32_t i = 0; i < config_.m; ++i) {
+      wire_by_walk(born, i, contact, false);
+    }
+  }
+  churn_.record_birth(born);
+  if (hooks_.on_birth) hooks_.on_birth(born, time_of_round);
+
+  report.round = churn_.round();
+  report.born = born;
+  return report;
+}
+
+void WalkOverlay::run_rounds(std::uint64_t rounds) {
+  for (std::uint64_t i = 0; i < rounds; ++i) step();
+}
+
+void WalkOverlay::warm_up() {
+  CHURNET_EXPECTS(churn_.round() == 0);
+  run_rounds(2ull * config_.n);
+  CHURNET_ENSURES(graph_.alive_count() == config_.n);
+}
+
+}  // namespace churnet

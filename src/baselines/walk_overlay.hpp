@@ -1,0 +1,87 @@
+// Random-walk sampling overlay: the decentralized alternative to the
+// paper's uniform-oracle dialing, modelled on the token / random-walk
+// protocols of the related work (paper Section 2: Cooper-Dyer-Greenhill
+// and the ID-random-walk approach).
+//
+// The paper's models assume a node can dial a UNIFORMLY random live node
+// -- an oracle. The classic decentralized substitute samples peers by
+// random walk: a joining node gets one bootstrap contact, then connects to
+// the endpoints of m independent random walks of length L. For L beyond
+// the mixing time the endpoint distribution is the walk's stationary
+// distribution, which is DEGREE-BIASED (pi ~ deg), not uniform -- the
+// interesting deviation this baseline quantifies. Under churn, a node that
+// loses an edge regenerates it with a fresh walk started from a surviving
+// neighbor (fully decentralized; no oracle after bootstrap).
+//
+// Node churn is the paper's streaming model (Definition 3.2), which is
+// also exactly the churn model of Cooper et al. [8].
+#pragma once
+
+#include <cstdint>
+
+#include "churn/streaming_churn.hpp"
+#include "common/rng.hpp"
+#include "graph/dynamic_graph.hpp"
+#include "graph/snapshot.hpp"
+#include "models/edge_policy.hpp"
+
+namespace churnet {
+
+struct WalkOverlayConfig {
+  std::uint32_t n = 1000;        // streaming size / lifetime
+  std::uint32_t m = 8;           // connections per node (walk endpoints)
+  std::uint32_t walk_length = 32;  // steps per sampling walk
+  bool regenerate = true;        // redial lost edges via fresh walks
+  std::uint64_t seed = 1;
+};
+
+class WalkOverlay {
+ public:
+  explicit WalkOverlay(WalkOverlayConfig config);
+
+  struct RoundReport {
+    std::uint64_t round = 0;
+    NodeId born;
+    std::optional<NodeId> died;
+  };
+
+  /// One streaming round: death of the oldest (past fill), regeneration of
+  /// orphaned edges by random walks, birth + m sampling walks.
+  RoundReport step();
+
+  void run_rounds(std::uint64_t rounds);
+
+  /// Two generations, as for StreamingNetwork.
+  void warm_up();
+
+  Snapshot snapshot() const { return Snapshot::capture(graph_, now()); }
+  const DynamicGraph& graph() const { return graph_; }
+  std::uint64_t round() const { return churn_.round(); }
+  double now() const { return static_cast<double>(churn_.round()); }
+  const WalkOverlayConfig& config() const { return config_; }
+  Rng& rng() { return rng_; }
+  void set_hooks(NetworkHooks hooks) { hooks_ = std::move(hooks); }
+
+  /// Sampling walks that ended on the walker itself or found no usable
+  /// endpoint (request left dangling).
+  std::uint64_t failed_walks() const { return failed_walks_; }
+
+ private:
+  /// Random walk of walk_length steps from `start`; returns the endpoint
+  /// (which may equal `avoid`, in which case sampling failed).
+  NodeId sample_by_walk(NodeId start, NodeId avoid);
+  /// Wires out-slot `index` of `owner` to a walk endpoint started at
+  /// `start`; counts a failed walk if unusable.
+  void wire_by_walk(NodeId owner, std::uint32_t index, NodeId start,
+                    bool regenerated);
+
+  WalkOverlayConfig config_;
+  StreamingChurn churn_;
+  DynamicGraph graph_;
+  Rng rng_;
+  NetworkHooks hooks_;
+  std::uint64_t failed_walks_ = 0;
+  std::vector<NodeId> neighbor_scratch_;
+};
+
+}  // namespace churnet

@@ -1,0 +1,70 @@
+#include "benchutil/experiment.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <cstdio>
+
+#include "common/assertx.hpp"
+
+namespace churnet {
+
+std::uint64_t derive_seed(std::uint64_t base, std::uint64_t stream,
+                          std::uint64_t replication) {
+  std::uint64_t x = base ^ (stream * 0x9E3779B97F4A7C15ULL) ^
+                    (replication * 0xC2B2AE3D27D4EB4FULL);
+  x = (x ^ (x >> 30)) * 0xBF58476D1CE4E5B9ULL;
+  x = (x ^ (x >> 27)) * 0x94D049BB133111EBULL;
+  return x ^ (x >> 31);
+}
+
+void add_standard_options(Cli& cli) {
+  cli.add_int("seed", 12345, "base seed for all replications");
+  cli.add_double("reps-factor", 1.0, "multiplier on replication counts");
+  cli.add_flag("quick", "half-scale run (sizes and replications)");
+  cli.add_flag("full", "4x-scale run (sizes and replications)");
+}
+
+BenchScale scale_from_cli(const Cli& cli) {
+  BenchScale scale;
+  if (cli.get_flag("quick")) {
+    scale.size_factor = 0.5;
+    scale.rep_factor = 0.5;
+  } else if (cli.get_flag("full")) {
+    scale.size_factor = 4.0;
+    scale.rep_factor = 4.0;
+  }
+  scale.rep_factor *= cli.get_double("reps-factor");
+  return scale;
+}
+
+std::uint64_t seed_from_cli(const Cli& cli) {
+  return static_cast<std::uint64_t>(cli.get_int("seed"));
+}
+
+std::uint64_t scaled(std::uint64_t base, double factor,
+                     std::uint64_t minimum) {
+  const double value = static_cast<double>(base) * factor;
+  return std::max<std::uint64_t>(minimum,
+                                 static_cast<std::uint64_t>(std::llround(value)));
+}
+
+void print_experiment_header(const std::string& experiment_id,
+                             const std::string& paper_claim) {
+  std::printf("== %s ==\n", experiment_id.c_str());
+  std::printf("paper: %s\n\n", paper_claim.c_str());
+}
+
+OnlineStats run_replications(
+    std::uint64_t replications,
+    const std::function<double(std::uint64_t)>& body) {
+  CHURNET_EXPECTS(replications > 0);
+  OnlineStats stats;
+  for (std::uint64_t rep = 0; rep < replications; ++rep) {
+    stats.add(body(rep));
+  }
+  return stats;
+}
+
+std::string verdict(bool pass) { return pass ? "PASS" : "FAIL"; }
+
+}  // namespace churnet

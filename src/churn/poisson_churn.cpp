@@ -1,0 +1,25 @@
+#include "churn/poisson_churn.hpp"
+
+#include "common/assertx.hpp"
+
+namespace churnet {
+
+PoissonChurn::PoissonChurn(double lambda, double mu, std::uint64_t seed)
+    : lambda_(lambda), mu_(mu), rng_(seed) {
+  CHURNET_EXPECTS(lambda > 0.0);
+  CHURNET_EXPECTS(mu > 0.0);
+}
+
+ChurnEvent PoissonChurn::next(std::uint64_t alive_count) {
+  const double death_rate = mu_ * static_cast<double>(alive_count);
+  const double total_rate = lambda_ + death_rate;
+  now_ += rng_.exponential(total_rate);
+  ++events_;
+  ChurnEvent event;
+  event.time = now_;
+  event.kind = rng_.bernoulli(lambda_ / total_rate) ? ChurnEvent::Kind::kBirth
+                                                    : ChurnEvent::Kind::kDeath;
+  return event;
+}
+
+}  // namespace churnet

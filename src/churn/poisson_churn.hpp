@@ -1,0 +1,57 @@
+// Poisson node churn (paper Definition 4.1), simulated exactly as the jump
+// chain of Lemma 4.6 / Theorem C.5:
+//
+//   * with N alive nodes, the next event happens after Exp(lambda + N*mu);
+//   * it is a birth with probability lambda / (lambda + N*mu), otherwise the
+//     death of a uniformly random alive node.
+//
+// This is an exact sampling of the continuous-time process (superposition of
+// the birth Poisson process and N independent exponential death clocks), not
+// a discretization: node lifetimes come out exactly Exp(mu) distributed.
+#pragma once
+
+#include <cstdint>
+
+#include "common/rng.hpp"
+
+namespace churnet {
+
+/// One churn event of the jump chain.
+struct ChurnEvent {
+  enum class Kind : std::uint8_t { kBirth, kDeath };
+  Kind kind = Kind::kBirth;
+  double time = 0.0;  // absolute continuous time of the event
+};
+
+class PoissonChurn {
+ public:
+  /// lambda: birth rate; mu: per-node death rate (mean lifetime 1/mu).
+  /// The paper's convention is lambda = 1, mu = 1/n.
+  PoissonChurn(double lambda, double mu, std::uint64_t seed);
+
+  /// Samples the next event given the current number of alive nodes and
+  /// advances the internal clock to it. Which node dies (for death events)
+  /// is up to the caller; uniform choice preserves exactness.
+  ChurnEvent next(std::uint64_t alive_count);
+
+  /// Current absolute time (time of the last event returned).
+  double now() const { return now_; }
+
+  double lambda() const { return lambda_; }
+  double mu() const { return mu_; }
+
+  /// Expected stationary network size lambda/mu.
+  double expected_size() const { return lambda_ / mu_; }
+
+  /// Events emitted so far (paper: "rounds" T_r, Definition 4.5).
+  std::uint64_t event_count() const { return events_; }
+
+ private:
+  double lambda_;
+  double mu_;
+  double now_ = 0.0;
+  std::uint64_t events_ = 0;
+  Rng rng_;
+};
+
+}  // namespace churnet

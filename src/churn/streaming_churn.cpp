@@ -1,0 +1,31 @@
+#include "churn/streaming_churn.hpp"
+
+#include "common/assertx.hpp"
+
+namespace churnet {
+
+StreamingChurn::StreamingChurn(std::uint32_t n) : n_(n) {
+  CHURNET_EXPECTS(n >= 1);
+}
+
+std::optional<NodeId> StreamingChurn::begin_round() {
+  CHURNET_EXPECTS(!birth_pending_);
+  ++round_;
+  birth_pending_ = true;
+  if (fifo_.size() == n_) {
+    const NodeId victim = fifo_.front();
+    fifo_.pop_front();
+    return victim;
+  }
+  CHURNET_ASSERT(fifo_.size() < n_);
+  return std::nullopt;
+}
+
+void StreamingChurn::record_birth(NodeId id) {
+  CHURNET_EXPECTS(birth_pending_);
+  CHURNET_EXPECTS(id.valid());
+  birth_pending_ = false;
+  fifo_.push_back(id);
+}
+
+}  // namespace churnet

@@ -1,0 +1,46 @@
+// Streaming node churn (paper Definition 3.2).
+//
+// Discrete rounds; at each round exactly one node is born and lives exactly
+// n rounds, so from round n+1 on, every round kills the unique node of age
+// n-1 and the network size is pinned at n. Deaths are processed before the
+// round's birth (the newborn "stays up to round t+n-1").
+#pragma once
+
+#include <cstdint>
+#include <deque>
+#include <optional>
+
+#include "graph/node_id.hpp"
+
+namespace churnet {
+
+class StreamingChurn {
+ public:
+  /// `n` is both the steady-state size and the exact node lifetime.
+  explicit StreamingChurn(std::uint32_t n);
+
+  /// Starts round `round()+1`. Returns the node that dies this round (the
+  /// oldest alive node) or nullopt during the initial fill (rounds 1..n).
+  std::optional<NodeId> begin_round();
+
+  /// Records this round's newborn; must be called exactly once per round,
+  /// after begin_round().
+  void record_birth(NodeId id);
+
+  /// Rounds completed (== births recorded).
+  std::uint64_t round() const { return round_; }
+
+  /// Steady-state size / lifetime parameter n.
+  std::uint32_t n() const { return n_; }
+
+  /// Number of currently alive nodes tracked by the schedule.
+  std::uint32_t alive() const { return static_cast<std::uint32_t>(fifo_.size()); }
+
+ private:
+  std::uint32_t n_;
+  std::uint64_t round_ = 0;
+  bool birth_pending_ = false;
+  std::deque<NodeId> fifo_;  // front = oldest
+};
+
+}  // namespace churnet

@@ -1,0 +1,37 @@
+// Umbrella header for the churnet library.
+//
+// churnet reproduces "Expansion and Flooding in Dynamic Random Networks
+// with Node Churn" (Becchetti, Clementi, Pasquale, Trevisan, Ziccardi;
+// ICDCS 2021): the four dynamic random graph models (streaming / Poisson
+// churn, with / without edge regeneration), the flooding processes studied
+// on them, vertex-expansion measurement, the static baselines, and a
+// Bitcoin-like P2P overlay grounding the paper's motivation.
+//
+// Subsystem headers can also be included individually; see DESIGN.md for
+// the architecture map.
+#pragma once
+
+#include "baselines/erdos_renyi.hpp"       // IWYU pragma: export
+#include "baselines/static_dout.hpp"       // IWYU pragma: export
+#include "baselines/walk_overlay.hpp"      // IWYU pragma: export
+#include "benchutil/experiment.hpp"        // IWYU pragma: export
+#include "churn/poisson_churn.hpp"         // IWYU pragma: export
+#include "churn/streaming_churn.hpp"       // IWYU pragma: export
+#include "common/cli.hpp"                  // IWYU pragma: export
+#include "common/histogram.hpp"            // IWYU pragma: export
+#include "common/mathx.hpp"                // IWYU pragma: export
+#include "common/rng.hpp"                  // IWYU pragma: export
+#include "common/stats.hpp"                // IWYU pragma: export
+#include "common/table.hpp"                // IWYU pragma: export
+#include "expansion/expansion.hpp"         // IWYU pragma: export
+#include "expansion/isolated.hpp"          // IWYU pragma: export
+#include "expansion/spectral.hpp"          // IWYU pragma: export
+#include "flooding/async_flooding.hpp"     // IWYU pragma: export
+#include "flooding/flooding.hpp"           // IWYU pragma: export
+#include "flooding/onion_skin.hpp"         // IWYU pragma: export
+#include "graph/algorithms.hpp"            // IWYU pragma: export
+#include "graph/dynamic_graph.hpp"         // IWYU pragma: export
+#include "graph/snapshot.hpp"              // IWYU pragma: export
+#include "models/poisson_network.hpp"      // IWYU pragma: export
+#include "models/streaming_network.hpp"    // IWYU pragma: export
+#include "p2p/p2p_network.hpp"             // IWYU pragma: export

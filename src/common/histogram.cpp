@@ -1,0 +1,116 @@
+#include "common/histogram.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <cstdio>
+
+#include "common/assertx.hpp"
+
+namespace churnet {
+
+Histogram::Histogram(double lo, double hi, std::size_t bins)
+    : lo_(lo), hi_(hi), counts_(bins, 0) {
+  CHURNET_EXPECTS(lo < hi);
+  CHURNET_EXPECTS(bins > 0);
+}
+
+void Histogram::add(double x) { add(x, 1); }
+
+void Histogram::add(double x, std::uint64_t weight) {
+  total_ += weight;
+  if (x < lo_) {
+    underflow_ += weight;
+    return;
+  }
+  if (x >= hi_) {
+    overflow_ += weight;
+    return;
+  }
+  const double width = (hi_ - lo_) / static_cast<double>(counts_.size());
+  auto idx = static_cast<std::size_t>((x - lo_) / width);
+  idx = std::min(idx, counts_.size() - 1);  // guard float edge rounding
+  counts_[idx] += weight;
+}
+
+double Histogram::bin_lo(std::size_t i) const {
+  CHURNET_EXPECTS(i < counts_.size());
+  const double width = (hi_ - lo_) / static_cast<double>(counts_.size());
+  return lo_ + width * static_cast<double>(i);
+}
+
+double Histogram::bin_hi(std::size_t i) const {
+  CHURNET_EXPECTS(i < counts_.size());
+  const double width = (hi_ - lo_) / static_cast<double>(counts_.size());
+  return lo_ + width * static_cast<double>(i + 1);
+}
+
+std::string Histogram::render(std::size_t width) const {
+  std::uint64_t peak = 1;
+  for (const auto c : counts_) peak = std::max(peak, c);
+  std::string out;
+  char line[160];
+  for (std::size_t i = 0; i < counts_.size(); ++i) {
+    const auto bar_len = static_cast<std::size_t>(
+        static_cast<double>(counts_[i]) / static_cast<double>(peak) *
+        static_cast<double>(width));
+    std::snprintf(line, sizeof line, "[%10.3g, %10.3g) %10llu ", bin_lo(i),
+                  bin_hi(i), static_cast<unsigned long long>(counts_[i]));
+    out += line;
+    out.append(bar_len, '#');
+    out += '\n';
+  }
+  return out;
+}
+
+IntHistogram::IntHistogram(std::uint64_t max_value)
+    : counts_(static_cast<std::size_t>(max_value) + 1, 0) {}
+
+void IntHistogram::add(std::uint64_t value) {
+  ++total_;
+  sum_ += static_cast<double>(value);
+  if (value >= counts_.size()) {
+    ++overflow_;
+    return;
+  }
+  ++counts_[static_cast<std::size_t>(value)];
+}
+
+std::uint64_t IntHistogram::count(std::uint64_t value) const {
+  if (value >= counts_.size()) return 0;
+  return counts_[static_cast<std::size_t>(value)];
+}
+
+double IntHistogram::mean() const {
+  if (total_ == 0) return 0.0;
+  return sum_ / static_cast<double>(total_);
+}
+
+double IntHistogram::pmf(std::uint64_t value) const {
+  if (total_ == 0) return 0.0;
+  return static_cast<double>(count(value)) / static_cast<double>(total_);
+}
+
+std::string IntHistogram::render(std::size_t width) const {
+  std::uint64_t peak = 1;
+  for (const auto c : counts_) peak = std::max(peak, c);
+  std::string out;
+  char line[160];
+  for (std::size_t i = 0; i < counts_.size(); ++i) {
+    const auto bar_len = static_cast<std::size_t>(
+        static_cast<double>(counts_[i]) / static_cast<double>(peak) *
+        static_cast<double>(width));
+    std::snprintf(line, sizeof line, "%6zu %10llu ", i,
+                  static_cast<unsigned long long>(counts_[i]));
+    out += line;
+    out.append(bar_len, '#');
+    out += '\n';
+  }
+  if (overflow_ > 0) {
+    std::snprintf(line, sizeof line, "  >%zu %10llu\n", counts_.size() - 1,
+                  static_cast<unsigned long long>(overflow_));
+    out += line;
+  }
+  return out;
+}
+
+}  // namespace churnet

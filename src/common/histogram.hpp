@@ -1,0 +1,68 @@
+// Fixed-width-bin histogram with ASCII rendering, used by benches and
+// examples to show degree and latency distributions.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace churnet {
+
+/// Histogram over [lo, hi) with `bins` equal-width bins plus underflow and
+/// overflow counters.
+class Histogram {
+ public:
+  Histogram(double lo, double hi, std::size_t bins);
+
+  void add(double x);
+  void add(double x, std::uint64_t weight);
+
+  std::size_t bin_count() const { return counts_.size(); }
+  std::uint64_t bin(std::size_t i) const { return counts_.at(i); }
+  /// Inclusive lower edge of bin i.
+  double bin_lo(std::size_t i) const;
+  /// Exclusive upper edge of bin i.
+  double bin_hi(std::size_t i) const;
+  std::uint64_t underflow() const { return underflow_; }
+  std::uint64_t overflow() const { return overflow_; }
+  std::uint64_t total() const { return total_; }
+
+  /// Multi-line ASCII bar rendering, `width` characters for the largest bar.
+  std::string render(std::size_t width = 50) const;
+
+ private:
+  double lo_;
+  double hi_;
+  std::vector<std::uint64_t> counts_;
+  std::uint64_t underflow_ = 0;
+  std::uint64_t overflow_ = 0;
+  std::uint64_t total_ = 0;
+};
+
+/// Histogram over the non-negative integers 0..max_value (one bin each),
+/// convenient for degree distributions.
+class IntHistogram {
+ public:
+  explicit IntHistogram(std::uint64_t max_value);
+
+  void add(std::uint64_t value);
+
+  std::uint64_t count(std::uint64_t value) const;
+  std::uint64_t overflow() const { return overflow_; }
+  std::uint64_t total() const { return total_; }
+  std::uint64_t max_value() const { return counts_.size() - 1; }
+  double mean() const;
+
+  /// Fraction of observations equal to `value`.
+  double pmf(std::uint64_t value) const;
+
+  std::string render(std::size_t width = 50) const;
+
+ private:
+  std::vector<std::uint64_t> counts_;
+  std::uint64_t overflow_ = 0;
+  std::uint64_t total_ = 0;
+  double sum_ = 0.0;
+};
+
+}  // namespace churnet

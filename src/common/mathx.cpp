@@ -1,0 +1,64 @@
+#include "common/mathx.hpp"
+
+#include <cmath>
+
+#include "common/assertx.hpp"
+
+namespace churnet {
+
+double log_factorial(std::uint64_t n) {
+  return std::lgamma(static_cast<double>(n) + 1.0);
+}
+
+double log_binomial(std::uint64_t n, std::uint64_t k) {
+  CHURNET_EXPECTS(k <= n);
+  return log_factorial(n) - log_factorial(k) - log_factorial(n - k);
+}
+
+double poisson_pmf(std::uint64_t k, double mean) {
+  CHURNET_EXPECTS(mean >= 0.0);
+  if (mean == 0.0) return k == 0 ? 1.0 : 0.0;
+  return std::exp(static_cast<double>(k) * std::log(mean) - mean -
+                  log_factorial(k));
+}
+
+double binomial_pmf(std::uint64_t n, std::uint64_t k, double p) {
+  CHURNET_EXPECTS(k <= n);
+  if (p <= 0.0) return k == 0 ? 1.0 : 0.0;
+  if (p >= 1.0) return k == n ? 1.0 : 0.0;
+  const double log_p = log_binomial(n, k) +
+                       static_cast<double>(k) * std::log(p) +
+                       static_cast<double>(n - k) * std::log1p(-p);
+  return std::exp(log_p);
+}
+
+double kl_divergence(std::span<const double> p, std::span<const double> q) {
+  CHURNET_EXPECTS(p.size() == q.size());
+  double sum = 0.0;
+  for (std::size_t i = 0; i < p.size(); ++i) {
+    if (p[i] == 0.0) continue;
+    CHURNET_EXPECTS(q[i] > 0.0);
+    sum += p[i] * std::log(p[i] / q[i]);
+  }
+  return sum;
+}
+
+double entropy(std::span<const double> p) {
+  double sum = 0.0;
+  for (const double x : p) {
+    if (x > 0.0) sum -= x * std::log(x);
+  }
+  return sum;
+}
+
+void normalize(std::span<double> weights) {
+  double sum = 0.0;
+  for (const double w : weights) {
+    CHURNET_EXPECTS(w >= 0.0);
+    sum += w;
+  }
+  CHURNET_EXPECTS(sum > 0.0);
+  for (double& w : weights) w /= sum;
+}
+
+}  // namespace churnet

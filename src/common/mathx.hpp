@@ -1,0 +1,36 @@
+// Small mathematical helpers shared by analysis code and tests:
+// log-binomials, KL divergence (used in the paper's Lemma 4.18 machinery),
+// and distribution pmfs used as references in statistical tests.
+#pragma once
+
+#include <cstdint>
+#include <span>
+
+namespace churnet {
+
+/// Natural log of n! via lgamma.
+double log_factorial(std::uint64_t n);
+
+/// Natural log of C(n, k). Requires k <= n.
+double log_binomial(std::uint64_t n, std::uint64_t k);
+
+/// Poisson(mean) probability mass at k.
+double poisson_pmf(std::uint64_t k, double mean);
+
+/// Binomial(n, p) probability mass at k.
+double binomial_pmf(std::uint64_t n, std::uint64_t k, double p);
+
+/// Kullback-Leibler divergence D(p || q) in nats over two discrete
+/// distributions given as aligned spans. Terms with p[i] == 0 contribute 0;
+/// requires q[i] > 0 wherever p[i] > 0. Theorem A.3 of the paper states
+/// D(p||q) >= 0, which the test suite checks on random distributions.
+double kl_divergence(std::span<const double> p, std::span<const double> q);
+
+/// Shannon entropy in nats of a discrete distribution.
+double entropy(std::span<const double> p);
+
+/// Normalizes a non-negative vector in place to sum to 1. Requires a
+/// positive sum.
+void normalize(std::span<double> weights);
+
+}  // namespace churnet

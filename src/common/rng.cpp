@@ -1,0 +1,198 @@
+#include "common/rng.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <numbers>
+#include <unordered_set>
+
+namespace churnet {
+namespace {
+
+constexpr std::uint64_t splitmix64(std::uint64_t& x) {
+  x += 0x9E3779B97F4A7C15ULL;
+  std::uint64_t z = x;
+  z = (z ^ (z >> 30)) * 0xBF58476D1CE4E5B9ULL;
+  z = (z ^ (z >> 27)) * 0x94D049BB133111EBULL;
+  return z ^ (z >> 31);
+}
+
+constexpr std::uint64_t rotl(std::uint64_t x, int k) {
+  return (x << k) | (x >> (64 - k));
+}
+
+}  // namespace
+
+Rng::Rng(std::uint64_t seed) {
+  std::uint64_t s = seed;
+  for (auto& word : state_) word = splitmix64(s);
+  // A state of all zeros would lock the engine at zero; splitmix64 cannot
+  // produce four zero words from any seed, but guard regardless.
+  if ((state_[0] | state_[1] | state_[2] | state_[3]) == 0) state_[0] = 1;
+}
+
+std::uint64_t Rng::next_u64() {
+  const std::uint64_t result = rotl(state_[0] + state_[3], 23) + state_[0];
+  const std::uint64_t t = state_[1] << 17;
+  state_[2] ^= state_[0];
+  state_[3] ^= state_[1];
+  state_[1] ^= state_[2];
+  state_[0] ^= state_[3];
+  state_[2] ^= t;
+  state_[3] = rotl(state_[3], 45);
+  return result;
+}
+
+std::uint64_t Rng::below(std::uint64_t bound) {
+  CHURNET_EXPECTS(bound > 0);
+  // Lemire's nearly-divisionless unbiased bounded sampling.
+  std::uint64_t x = next_u64();
+  __uint128_t m = static_cast<__uint128_t>(x) * bound;
+  auto lo = static_cast<std::uint64_t>(m);
+  if (lo < bound) {
+    const std::uint64_t threshold = -bound % bound;
+    while (lo < threshold) {
+      x = next_u64();
+      m = static_cast<__uint128_t>(x) * bound;
+      lo = static_cast<std::uint64_t>(m);
+    }
+  }
+  return static_cast<std::uint64_t>(m >> 64);
+}
+
+std::int64_t Rng::uniform_int(std::int64_t lo, std::int64_t hi) {
+  CHURNET_EXPECTS(lo <= hi);
+  const auto range =
+      static_cast<std::uint64_t>(hi) - static_cast<std::uint64_t>(lo) + 1;
+  if (range == 0) return static_cast<std::int64_t>(next_u64());  // full range
+  return lo + static_cast<std::int64_t>(below(range));
+}
+
+double Rng::real01() {
+  return static_cast<double>(next_u64() >> 11) * 0x1.0p-53;
+}
+
+double Rng::uniform_real(double lo, double hi) {
+  CHURNET_EXPECTS(lo <= hi);
+  return lo + (hi - lo) * real01();
+}
+
+bool Rng::bernoulli(double p) {
+  if (p <= 0.0) return false;
+  if (p >= 1.0) return true;
+  return real01() < p;
+}
+
+double Rng::exponential(double rate) {
+  CHURNET_EXPECTS(rate > 0.0);
+  // real01() < 1 strictly, so log argument is > 0.
+  return -std::log1p(-real01()) / rate;
+}
+
+std::uint64_t Rng::poisson(double mean) {
+  CHURNET_EXPECTS(mean >= 0.0);
+  if (mean == 0.0) return 0;
+  if (mean < 30.0) {
+    // Inversion by sequential search on the CDF.
+    const double l = std::exp(-mean);
+    std::uint64_t k = 0;
+    double p = 1.0;
+    do {
+      ++k;
+      p *= real01();
+    } while (p > l);
+    return k - 1;
+  }
+  // PTRS ("transformed rejection with squeeze"), Hoermann 1993.
+  const double b = 0.931 + 2.53 * std::sqrt(mean);
+  const double a = -0.059 + 0.02483 * b;
+  const double inv_alpha = 1.1239 + 1.1328 / (b - 3.4);
+  const double v_r = 0.9277 - 3.6224 / (b - 2.0);
+  for (;;) {
+    const double u = real01() - 0.5;
+    const double v = real01();
+    const double us = 0.5 - std::abs(u);
+    const double k = std::floor((2.0 * a / us + b) * u + mean + 0.43);
+    if (us >= 0.07 && v <= v_r) return static_cast<std::uint64_t>(k);
+    if (k < 0.0 || (us < 0.013 && v > us)) continue;
+    const double log_mean = std::log(mean);
+    if (std::log(v * inv_alpha / (a / (us * us) + b)) <=
+        k * log_mean - mean - std::lgamma(k + 1.0)) {
+      return static_cast<std::uint64_t>(k);
+    }
+  }
+}
+
+double Rng::normal() {
+  if (has_spare_normal_) {
+    has_spare_normal_ = false;
+    return spare_normal_;
+  }
+  // Box-Muller; real01() can return 0, so flip to (0,1].
+  const double u1 = 1.0 - real01();
+  const double u2 = real01();
+  const double radius = std::sqrt(-2.0 * std::log(u1));
+  const double angle = 2.0 * std::numbers::pi * u2;
+  spare_normal_ = radius * std::sin(angle);
+  has_spare_normal_ = true;
+  return radius * std::cos(angle);
+}
+
+double Rng::normal(double mean, double stddev) {
+  CHURNET_EXPECTS(stddev >= 0.0);
+  return mean + stddev * normal();
+}
+
+std::uint64_t Rng::binomial(std::uint64_t n, double p) {
+  if (n == 0 || p <= 0.0) return 0;
+  if (p >= 1.0) return n;
+  // Work with q = min(p, 1-p) and mirror at the end.
+  const bool mirrored = p > 0.5;
+  const double q = mirrored ? 1.0 - p : p;
+  std::uint64_t successes = 0;
+  if (static_cast<double>(n) * q < 64.0) {
+    // Waiting-time (geometric skip) method: O(n*q) expected.
+    const double log1mq = std::log1p(-q);
+    double skipped = 0.0;
+    for (;;) {
+      const double gap = std::floor(std::log1p(-real01()) / log1mq);
+      skipped += gap + 1.0;
+      if (skipped > static_cast<double>(n)) break;
+      ++successes;
+    }
+  } else {
+    // Exact Bernoulli loop in blocks; n*q >= 64 keeps this rare in hot paths.
+    for (std::uint64_t i = 0; i < n; ++i) successes += bernoulli(q) ? 1 : 0;
+  }
+  return mirrored ? n - successes : successes;
+}
+
+std::vector<std::uint64_t> Rng::sample_distinct(std::uint64_t population,
+                                                std::uint64_t k) {
+  CHURNET_EXPECTS(k <= population);
+  std::vector<std::uint64_t> picked;
+  picked.reserve(k);
+  if (k == 0) return picked;
+  if (k * 3 >= population) {
+    // Dense draw: partial Fisher-Yates over an explicit index array.
+    std::vector<std::uint64_t> indices(population);
+    for (std::uint64_t i = 0; i < population; ++i) indices[i] = i;
+    for (std::uint64_t i = 0; i < k; ++i) {
+      const std::uint64_t j = i + below(population - i);
+      std::swap(indices[i], indices[j]);
+      picked.push_back(indices[i]);
+    }
+    return picked;
+  }
+  // Sparse draw: rejection against a hash set, O(k) expected.
+  std::unordered_set<std::uint64_t> seen;
+  seen.reserve(static_cast<std::size_t>(k) * 2);
+  while (picked.size() < k) {
+    const std::uint64_t candidate = below(population);
+    if (seen.insert(candidate).second) picked.push_back(candidate);
+  }
+  return picked;
+}
+
+Rng Rng::split() { return Rng(next_u64()); }
+
+}  // namespace churnet

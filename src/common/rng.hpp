@@ -1,0 +1,90 @@
+// Deterministic, portable random number generation.
+//
+// The standard <random> distributions are not bit-reproducible across
+// standard-library implementations, so every sampler here is a fixed
+// algorithm: results depend only on the 64-bit seed. The engine is
+// xoshiro256++ seeded through splitmix64.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "common/assertx.hpp"
+
+namespace churnet {
+
+/// xoshiro256++ pseudo-random engine with convenience samplers.
+///
+/// Not thread-safe; create one instance per logical stream. Distinct streams
+/// should use distinct seeds (any two seeds give independent-looking
+/// streams thanks to the splitmix64 seeding stage).
+class Rng {
+ public:
+  /// Seeds the engine; every state word is derived via splitmix64 so even
+  /// adjacent integer seeds produce decorrelated streams.
+  explicit Rng(std::uint64_t seed = 0x9E3779B97F4A7C15ULL);
+
+  /// Uniform 64-bit word.
+  std::uint64_t next_u64();
+
+  /// Uniform integer in [0, bound). Requires bound > 0.
+  /// Uses Lemire's multiply-shift rejection method (unbiased).
+  std::uint64_t below(std::uint64_t bound);
+
+  /// Uniform integer in [lo, hi]. Requires lo <= hi.
+  std::int64_t uniform_int(std::int64_t lo, std::int64_t hi);
+
+  /// Uniform double in [0, 1) with 53 random bits.
+  double real01();
+
+  /// Uniform double in [lo, hi).
+  double uniform_real(double lo, double hi);
+
+  /// Bernoulli trial with success probability p (clamped to [0,1]).
+  bool bernoulli(double p);
+
+  /// Exponential variate with the given rate (mean 1/rate). Requires rate > 0.
+  double exponential(double rate);
+
+  /// Poisson variate with the given mean (>= 0). Exact inversion for small
+  /// means, PTRS transformed rejection for large means.
+  std::uint64_t poisson(double mean);
+
+  /// Standard normal variate (Box-Muller, cached spare).
+  double normal();
+
+  /// Normal variate with the given mean and standard deviation.
+  double normal(double mean, double stddev);
+
+  /// Binomial variate: number of successes in n Bernoulli(p) trials.
+  /// Exact (waiting-time method) for small n*p; normal-tail-safe inversion
+  /// by symmetry otherwise.
+  std::uint64_t binomial(std::uint64_t n, double p);
+
+  /// Fisher-Yates shuffle of a span in place.
+  template <typename T>
+  void shuffle(std::span<T> values) {
+    for (std::size_t i = values.size(); i > 1; --i) {
+      const std::size_t j = static_cast<std::size_t>(below(i));
+      using std::swap;
+      swap(values[i - 1], values[j]);
+    }
+  }
+
+  /// k distinct indices sampled uniformly from [0, population).
+  /// Requires k <= population. O(k) expected time (hash-free partial
+  /// Fisher-Yates for dense draws, rejection for sparse draws).
+  std::vector<std::uint64_t> sample_distinct(std::uint64_t population,
+                                             std::uint64_t k);
+
+  /// Forks an independent child stream (seeded from this stream's output).
+  Rng split();
+
+ private:
+  std::uint64_t state_[4];
+  double spare_normal_ = 0.0;
+  bool has_spare_normal_ = false;
+};
+
+}  // namespace churnet

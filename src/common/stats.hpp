@@ -1,0 +1,69 @@
+// Online statistics, confidence intervals and quantiles used by the
+// experiment harness and the statistical test suites.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+namespace churnet {
+
+/// Welford online accumulator for mean/variance plus extremes.
+class OnlineStats {
+ public:
+  /// Adds one observation.
+  void add(double x);
+
+  /// Merges another accumulator into this one (parallel-combine rule).
+  void merge(const OnlineStats& other);
+
+  std::uint64_t count() const { return count_; }
+  double mean() const { return mean_; }
+  /// Unbiased sample variance; 0 when fewer than two observations.
+  double variance() const;
+  double stddev() const;
+  double min() const;
+  double max() const;
+  /// Standard error of the mean; 0 when fewer than two observations.
+  double stderr_mean() const;
+
+ private:
+  std::uint64_t count_ = 0;
+  double mean_ = 0.0;
+  double m2_ = 0.0;
+  double min_ = 0.0;
+  double max_ = 0.0;
+};
+
+/// Two-sided confidence interval [lo, hi].
+struct Interval {
+  double lo = 0.0;
+  double hi = 0.0;
+  bool contains(double x) const { return lo <= x && x <= hi; }
+};
+
+/// Wilson score interval for a binomial proportion.
+/// successes <= trials; z is the normal quantile (1.96 ~ 95%, 3.29 ~ 99.9%).
+Interval wilson_interval(std::uint64_t successes, std::uint64_t trials,
+                         double z = 1.96);
+
+/// Normal-approximation confidence interval for the mean of a sample.
+Interval mean_interval(const OnlineStats& stats, double z = 1.96);
+
+/// q-th quantile (0 <= q <= 1) by linear interpolation; sorts a copy.
+double quantile(std::span<const double> values, double q);
+
+/// Median convenience wrapper over quantile().
+double median(std::span<const double> values);
+
+/// Result of an ordinary least-squares fit y ~ a + b*x.
+struct LinearFit {
+  double intercept = 0.0;
+  double slope = 0.0;
+  double r_squared = 0.0;
+};
+
+/// Least-squares line through (xs[i], ys[i]). Requires sizes equal, >= 2.
+LinearFit fit_linear(std::span<const double> xs, std::span<const double> ys);
+
+}  // namespace churnet

@@ -1,0 +1,89 @@
+#include "common/table.hpp"
+
+#include <algorithm>
+#include <cstdio>
+#include <ostream>
+
+#include "common/assertx.hpp"
+
+namespace churnet {
+
+std::string fmt_fixed(double x, int precision) {
+  char buf[64];
+  std::snprintf(buf, sizeof buf, "%.*f", precision, x);
+  return buf;
+}
+
+std::string fmt_sci(double x, int precision) {
+  char buf[64];
+  std::snprintf(buf, sizeof buf, "%.*e", precision, x);
+  return buf;
+}
+
+std::string fmt_int(std::int64_t x) {
+  char buf[32];
+  std::snprintf(buf, sizeof buf, "%lld", static_cast<long long>(x));
+  return buf;
+}
+
+std::string fmt_percent(double fraction, int precision) {
+  char buf[64];
+  std::snprintf(buf, sizeof buf, "%.*f%%", precision, fraction * 100.0);
+  return buf;
+}
+
+Table::Table(std::vector<std::string> headers) : headers_(std::move(headers)) {
+  CHURNET_EXPECTS(!headers_.empty());
+}
+
+void Table::add_row(std::vector<std::string> cells) {
+  CHURNET_EXPECTS(cells.size() == headers_.size());
+  rows_.push_back(std::move(cells));
+}
+
+std::string Table::render() const {
+  std::vector<std::size_t> widths(headers_.size());
+  for (std::size_t c = 0; c < headers_.size(); ++c) {
+    widths[c] = headers_[c].size();
+  }
+  for (const auto& row : rows_) {
+    for (std::size_t c = 0; c < row.size(); ++c) {
+      widths[c] = std::max(widths[c], row[c].size());
+    }
+  }
+  std::string out;
+  auto emit_row = [&](const std::vector<std::string>& cells) {
+    for (std::size_t c = 0; c < cells.size(); ++c) {
+      if (c > 0) out += "  ";
+      // Right-align: pad on the left.
+      out.append(widths[c] - cells[c].size(), ' ');
+      out += cells[c];
+    }
+    out += '\n';
+  };
+  emit_row(headers_);
+  std::size_t rule_len = 0;
+  for (std::size_t c = 0; c < widths.size(); ++c) {
+    rule_len += widths[c] + (c > 0 ? 2 : 0);
+  }
+  out.append(rule_len, '-');
+  out += '\n';
+  for (const auto& row : rows_) emit_row(row);
+  return out;
+}
+
+void Table::print(std::ostream& os) const { os << render(); }
+
+void Table::write_csv(std::ostream& os) const {
+  auto emit_row = [&](const std::vector<std::string>& cells) {
+    for (std::size_t c = 0; c < cells.size(); ++c) {
+      if (c > 0) os << ',';
+      os << cells[c];
+    }
+    os << '\n';
+  };
+  emit_row(headers_);
+  for (const auto& row : rows_) emit_row(row);
+}
+
+}  // namespace churnet

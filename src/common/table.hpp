@@ -1,0 +1,46 @@
+// Aligned-column table printing for bench output, plus CSV export.
+//
+// Bench binaries print rows in the same shape as the paper's claims
+// (expected vs measured); Table keeps the formatting concerns out of the
+// experiment code.
+#pragma once
+
+#include <cstdint>
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+namespace churnet {
+
+/// Fixed-precision formatting helpers used for table cells.
+std::string fmt_fixed(double x, int precision = 3);
+std::string fmt_sci(double x, int precision = 2);
+std::string fmt_int(std::int64_t x);
+std::string fmt_percent(double fraction, int precision = 1);
+
+/// A simple column-aligned text table. Columns are declared once; rows are
+/// appended as strings (use the fmt_* helpers) and printed right-aligned.
+class Table {
+ public:
+  explicit Table(std::vector<std::string> headers);
+
+  /// Appends a row; must have exactly as many cells as headers.
+  void add_row(std::vector<std::string> cells);
+
+  std::size_t row_count() const { return rows_.size(); }
+
+  /// Renders the table with a header underline.
+  std::string render() const;
+
+  /// Prints render() to the stream.
+  void print(std::ostream& os) const;
+
+  /// Writes the table as CSV (no alignment padding).
+  void write_csv(std::ostream& os) const;
+
+ private:
+  std::vector<std::string> headers_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+}  // namespace churnet

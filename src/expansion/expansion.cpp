@@ -1,0 +1,328 @@
+#include "expansion/expansion.hpp"
+
+#include <algorithm>
+#include <bit>
+#include <cmath>
+
+#include "common/assertx.hpp"
+
+namespace churnet {
+
+IncrementalSet::IncrementalSet(const Snapshot& snapshot)
+    : snapshot_(&snapshot),
+      in_set_(snapshot.node_count(), false),
+      in_boundary_(snapshot.node_count(), false) {}
+
+void IncrementalSet::add(std::uint32_t v) {
+  CHURNET_EXPECTS(v < snapshot_->node_count());
+  CHURNET_EXPECTS(!in_set_[v]);
+  if (in_boundary_[v]) {
+    in_boundary_[v] = false;
+    --boundary_;
+  }
+  in_set_[v] = true;
+  touched_.push_back(v);
+  ++size_;
+  for (const std::uint32_t w : snapshot_->neighbors(v)) {
+    if (!in_set_[w] && !in_boundary_[w]) {
+      in_boundary_[w] = true;
+      touched_.push_back(w);
+      ++boundary_;
+    }
+  }
+}
+
+double IncrementalSet::ratio() const {
+  CHURNET_EXPECTS(size_ > 0);
+  return static_cast<double>(boundary_) / static_cast<double>(size_);
+}
+
+void IncrementalSet::clear() {
+  for (const std::uint32_t v : touched_) {
+    in_set_[v] = false;
+    in_boundary_[v] = false;
+  }
+  touched_.clear();
+  size_ = 0;
+  boundary_ = 0;
+}
+
+std::uint32_t boundary_size(const Snapshot& snapshot,
+                            std::span<const std::uint32_t> set) {
+  IncrementalSet tracker(snapshot);
+  for (const std::uint32_t v : set) tracker.add(v);
+  return tracker.boundary_size();
+}
+
+double expansion_ratio(const Snapshot& snapshot,
+                       std::span<const std::uint32_t> set) {
+  CHURNET_EXPECTS(!set.empty());
+  return static_cast<double>(boundary_size(snapshot, set)) /
+         static_cast<double>(set.size());
+}
+
+double exact_vertex_expansion(const Snapshot& snapshot) {
+  const std::uint32_t n = snapshot.node_count();
+  CHURNET_EXPECTS(n >= 2 && n <= 20);
+  // Bitmask adjacency; subset enumeration over all S with |S| <= n/2.
+  std::vector<std::uint32_t> adjacency(n, 0);
+  for (std::uint32_t v = 0; v < n; ++v) {
+    for (const std::uint32_t w : snapshot.neighbors(v)) {
+      adjacency[v] |= 1u << w;
+    }
+  }
+  double best = std::numeric_limits<double>::infinity();
+  const std::uint32_t full = (n == 32) ? ~0u : ((1u << n) - 1u);
+  for (std::uint32_t mask = 1; mask <= full; ++mask) {
+    const int size = std::popcount(mask);
+    if (static_cast<std::uint32_t>(size) * 2 > n) continue;
+    std::uint32_t reach = 0;
+    std::uint32_t bits = mask;
+    while (bits != 0) {
+      const int v = std::countr_zero(bits);
+      bits &= bits - 1;
+      reach |= adjacency[static_cast<std::uint32_t>(v)];
+    }
+    const int boundary = std::popcount(reach & ~mask);
+    best = std::min(best,
+                    static_cast<double>(boundary) / static_cast<double>(size));
+  }
+  return best;
+}
+
+void ProbeResult::observe(double ratio, std::uint32_t size,
+                          const char* family) {
+  ++sets_probed;
+  if (ratio < min_ratio) {
+    min_ratio = ratio;
+    argmin_size = size;
+    argmin_family = family;
+  }
+}
+
+namespace {
+
+/// Observes every prefix of a growth sequence whose size is within range.
+class GrowthObserver {
+ public:
+  GrowthObserver(ProbeResult& result, std::uint32_t min_size,
+                 std::uint32_t max_size, const char* family)
+      : result_(&result),
+        min_size_(min_size),
+        max_size_(max_size),
+        family_(family) {}
+
+  void step(const IncrementalSet& set) {
+    if (set.size() < min_size_ || set.size() > max_size_) return;
+    result_->observe(set.ratio(), set.size(), family_);
+  }
+
+ private:
+  ProbeResult* result_;
+  std::uint32_t min_size_;
+  std::uint32_t max_size_;
+  const char* family_;
+};
+
+void probe_random_sets(const Snapshot& snapshot, Rng& rng,
+                       const ProbeOptions& options, std::uint32_t max_size,
+                       ProbeResult& result) {
+  // Geometric size sweep between min_size and max_size.
+  std::vector<std::uint32_t> sizes;
+  const double lo = std::max<double>(1.0, options.min_size);
+  const double hi = std::max<double>(lo, max_size);
+  for (std::uint32_t i = 0; i < options.size_steps; ++i) {
+    const double t = options.size_steps == 1
+                         ? 0.0
+                         : static_cast<double>(i) /
+                               static_cast<double>(options.size_steps - 1);
+    const auto size = static_cast<std::uint32_t>(
+        std::llround(lo * std::pow(hi / lo, t)));
+    if (sizes.empty() || sizes.back() != size) sizes.push_back(size);
+  }
+  IncrementalSet tracker(snapshot);
+  for (const std::uint32_t size : sizes) {
+    for (std::uint32_t rep = 0; rep < options.random_sets_per_size; ++rep) {
+      tracker.clear();
+      for (const std::uint64_t v :
+           rng.sample_distinct(snapshot.node_count(), size)) {
+        tracker.add(static_cast<std::uint32_t>(v));
+      }
+      result.observe(tracker.ratio(), size, "random");
+    }
+  }
+}
+
+void probe_bfs_balls(const Snapshot& snapshot, Rng& rng,
+                     const ProbeOptions& options, std::uint32_t max_size,
+                     ProbeResult& result) {
+  const std::uint32_t limit = std::min(max_size, options.growth_limit);
+  IncrementalSet tracker(snapshot);
+  std::vector<std::uint32_t> queue;
+  std::vector<bool> enqueued(snapshot.node_count(), false);
+  for (std::uint32_t seed = 0; seed < options.bfs_seeds; ++seed) {
+    tracker.clear();
+    queue.clear();
+    std::fill(enqueued.begin(), enqueued.end(), false);
+    GrowthObserver observer(result, options.min_size, max_size, "bfs");
+    const auto start =
+        static_cast<std::uint32_t>(rng.below(snapshot.node_count()));
+    queue.push_back(start);
+    enqueued[start] = true;
+    std::size_t head = 0;
+    while (head < queue.size() && tracker.size() < limit) {
+      const std::uint32_t v = queue[head++];
+      tracker.add(v);
+      observer.step(tracker);
+      for (const std::uint32_t w : snapshot.neighbors(v)) {
+        if (!enqueued[w]) {
+          enqueued[w] = true;
+          queue.push_back(w);
+        }
+      }
+    }
+  }
+}
+
+void probe_age_ranges(const Snapshot& snapshot, const ProbeOptions& options,
+                      std::uint32_t max_size, ProbeResult& result) {
+  const std::uint32_t n = snapshot.node_count();
+  // Oldest-first prefixes: snapshot indices are age-sorted (oldest == 0).
+  {
+    IncrementalSet tracker(snapshot);
+    GrowthObserver observer(result, options.min_size, max_size, "age-oldest");
+    for (std::uint32_t v = 0; v < n && tracker.size() < max_size; ++v) {
+      tracker.add(v);
+      observer.step(tracker);
+    }
+  }
+  {
+    IncrementalSet tracker(snapshot);
+    GrowthObserver observer(result, options.min_size, max_size,
+                            "age-youngest");
+    for (std::uint32_t i = 0; i < n && tracker.size() < max_size; ++i) {
+      tracker.add(n - 1 - i);
+      observer.step(tracker);
+    }
+  }
+}
+
+void probe_low_degree(const Snapshot& snapshot, const ProbeOptions& options,
+                      std::uint32_t max_size, ProbeResult& result) {
+  const std::uint32_t n = snapshot.node_count();
+  // The k lowest-degree vertices, probed as singletons (and their union as
+  // one set). Partial selection, O(n log k).
+  std::vector<std::uint32_t> order(n);
+  for (std::uint32_t v = 0; v < n; ++v) order[v] = v;
+  const std::uint32_t k =
+      std::min<std::uint32_t>(options.low_degree_singletons, n);
+  std::partial_sort(order.begin(), order.begin() + k, order.end(),
+                    [&](std::uint32_t a, std::uint32_t b) {
+                      return snapshot.degree(a) < snapshot.degree(b);
+                    });
+  if (options.min_size <= 1) {
+    for (std::uint32_t i = 0; i < k; ++i) {
+      // A singleton's boundary is its number of distinct neighbors.
+      const std::uint32_t single[] = {order[i]};
+      result.observe(static_cast<double>(boundary_size(snapshot, single)), 1,
+                     "low-degree");
+    }
+  }
+  // All degree-0 vertices as one set (ratio 0 whenever it is non-empty and
+  // within the size window).
+  std::vector<std::uint32_t> isolated;
+  for (std::uint32_t v = 0; v < n; ++v) {
+    if (snapshot.degree(v) == 0) isolated.push_back(v);
+  }
+  if (!isolated.empty() && isolated.size() >= options.min_size &&
+      isolated.size() <= max_size) {
+    result.observe(0.0, static_cast<std::uint32_t>(isolated.size()),
+                   "isolated-set");
+  }
+}
+
+void probe_greedy_growth(const Snapshot& snapshot, Rng& rng,
+                         const ProbeOptions& options, std::uint32_t max_size,
+                         ProbeResult& result) {
+  const std::uint32_t n = snapshot.node_count();
+  const std::uint32_t limit = std::min(max_size, options.growth_limit);
+  IncrementalSet tracker(snapshot);
+  std::vector<std::uint32_t> boundary_pool;
+  for (std::uint32_t seed_index = 0; seed_index < options.greedy_seeds;
+       ++seed_index) {
+    tracker.clear();
+    boundary_pool.clear();
+    GrowthObserver observer(result, options.min_size, max_size, "greedy");
+    const auto start = static_cast<std::uint32_t>(rng.below(n));
+    tracker.add(start);
+    observer.step(tracker);
+    for (const std::uint32_t w : snapshot.neighbors(start)) {
+      boundary_pool.push_back(w);
+    }
+    while (tracker.size() < limit && !boundary_pool.empty()) {
+      // Evaluate a random sample of boundary candidates; pick the one whose
+      // addition keeps the boundary smallest (most neighbors already inside).
+      std::uint32_t best_pos = 0;
+      std::int64_t best_score = std::numeric_limits<std::int64_t>::max();
+      const std::uint32_t tries = std::min<std::uint32_t>(
+          options.greedy_fanout,
+          static_cast<std::uint32_t>(boundary_pool.size()));
+      for (std::uint32_t t = 0; t < tries; ++t) {
+        const auto pos =
+            static_cast<std::uint32_t>(rng.below(boundary_pool.size()));
+        const std::uint32_t candidate = boundary_pool[pos];
+        if (tracker.contains(candidate)) {  // stale entry
+          boundary_pool[pos] = boundary_pool.back();
+          boundary_pool.pop_back();
+          if (boundary_pool.empty()) break;
+          continue;
+        }
+        std::int64_t outside = 0;
+        for (const std::uint32_t w : snapshot.neighbors(candidate)) {
+          if (!tracker.contains(w)) ++outside;
+        }
+        if (outside < best_score) {
+          best_score = outside;
+          best_pos = pos;
+        }
+      }
+      if (boundary_pool.empty()) break;
+      const std::uint32_t chosen = boundary_pool[best_pos];
+      boundary_pool[best_pos] = boundary_pool.back();
+      boundary_pool.pop_back();
+      if (tracker.contains(chosen)) continue;
+      tracker.add(chosen);
+      observer.step(tracker);
+      for (const std::uint32_t w : snapshot.neighbors(chosen)) {
+        if (!tracker.contains(w)) boundary_pool.push_back(w);
+      }
+    }
+  }
+}
+
+}  // namespace
+
+ProbeResult probe_expansion(const Snapshot& snapshot, Rng& rng,
+                            const ProbeOptions& options) {
+  const std::uint32_t n = snapshot.node_count();
+  CHURNET_EXPECTS(n >= 2);
+  const std::uint32_t max_size =
+      options.max_size == 0 ? n / 2 : std::min(options.max_size, n / 2);
+  CHURNET_EXPECTS(options.min_size >= 1 && options.min_size <= max_size);
+
+  ProbeResult result;
+  probe_random_sets(snapshot, rng, options, max_size, result);
+  if (options.bfs_seeds > 0) {
+    probe_bfs_balls(snapshot, rng, options, max_size, result);
+  }
+  if (options.age_ranges) probe_age_ranges(snapshot, options, max_size, result);
+  if (options.low_degree_singletons > 0) {
+    probe_low_degree(snapshot, options, max_size, result);
+  }
+  if (options.greedy_seeds > 0) {
+    probe_greedy_growth(snapshot, rng, options, max_size, result);
+  }
+  return result;
+}
+
+}  // namespace churnet

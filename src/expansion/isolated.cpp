@@ -1,0 +1,28 @@
+#include "expansion/isolated.hpp"
+
+#include <cmath>
+
+namespace churnet {
+
+IsolatedCensus isolated_census(const Snapshot& snapshot) {
+  IsolatedCensus census;
+  census.total_nodes = snapshot.node_count();
+  for (std::uint32_t v = 0; v < snapshot.node_count(); ++v) {
+    if (snapshot.degree(v) == 0) ++census.isolated_nodes;
+  }
+  census.fraction = census.total_nodes == 0
+                        ? 0.0
+                        : static_cast<double>(census.isolated_nodes) /
+                              static_cast<double>(census.total_nodes);
+  return census;
+}
+
+double lemma_3_5_isolated_fraction(std::uint32_t d) {
+  return std::exp(-2.0 * static_cast<double>(d)) / 6.0;
+}
+
+double lemma_4_10_isolated_fraction(std::uint32_t d) {
+  return std::exp(-2.0 * static_cast<double>(d)) / 18.0;
+}
+
+}  // namespace churnet

@@ -1,0 +1,24 @@
+// Isolated-node census (paper Lemmas 3.5 and 4.10).
+#pragma once
+
+#include <cstdint>
+
+#include "graph/snapshot.hpp"
+
+namespace churnet {
+
+struct IsolatedCensus {
+  std::uint64_t isolated_nodes = 0;
+  std::uint64_t total_nodes = 0;
+  double fraction = 0.0;
+};
+
+/// Counts degree-0 nodes in a snapshot.
+IsolatedCensus isolated_census(const Snapshot& snapshot);
+
+/// The paper's lower-bound fractions for comparison columns:
+/// Lemma 3.5 (streaming): e^{-2d}/6 of n; Lemma 4.10 (Poisson): e^{-2d}/18.
+double lemma_3_5_isolated_fraction(std::uint32_t d);
+double lemma_4_10_isolated_fraction(std::uint32_t d);
+
+}  // namespace churnet

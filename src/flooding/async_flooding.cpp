@@ -1,0 +1,16 @@
+#include "flooding/async_flooding.hpp"
+
+namespace churnet {
+
+AsyncFloodResult flood_poisson_async(PoissonNetwork& net,
+                                     const AsyncFloodOptions& options) {
+  // Advance to the next birth: that newborn is the source.
+  for (;;) {
+    const auto event = net.step();
+    if (event.kind == ChurnEvent::Kind::kBirth) {
+      return flood_async_from(net, event.node, options);
+    }
+  }
+}
+
+}  // namespace churnet

@@ -1,0 +1,201 @@
+// Asynchronous flooding (paper Definition 4.2), event-driven.
+//
+// Semantics (DESIGN.md, decision 5): a message takes exactly one time unit
+// per edge. When a node becomes informed it immediately sends on every
+// incident edge; when an edge is created while exactly one endpoint is
+// informed, a message starts on it at creation time. A delivery succeeds
+// iff both endpoints are still alive at arrival (edges in these models
+// disappear only through endpoint death, so surviving endpoints imply the
+// edge persisted for the whole transmission).
+//
+// The driver is a template over the network type: it works for any network
+// exposing set_hooks / graph / step / peek_next_event_time / now (both
+// PoissonNetwork and P2pNetwork qualify). Churn events and deliveries are
+// processed in global chronological order, so the simulation is exact.
+#pragma once
+
+#include <cstdint>
+#include <queue>
+#include <unordered_set>
+#include <vector>
+
+#include "common/assertx.hpp"
+#include "graph/node_id.hpp"
+#include "models/poisson_network.hpp"
+
+namespace churnet {
+
+struct AsyncFloodOptions {
+  /// Hard cap on simulated time after the flood starts.
+  double max_time = 1e6;
+  /// Stop once informed >= stop_at_fraction * alive (1.0 = completion only).
+  double stop_at_fraction = 1.0;
+};
+
+struct AsyncFloodResult {
+  /// I_t ⊇ N_t held at some time t (all alive nodes informed).
+  bool completed = false;
+  /// Time from the flood start to completion.
+  double completion_time = 0.0;
+  /// Every informed node died; the flood can never restart.
+  bool died_out = false;
+  double die_out_time = 0.0;
+  std::uint64_t peak_informed = 0;
+  /// informed/alive when the run stopped.
+  double final_fraction = 0.0;
+  /// Time from the flood start to the moment the run stopped (for
+  /// stop_at_fraction runs: when the threshold was crossed).
+  double elapsed = 0.0;
+  std::uint64_t messages_delivered = 0;
+  /// Messages dropped because an endpoint died during transmission.
+  std::uint64_t messages_dropped = 0;
+};
+
+namespace detail_async_flood {
+
+struct Delivery {
+  double time;
+  NodeId target;
+  NodeId sender;
+};
+
+struct LaterDelivery {
+  bool operator()(const Delivery& a, const Delivery& b) const {
+    return a.time > b.time;
+  }
+};
+
+}  // namespace detail_async_flood
+
+/// Concept sketch (documented, not enforced): Net must provide
+///   void set_hooks(NetworkHooks);
+///   const DynamicGraph& graph() const;
+///   <any> step();                    // executes the next churn event
+///   double peek_next_event_time();
+///   double now() const;
+template <typename Net>
+AsyncFloodResult flood_async_from(Net& net, NodeId source,
+                                  const AsyncFloodOptions& options = {}) {
+  namespace afd = detail_async_flood;
+  AsyncFloodResult result;
+  std::unordered_set<NodeId> informed;
+  std::priority_queue<afd::Delivery, std::vector<afd::Delivery>,
+                      afd::LaterDelivery>
+      queue;
+  std::uint64_t informed_alive = 0;
+  bool completed_by_death = false;
+  double completion_by_death_time = 0.0;
+
+  NetworkHooks hooks;
+  hooks.on_edge_created = [&](NodeId owner, std::uint32_t, NodeId target,
+                              bool, double time) {
+    const bool owner_informed = informed.contains(owner);
+    const bool target_informed = informed.contains(target);
+    if (owner_informed == target_informed) return;  // nothing to transmit
+    const NodeId to = owner_informed ? target : owner;
+    const NodeId from = owner_informed ? owner : target;
+    queue.push(afd::Delivery{time + 1.0, to, from});
+  };
+  hooks.on_death = [&](NodeId node, double time) {
+    if (informed.erase(node) > 0) {
+      CHURNET_ASSERT(informed_alive > 0);
+      --informed_alive;
+    } else if (informed_alive > 0 &&
+               informed_alive == net.graph().alive_count() - 1) {
+      // The last uninformed node died: flooding completes at this instant.
+      completed_by_death = true;
+      completion_by_death_time = time;
+    }
+  };
+  net.set_hooks(std::move(hooks));
+
+  const double t0 = net.now();
+  const double deadline = t0 + options.max_time;
+  double last_time = t0;  // time of the most recent processed event
+
+  std::vector<NodeId> neighbor_scratch;
+  auto inform = [&](NodeId node, double time) {
+    if (!informed.insert(node).second) return;
+    ++informed_alive;
+    result.peak_informed = std::max(result.peak_informed, informed_alive);
+    neighbor_scratch.clear();
+    net.graph().append_neighbors(node, neighbor_scratch);
+    for (const NodeId neighbor : neighbor_scratch) {
+      if (!informed.contains(neighbor)) {
+        queue.push(afd::Delivery{time + 1.0, neighbor, node});
+      }
+    }
+  };
+  CHURNET_EXPECTS(net.graph().is_alive(source));
+  inform(source, t0);
+
+  while (!completed_by_death) {
+    if (informed_alive == net.graph().alive_count() &&
+        net.graph().alive_count() > 0) {
+      result.completed = true;
+      result.completion_time = net.now() - t0;
+      break;
+    }
+    if (options.stop_at_fraction < 1.0 &&
+        static_cast<double>(informed_alive) >=
+            options.stop_at_fraction *
+                static_cast<double>(net.graph().alive_count())) {
+      break;
+    }
+    if (informed_alive == 0) {
+      result.died_out = true;
+      result.die_out_time = net.now() - t0;
+      break;
+    }
+    if (queue.empty()) {
+      // No message in flight; wait for churn to create an edge that carries
+      // one (or for completion by deaths of uninformed nodes).
+      if (net.peek_next_event_time() > deadline) break;
+      net.step();
+      last_time = net.now();
+      continue;
+    }
+    const afd::Delivery next = queue.top();
+    if (next.time > deadline) break;
+    if (net.peek_next_event_time() <= next.time) {
+      net.step();  // hooks update informed/queue as needed
+      last_time = net.now();
+      continue;
+    }
+    queue.pop();
+    last_time = next.time;
+    if (!net.graph().is_alive(next.sender) ||
+        !net.graph().is_alive(next.target)) {
+      ++result.messages_dropped;
+      continue;
+    }
+    if (informed.contains(next.target)) continue;  // duplicate
+    ++result.messages_delivered;
+    inform(next.target, next.time);
+    if (informed_alive == net.graph().alive_count()) {
+      result.completed = true;
+      result.completion_time = next.time - t0;
+      break;
+    }
+  }
+
+  if (completed_by_death) {
+    result.completed = true;
+    result.completion_time = completion_by_death_time - t0;
+  }
+  result.elapsed = last_time - t0;
+  result.final_fraction =
+      net.graph().alive_count() == 0
+          ? 0.0
+          : static_cast<double>(informed_alive) /
+                static_cast<double>(net.graph().alive_count());
+  net.set_hooks({});
+  return result;
+}
+
+/// Convenience wrapper matching the paper's convention: the source is the
+/// next node to be born in the Poisson network.
+AsyncFloodResult flood_poisson_async(PoissonNetwork& net,
+                                     const AsyncFloodOptions& options = {});
+
+}  // namespace churnet

@@ -1,0 +1,119 @@
+#include "flooding/onion_skin.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/assertx.hpp"
+#include "common/rng.hpp"
+
+namespace churnet {
+
+OnionSkinResult run_onion_skin(const OnionSkinConfig& config) {
+  const std::uint32_t n = config.n;
+  const std::uint32_t d = config.d;
+  CHURNET_EXPECTS(n >= 16);
+  CHURNET_EXPECTS(d >= 2 && d % 2 == 0);
+  Rng rng(config.seed);
+
+  // Node slots 0..n-1 by age position at time t0 (the paper classifies by
+  // remaining life; with the streaming lifetime of exactly n the two views
+  // coincide up to relabeling):
+  //   [0, young_count)                      young  (life in [2, n/2))
+  //   [young_count, young_count+old_count)  old    (life in [n/2, n-log n])
+  //   the remaining ~log n slots            very old (discarded targets)
+  const auto log_n = static_cast<std::uint32_t>(std::ceil(std::log(n)));
+  const std::uint32_t young_count = n / 2;
+  const std::uint32_t old_count = n - young_count - log_n;
+  const std::uint32_t half_d = d / 2;
+
+  const auto is_old = [&](std::uint64_t slot) {
+    return slot >= young_count && slot < young_count + old_count;
+  };
+
+  // Pre-draw every young node's requests (equivalent in distribution to the
+  // paper's deferred decisions: each request is examined exactly once).
+  // type_a[y] / type_b[y]: requests 1..d/2 and d/2+1..d, kept only if the
+  // destination lands in the old set (others are discarded by the process).
+  std::vector<std::vector<std::uint32_t>> type_a(young_count);
+  std::vector<std::vector<std::uint32_t>> type_b(young_count);
+  // Reverse index for type-B: old slot -> young nodes with a B-request to it.
+  std::vector<std::vector<std::uint32_t>> rev_b(old_count);
+  for (std::uint32_t y = 0; y < young_count; ++y) {
+    for (std::uint32_t r = 0; r < d; ++r) {
+      const std::uint64_t dest = rng.below(n);
+      if (!is_old(dest)) continue;  // links outside O are discarded
+      const auto old_index = static_cast<std::uint32_t>(dest - young_count);
+      if (r < half_d) {
+        type_a[y].push_back(old_index);
+      } else {
+        type_b[y].push_back(old_index);
+        rev_b[old_index].push_back(y);
+      }
+    }
+  }
+
+  std::vector<bool> young_informed(young_count, false);
+  std::vector<bool> old_informed(old_count, false);
+  OnionSkinResult result;
+
+  // Phase 0: the source (the newborn at t0, not itself a member of Y or O)
+  // issues d requests; the old nodes hit form O_0.
+  std::vector<std::uint32_t> fresh_old;
+  for (std::uint32_t r = 0; r < d; ++r) {
+    const std::uint64_t dest = rng.below(n);
+    if (!is_old(dest)) continue;
+    const auto old_index = static_cast<std::uint32_t>(dest - young_count);
+    if (!old_informed[old_index]) {
+      old_informed[old_index] = true;
+      fresh_old.push_back(old_index);
+    }
+  }
+  result.old_layers.push_back(fresh_old.size());
+  result.informed_old = fresh_old.size();
+
+  const std::uint64_t target = n / std::max<std::uint32_t>(d, 1);
+  std::vector<std::uint32_t> fresh_young;
+  for (std::uint32_t phase = 1; phase <= config.max_phases; ++phase) {
+    if (fresh_old.empty()) break;
+    result.phases = phase;
+
+    // Step 1: young nodes whose type-B requests hit the fresh old layer.
+    fresh_young.clear();
+    for (const std::uint32_t o : fresh_old) {
+      for (const std::uint32_t y : rev_b[o]) {
+        if (!young_informed[y]) {
+          young_informed[y] = true;
+          fresh_young.push_back(y);
+        }
+      }
+    }
+    result.young_layers.push_back(fresh_young.size());
+    result.informed_young += fresh_young.size();
+    if (fresh_young.empty()) break;
+
+    // Step 2: old nodes hit by the fresh young layer's type-A requests.
+    fresh_old.clear();
+    for (const std::uint32_t y : fresh_young) {
+      for (const std::uint32_t o : type_a[y]) {
+        if (!old_informed[o]) {
+          old_informed[o] = true;
+          fresh_old.push_back(o);
+        }
+      }
+    }
+    result.old_layers.push_back(fresh_old.size());
+    result.informed_old += fresh_old.size();
+
+    if (result.informed_young >= target && result.informed_old >= target) {
+      result.reached_target = true;
+      break;
+    }
+  }
+  // The target may also be met exactly at the last examined layer.
+  if (result.informed_young >= target && result.informed_old >= target) {
+    result.reached_target = true;
+  }
+  return result;
+}
+
+}  // namespace churnet

@@ -1,0 +1,44 @@
+// The onion-skin process of paper Section 3.1.2.
+//
+// The paper's analysis device for SDG flooding: starting from the source,
+// build a bipartite graph of alternating layers of "young" nodes (age below
+// the median) and "old" nodes (age in [n/2, n - log n]), where each young
+// node's d requests are split into d/2 type-A and d/2 type-B requests, and
+// a path may only alternate young -(type B)-> old -(type B source)-> ... as
+// in the paper. Claim 3.10 says each layer grows by a factor >= d/20 until
+// the layers hold ~n/d nodes; Lemma 3.9 concludes 2n/d informed nodes in
+// O(log n / log d) phases with probability >= 1 - 4 e^{-d/100}.
+//
+// This implementation simulates exactly the process (requests drawn
+// uniformly over the n node slots, links outside the old set discarded),
+// so benches can measure the per-phase growth factors and the failure
+// probability against Claim 3.10 / Lemma 3.9.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+namespace churnet {
+
+struct OnionSkinConfig {
+  std::uint32_t n = 10000;  // network size at the source's birth
+  std::uint32_t d = 200;    // requests per node (paper needs d >= 200)
+  std::uint64_t seed = 1;
+  std::uint32_t max_phases = 64;
+};
+
+struct OnionSkinResult {
+  /// |O_k - O_{k-1}| for k = 0, 1, ... (old layer added per phase).
+  std::vector<std::uint64_t> old_layers;
+  /// |Y_k - Y_{k-1}| for k = 1, 2, ... (young layer added per phase).
+  std::vector<std::uint64_t> young_layers;
+  std::uint64_t informed_young = 0;
+  std::uint64_t informed_old = 0;
+  /// Both sides reached n/d nodes (the target of Lemma 3.9).
+  bool reached_target = false;
+  std::uint32_t phases = 0;
+};
+
+OnionSkinResult run_onion_skin(const OnionSkinConfig& config);
+
+}  // namespace churnet

@@ -1,0 +1,143 @@
+// Dynamic adjacency structure for sparse graphs under node churn.
+//
+// This is the storage substrate shared by all four paper models. It supports
+// the exact operations the models need, all in O(1) amortized (plus the
+// degree of the dying node for removals):
+//
+//   * add_node                       -- birth
+//   * set_out_edge / clear_out_edge  -- a node's d "requests" (paper Def 3.4)
+//   * remove_node                    -- death; detaches every incident edge
+//                                       and reports which out-slots of other
+//                                       nodes were orphaned so the model
+//                                       layer can regenerate them (Def 3.13)
+//   * random_alive / random_alive_other -- uniform sampling for requests
+//
+// Edges are stored directed (owner -> target) mirroring the paper's
+// "requests", but the graph is undirected for processes: neighbors(u) is the
+// union of out-targets and in-sources. Parallel edges are allowed (requests
+// are independent uniform choices); self-loops are rejected.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "common/rng.hpp"
+#include "graph/node_id.hpp"
+
+namespace churnet {
+
+/// Reference to one out-edge slot of a node (the i-th of its d requests).
+struct OutSlotRef {
+  NodeId owner;
+  std::uint32_t index = 0;
+
+  friend bool operator==(const OutSlotRef&, const OutSlotRef&) = default;
+};
+
+class DynamicGraph {
+ public:
+  DynamicGraph() = default;
+
+  /// Creates a node with `out_slots` (initially dangling) out-edge slots.
+  /// `birth_time` is the model-level timestamp (round or continuous time).
+  NodeId add_node(std::uint32_t out_slots, double birth_time);
+
+  /// Kills the node: detaches all incident edges, recycles the slot.
+  /// Returns the out-slots of *other* alive nodes that pointed at `node`
+  /// (now dangling) so the caller can regenerate them. The order of the
+  /// returned slots is deterministic given the graph state.
+  std::vector<OutSlotRef> remove_node(NodeId node);
+
+  /// Points out-slot `index` of `owner` at `target`. The slot must currently
+  /// be dangling. Self-loops are rejected (paper: "d random *other* nodes").
+  void set_out_edge(NodeId owner, std::uint32_t index, NodeId target);
+
+  /// Makes out-slot `index` of `owner` dangling, detaching it from its
+  /// current target (which must be set).
+  void clear_out_edge(NodeId owner, std::uint32_t index);
+
+  /// Target of an out-slot; invalid id if dangling.
+  NodeId out_target(NodeId owner, std::uint32_t index) const;
+
+  // ---- liveness and sampling ------------------------------------------
+
+  bool is_alive(NodeId node) const;
+  std::uint32_t alive_count() const {
+    return static_cast<std::uint32_t>(alive_slots_.size());
+  }
+
+  /// Uniformly random alive node. Requires alive_count() > 0.
+  NodeId random_alive(Rng& rng) const;
+
+  /// Uniformly random alive node != exclude; invalid id if none exists.
+  NodeId random_alive_other(Rng& rng, NodeId exclude) const;
+
+  /// Dense list of currently alive nodes (stable until the next mutation).
+  std::vector<NodeId> alive_nodes() const;
+
+  // ---- per-node queries ------------------------------------------------
+
+  /// Monotone global birth sequence number (0 for the first node ever).
+  std::uint64_t birth_seq(NodeId node) const;
+  /// Model timestamp passed to add_node.
+  double birth_time(NodeId node) const;
+
+  std::uint32_t out_slot_count(NodeId node) const;
+  /// Number of non-dangling out-edges.
+  std::uint32_t out_degree(NodeId node) const;
+  std::uint32_t in_degree(NodeId node) const;
+  /// out_degree + in_degree (parallel edges counted with multiplicity).
+  std::uint32_t degree(NodeId node) const;
+
+  /// Appends all current neighbors of `node` (out-targets then in-sources,
+  /// with multiplicity) to `out`. Cheap enough for flooding hot loops.
+  void append_neighbors(NodeId node, std::vector<NodeId>& out) const;
+
+  /// Total number of (directed) edges currently present.
+  std::uint64_t edge_count() const { return edge_count_; }
+
+  /// Number of births since construction (== next birth_seq).
+  std::uint64_t total_births() const { return next_birth_seq_; }
+
+  /// Exclusive upper bound on slot indices ever allocated; alive nodes have
+  /// distinct slots below this bound (used for dense slot-indexed scratch).
+  std::uint32_t slot_upper_bound() const {
+    return static_cast<std::uint32_t>(slots_.size());
+  }
+
+  /// Verifies the full doubly-indexed adjacency invariant; O(V+E).
+  /// Used by tests and debug assertions, returns true when consistent.
+  bool check_consistency() const;
+
+ private:
+  struct OutEdge {
+    NodeId target = kInvalidNode;   // invalid == dangling
+    std::uint32_t in_pos = 0;       // index into target's in-list
+  };
+  struct InEdge {
+    NodeId source = kInvalidNode;
+    std::uint32_t out_index = 0;    // index into source's out-slot array
+  };
+  struct Slot {
+    std::uint32_t generation = 0;
+    bool alive = false;
+    std::uint32_t alive_pos = 0;    // index into alive_slots_
+    std::uint64_t birth_seq = 0;
+    double birth_time = 0.0;
+    std::vector<OutEdge> out;
+    std::vector<InEdge> in;
+  };
+
+  const Slot& slot_of(NodeId node) const;
+  Slot& slot_of(NodeId node);
+  void detach_in_entry(Slot& target_slot, std::uint32_t in_pos);
+
+  std::vector<Slot> slots_;
+  std::vector<std::uint32_t> alive_slots_;
+  std::vector<std::uint32_t> free_slots_;
+  std::uint64_t next_birth_seq_ = 0;
+  std::uint64_t edge_count_ = 0;
+};
+
+}  // namespace churnet

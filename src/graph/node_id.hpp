@@ -1,0 +1,50 @@
+// Generational node identifiers.
+//
+// Node slots are recycled aggressively under churn; a generation counter per
+// slot makes stale references detectable instead of silently aliasing a
+// newer node that reused the slot (the classic ABA hazard in slot maps).
+#pragma once
+
+#include <cstdint>
+#include <functional>
+
+namespace churnet {
+
+/// Identifier of a (possibly dead) node in a DynamicGraph.
+///
+/// Compares by (slot, generation); a default-constructed id is invalid.
+struct NodeId {
+  static constexpr std::uint32_t kInvalidSlot = 0xFFFFFFFFu;
+
+  std::uint32_t slot = kInvalidSlot;
+  std::uint32_t generation = 0;
+
+  constexpr bool valid() const { return slot != kInvalidSlot; }
+
+  friend constexpr bool operator==(NodeId a, NodeId b) {
+    return a.slot == b.slot && a.generation == b.generation;
+  }
+  friend constexpr bool operator!=(NodeId a, NodeId b) { return !(a == b); }
+  friend constexpr bool operator<(NodeId a, NodeId b) {
+    if (a.slot != b.slot) return a.slot < b.slot;
+    return a.generation < b.generation;
+  }
+};
+
+/// Sentinel invalid id.
+inline constexpr NodeId kInvalidNode{};
+
+}  // namespace churnet
+
+template <>
+struct std::hash<churnet::NodeId> {
+  std::size_t operator()(churnet::NodeId id) const noexcept {
+    const std::uint64_t packed =
+        (static_cast<std::uint64_t>(id.slot) << 32) | id.generation;
+    // splitmix64 finalizer as the mixing function.
+    std::uint64_t z = packed + 0x9E3779B97F4A7C15ULL;
+    z = (z ^ (z >> 30)) * 0xBF58476D1CE4E5B9ULL;
+    z = (z ^ (z >> 27)) * 0x94D049BB133111EBULL;
+    return static_cast<std::size_t>(z ^ (z >> 31));
+  }
+};

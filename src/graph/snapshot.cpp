@@ -1,0 +1,126 @@
+#include "graph/snapshot.hpp"
+
+#include <algorithm>
+#include <numeric>
+
+#include "common/assertx.hpp"
+
+namespace churnet {
+
+Snapshot Snapshot::capture(const DynamicGraph& graph, double now) {
+  Snapshot snap;
+  snap.time_ = now;
+  snap.node_ids_ = graph.alive_nodes();
+  // Oldest first: ascending birth sequence.
+  std::sort(snap.node_ids_.begin(), snap.node_ids_.end(),
+            [&](NodeId a, NodeId b) {
+              return graph.birth_seq(a) < graph.birth_seq(b);
+            });
+
+  const auto n = static_cast<std::uint32_t>(snap.node_ids_.size());
+  snap.birth_seqs_.resize(n);
+  snap.ages_.resize(n);
+  snap.index_.reserve(n * 2);
+  // Dense slot -> snapshot index map: alive nodes have distinct slots, so
+  // this replaces hash lookups on the hot path.
+  std::vector<std::uint32_t> slot_index(graph.slot_upper_bound(), 0);
+  for (std::uint32_t i = 0; i < n; ++i) {
+    const NodeId id = snap.node_ids_[i];
+    snap.birth_seqs_[i] = graph.birth_seq(id);
+    snap.ages_[i] = now - graph.birth_time(id);
+    snap.index_.emplace(id, i);
+    slot_index[id.slot] = i;
+  }
+
+  // First pass: undirected degrees (out-edges contribute to both endpoints).
+  std::vector<std::uint32_t> degrees(n, 0);
+  for (std::uint32_t i = 0; i < n; ++i) {
+    const NodeId id = snap.node_ids_[i];
+    const std::uint32_t slots = graph.out_slot_count(id);
+    for (std::uint32_t k = 0; k < slots; ++k) {
+      const NodeId target = graph.out_target(id, k);
+      if (!target.valid()) continue;
+      ++degrees[i];
+      ++degrees[slot_index[target.slot]];
+    }
+  }
+
+  snap.offsets_.resize(n + 1);
+  snap.offsets_[0] = 0;
+  for (std::uint32_t i = 0; i < n; ++i) {
+    snap.offsets_[i + 1] = snap.offsets_[i] + degrees[i];
+  }
+  snap.adjacency_.resize(snap.offsets_[n]);
+
+  // Second pass: fill both directions.
+  std::vector<std::uint64_t> cursor(snap.offsets_.begin(),
+                                    snap.offsets_.end() - 1);
+  for (std::uint32_t i = 0; i < n; ++i) {
+    const NodeId id = snap.node_ids_[i];
+    const std::uint32_t slots = graph.out_slot_count(id);
+    for (std::uint32_t k = 0; k < slots; ++k) {
+      const NodeId target = graph.out_target(id, k);
+      if (!target.valid()) continue;
+      const std::uint32_t j = slot_index[target.slot];
+      snap.adjacency_[cursor[i]++] = j;
+      snap.adjacency_[cursor[j]++] = i;
+    }
+  }
+  return snap;
+}
+
+Snapshot Snapshot::from_edges(
+    std::uint32_t n,
+    std::span<const std::pair<std::uint32_t, std::uint32_t>> edges) {
+  Snapshot snap;
+  snap.time_ = 0.0;
+  snap.node_ids_.resize(n);
+  snap.birth_seqs_.resize(n);
+  snap.ages_.assign(n, 0.0);
+  snap.index_.reserve(n * 2);
+  for (std::uint32_t i = 0; i < n; ++i) {
+    snap.node_ids_[i] = NodeId{i, 0};
+    snap.birth_seqs_[i] = i;
+    snap.index_.emplace(snap.node_ids_[i], i);
+  }
+  std::vector<std::uint32_t> degrees(n, 0);
+  for (const auto& [a, b] : edges) {
+    CHURNET_EXPECTS(a < n && b < n);
+    ++degrees[a];
+    ++degrees[b];
+  }
+  snap.offsets_.resize(n + 1);
+  snap.offsets_[0] = 0;
+  for (std::uint32_t i = 0; i < n; ++i) {
+    snap.offsets_[i + 1] = snap.offsets_[i] + degrees[i];
+  }
+  snap.adjacency_.resize(snap.offsets_[n]);
+  std::vector<std::uint64_t> cursor(snap.offsets_.begin(),
+                                    snap.offsets_.end() - 1);
+  for (const auto& [a, b] : edges) {
+    snap.adjacency_[cursor[a]++] = b;
+    snap.adjacency_[cursor[b]++] = a;
+  }
+  return snap;
+}
+
+std::span<const std::uint32_t> Snapshot::neighbors(
+    std::uint32_t index) const {
+  CHURNET_EXPECTS(index < node_count());
+  const std::uint64_t begin = offsets_[index];
+  const std::uint64_t end = offsets_[index + 1];
+  return {adjacency_.data() + begin, adjacency_.data() + end};
+}
+
+std::uint32_t Snapshot::degree(std::uint32_t index) const {
+  CHURNET_EXPECTS(index < node_count());
+  return static_cast<std::uint32_t>(offsets_[index + 1] - offsets_[index]);
+}
+
+std::optional<std::uint32_t> Snapshot::index_of(NodeId id) const {
+  const auto it = index_.find(id);
+  if (it == index_.end()) return std::nullopt;
+  return it->second;
+}
+
+}  // namespace churnet

@@ -1,0 +1,101 @@
+#include "models/poisson_network.hpp"
+
+#include "models/wiring.hpp"
+
+namespace churnet {
+
+PoissonConfig PoissonConfig::with_n(std::uint32_t n, std::uint32_t d,
+                                    EdgePolicy policy, std::uint64_t seed) {
+  CHURNET_EXPECTS(n >= 1);
+  PoissonConfig config;
+  config.lambda = 1.0;
+  config.mu = 1.0 / static_cast<double>(n);
+  config.d = d;
+  config.policy = policy;
+  config.seed = seed;
+  return config;
+}
+
+PoissonNetwork::PoissonNetwork(PoissonConfig config)
+    : config_(config),
+      churn_(config.lambda, config.mu, Rng(config.seed).next_u64()),
+      rng_(config.seed + 0x51ED270B9F9B42A5ULL) {}
+
+PoissonNetwork::EventReport PoissonNetwork::step() {
+  ChurnEvent event;
+  if (pending_valid_) {
+    event = pending_;
+    pending_valid_ = false;
+  } else {
+    event = churn_.next(graph_.alive_count());
+  }
+  return apply(event);
+}
+
+PoissonNetwork::EventReport PoissonNetwork::apply(const ChurnEvent& event) {
+  now_ = event.time;
+  EventReport report;
+  report.kind = event.kind;
+  report.time = event.time;
+
+  const WiringLimits limits{config_.max_in_degree, 8};
+  if (event.kind == ChurnEvent::Kind::kBirth) {
+    const NodeId born = graph_.add_node(config_.d, event.time);
+    detail::issue_initial_requests(graph_, rng_, born, hooks_, event.time,
+                                   limits);
+    if (hooks_.on_birth) hooks_.on_birth(born, event.time);
+    report.node = born;
+    return report;
+  }
+
+  // Death: the jump chain guarantees alive_count() > 0 here (the death rate
+  // is N*mu, which is zero for an empty network).
+  CHURNET_ASSERT(graph_.alive_count() > 0);
+  const NodeId victim = graph_.random_alive(rng_);
+  if (hooks_.on_death) hooks_.on_death(victim, event.time);
+  const std::vector<OutSlotRef> orphans = graph_.remove_node(victim);
+  if (config_.policy == EdgePolicy::kRegenerate) {
+    detail::regenerate_requests(graph_, rng_, orphans, hooks_, event.time,
+                                limits);
+  }
+  report.node = victim;
+  return report;
+}
+
+void PoissonNetwork::run_events(std::uint64_t events) {
+  for (std::uint64_t i = 0; i < events; ++i) step();
+}
+
+double PoissonNetwork::peek_next_event_time() {
+  if (!pending_valid_) {
+    pending_ = churn_.next(graph_.alive_count());
+    pending_valid_ = true;
+  }
+  return pending_.time;
+}
+
+void PoissonNetwork::run_until(double time) {
+  CHURNET_EXPECTS(time >= now_);
+  for (;;) {
+    if (!pending_valid_) {
+      pending_ = churn_.next(graph_.alive_count());
+      pending_valid_ = true;
+    }
+    if (pending_.time > time) break;
+    pending_valid_ = false;
+    apply(pending_);
+  }
+  now_ = time;  // park the clock at the barrier; pending event stays queued
+}
+
+void PoissonNetwork::warm_up(double multiple) {
+  CHURNET_EXPECTS(multiple > 0.0);
+  run_until(now_ + multiple / config_.mu);
+}
+
+double PoissonNetwork::age(NodeId node) const {
+  CHURNET_EXPECTS(graph_.is_alive(node));
+  return now_ - graph_.birth_time(node);
+}
+
+}  // namespace churnet

@@ -1,0 +1,97 @@
+// Poisson dynamic graphs: PDG (paper Definition 4.9) and PDGR
+// (Definition 4.14), selected by EdgePolicy.
+//
+// Node churn follows the exact jump chain of Lemma 4.6 (see
+// churn/poisson_churn.hpp). On a birth the newborn issues d requests to
+// uniform random existing nodes; on a death the victim is uniform among the
+// alive nodes and, under EdgePolicy::kRegenerate, every surviving node that
+// lost an out-edge instantly redraws it.
+#pragma once
+
+#include <cstdint>
+
+#include "churn/poisson_churn.hpp"
+#include "common/rng.hpp"
+#include "graph/dynamic_graph.hpp"
+#include "graph/snapshot.hpp"
+#include "models/edge_policy.hpp"
+
+namespace churnet {
+
+struct PoissonConfig {
+  double lambda = 1.0;  // birth rate (paper convention: 1)
+  double mu = 1e-3;     // per-node death rate (paper convention: 1/n)
+  std::uint32_t d = 8;  // requests per node
+  EdgePolicy policy = EdgePolicy::kNone;
+  std::uint64_t seed = 1;
+  /// Bounded-degree extension (paper Section 5 open question): cap on
+  /// in-degrees, enforced by redrawing requests. 0 = unlimited (the paper's
+  /// models). See WiringLimits in models/wiring.hpp.
+  std::uint32_t max_in_degree = 0;
+
+  /// Paper parameterization: lambda = 1, mu = 1/n.
+  static PoissonConfig with_n(std::uint32_t n, std::uint32_t d,
+                              EdgePolicy policy, std::uint64_t seed);
+
+  /// Expected stationary size lambda/mu.
+  double expected_size() const { return lambda / mu; }
+};
+
+class PoissonNetwork {
+ public:
+  explicit PoissonNetwork(PoissonConfig config);
+
+  /// One churn event (paper Definition 4.5: one "round" T_r).
+  struct EventReport {
+    ChurnEvent::Kind kind = ChurnEvent::Kind::kBirth;
+    double time = 0.0;
+    NodeId node;  // the node born or died
+  };
+
+  /// Executes the next churn event.
+  EventReport step();
+
+  /// Executes `events` churn events.
+  void run_events(std::uint64_t events);
+
+  /// Absolute time of the next churn event without executing it (the event
+  /// is sampled once and cached; the following step() executes exactly it).
+  double peek_next_event_time();
+
+  /// Runs until continuous time strictly exceeds `time` (the event that
+  /// crosses `time` is NOT executed; the clock parks exactly at `time`).
+  void run_until(double time);
+
+  /// Runs for `multiple` expected lifetimes (default 10/mu), enough for the
+  /// size and age profile to reach stationarity (Lemma 4.4 uses t >= 3n).
+  void warm_up(double multiple = 10.0);
+
+  /// Age (continuous) of an alive node at the current clock.
+  double age(NodeId node) const;
+
+  Snapshot snapshot() const { return Snapshot::capture(graph_, now()); }
+
+  const DynamicGraph& graph() const { return graph_; }
+  /// Current clock: time of the last executed event, or the `run_until`
+  /// barrier if that is later.
+  double now() const { return now_; }
+  std::uint64_t event_count() const { return churn_.event_count(); }
+  const PoissonConfig& config() const { return config_; }
+  Rng& rng() { return rng_; }
+
+  void set_hooks(NetworkHooks hooks) { hooks_ = std::move(hooks); }
+
+ private:
+  EventReport apply(const ChurnEvent& event);
+
+  PoissonConfig config_;
+  PoissonChurn churn_;
+  DynamicGraph graph_;
+  Rng rng_;
+  NetworkHooks hooks_;
+  double now_ = 0.0;
+  bool pending_valid_ = false;
+  ChurnEvent pending_{};  // sampled but not yet executed (run_until overshoot)
+};
+
+}  // namespace churnet

@@ -1,0 +1,54 @@
+#include "models/streaming_network.hpp"
+
+#include "models/wiring.hpp"
+
+namespace churnet {
+
+StreamingNetwork::StreamingNetwork(StreamingConfig config)
+    : config_(config), churn_(config.n), rng_(config.seed) {
+  CHURNET_EXPECTS(config.n >= 1);
+}
+
+StreamingNetwork::RoundReport StreamingNetwork::step() {
+  RoundReport report;
+  const std::optional<NodeId> victim = churn_.begin_round();
+  const double time_of_round = static_cast<double>(churn_.round());
+
+  const WiringLimits limits{config_.max_in_degree, 8};
+  if (victim.has_value()) {
+    report.died = victim;
+    if (hooks_.on_death) hooks_.on_death(*victim, time_of_round);
+    const std::vector<OutSlotRef> orphans = graph_.remove_node(*victim);
+    if (config_.policy == EdgePolicy::kRegenerate) {
+      detail::regenerate_requests(graph_, rng_, orphans, hooks_,
+                                  time_of_round, limits);
+    }
+  }
+
+  const NodeId born = graph_.add_node(config_.d, time_of_round);
+  detail::issue_initial_requests(graph_, rng_, born, hooks_, time_of_round,
+                                 limits);
+  churn_.record_birth(born);
+  if (hooks_.on_birth) hooks_.on_birth(born, time_of_round);
+
+  report.round = churn_.round();
+  report.born = born;
+  return report;
+}
+
+void StreamingNetwork::run_rounds(std::uint64_t rounds) {
+  for (std::uint64_t i = 0; i < rounds; ++i) step();
+}
+
+void StreamingNetwork::warm_up() {
+  CHURNET_EXPECTS(churn_.round() == 0);
+  run_rounds(2ull * config_.n);
+  CHURNET_ENSURES(graph_.alive_count() == config_.n);
+}
+
+std::uint64_t StreamingNetwork::age(NodeId node) const {
+  CHURNET_EXPECTS(graph_.is_alive(node));
+  return churn_.round() - static_cast<std::uint64_t>(graph_.birth_time(node));
+}
+
+}  // namespace churnet

@@ -1,0 +1,83 @@
+// Streaming dynamic graphs: SDG (paper Definition 3.4) and SDGR
+// (Definition 3.13), selected by EdgePolicy.
+//
+// Round structure (Definition 3.2, clarified in DESIGN.md):
+//   1. if the network holds n nodes, the oldest node dies; all its incident
+//      edges disappear;
+//   2. under EdgePolicy::kRegenerate, every surviving node that lost an
+//      out-edge redraws it uniformly among the current nodes;
+//   3. one node is born and issues d requests, each to a uniform random
+//      node already in the network.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+
+#include "churn/streaming_churn.hpp"
+#include "common/rng.hpp"
+#include "graph/dynamic_graph.hpp"
+#include "graph/snapshot.hpp"
+#include "models/edge_policy.hpp"
+
+namespace churnet {
+
+struct StreamingConfig {
+  std::uint32_t n = 1000;  // steady-state size == exact lifetime in rounds
+  std::uint32_t d = 8;     // requests per node
+  EdgePolicy policy = EdgePolicy::kNone;
+  std::uint64_t seed = 1;
+  /// Bounded-degree extension (paper Section 5 open question): cap on
+  /// in-degrees, enforced by redrawing requests. 0 = unlimited (the paper's
+  /// models). See WiringLimits in models/wiring.hpp.
+  std::uint32_t max_in_degree = 0;
+};
+
+class StreamingNetwork {
+ public:
+  explicit StreamingNetwork(StreamingConfig config);
+
+  /// What happened in one round.
+  struct RoundReport {
+    std::uint64_t round = 0;
+    NodeId born;
+    std::optional<NodeId> died;
+  };
+
+  /// Executes one round (death, regeneration, birth). O(d) amortized.
+  RoundReport step();
+
+  /// Executes `rounds` rounds.
+  void run_rounds(std::uint64_t rounds);
+
+  /// Runs the initial 2n rounds: after n rounds the network reaches its
+  /// pinned size n, and after another n rounds every founder that joined a
+  /// smaller-than-n network (with correspondingly skewed wiring) has died.
+  /// From round 2n on, every alive node issued its d requests into a
+  /// full-size network -- the regime all of the paper's analyses assume.
+  /// Callable only from round 0.
+  void warm_up();
+
+  /// Age in rounds of an alive node: 0 for this round's newborn, up to n-1.
+  std::uint64_t age(NodeId node) const;
+
+  /// Captures the current topology (time == round()).
+  Snapshot snapshot() const { return Snapshot::capture(graph_, now()); }
+
+  const DynamicGraph& graph() const { return graph_; }
+  std::uint64_t round() const { return churn_.round(); }
+  double now() const { return static_cast<double>(churn_.round()); }
+  const StreamingConfig& config() const { return config_; }
+  Rng& rng() { return rng_; }
+
+  /// Installs observer hooks (replacing any previous ones).
+  void set_hooks(NetworkHooks hooks) { hooks_ = std::move(hooks); }
+
+ private:
+  StreamingConfig config_;
+  StreamingChurn churn_;
+  DynamicGraph graph_;
+  Rng rng_;
+  NetworkHooks hooks_;
+};
+
+}  // namespace churnet

@@ -1,0 +1,94 @@
+// Shared request-wiring helpers used by both network models.
+//
+// A "request" is one of a node's d out-edge slots (paper terminology). A
+// request picks its destination uniformly at random among the other alive
+// nodes; if no other node is alive the slot stays dangling (documented in
+// DESIGN.md, "Dangling requests").
+#pragma once
+
+#include <span>
+
+#include "common/rng.hpp"
+#include "graph/dynamic_graph.hpp"
+#include "models/edge_policy.hpp"
+
+namespace churnet {
+
+/// Bounded-degree extension (paper Section 5 open question): when
+/// max_in_degree > 0, a request redraws its uniform target up to
+/// `attempts` times while the candidate's in-degree is at the cap; if all
+/// attempts hit full nodes the request stays dangling (retried at the next
+/// regeneration trigger). max_in_degree == 0 reproduces the paper's
+/// unbounded models exactly.
+struct WiringLimits {
+  std::uint32_t max_in_degree = 0;  // 0 = unlimited (paper models)
+  std::uint32_t attempts = 8;      // redraws before giving up
+};
+
+}  // namespace churnet
+
+namespace churnet::detail {
+
+/// Draws a uniform random other node satisfying the in-degree cap;
+/// invalid id if no acceptable target was found within the attempt budget.
+inline NodeId draw_target(const DynamicGraph& graph, Rng& rng, NodeId owner,
+                          const WiringLimits& limits) {
+  if (limits.max_in_degree == 0) {
+    return graph.random_alive_other(rng, owner);
+  }
+  for (std::uint32_t attempt = 0; attempt < limits.attempts; ++attempt) {
+    const NodeId candidate = graph.random_alive_other(rng, owner);
+    if (!candidate.valid()) return kInvalidNode;
+    if (graph.in_degree(candidate) < limits.max_in_degree) return candidate;
+  }
+  return kInvalidNode;
+}
+
+/// Wires every dangling out-slot of `owner` to a uniform random other node.
+inline void issue_initial_requests(DynamicGraph& graph, Rng& rng, NodeId owner,
+                                   const NetworkHooks& hooks, double now,
+                                   const WiringLimits& limits = {}) {
+  const std::uint32_t slots = graph.out_slot_count(owner);
+  for (std::uint32_t i = 0; i < slots; ++i) {
+    const NodeId target = draw_target(graph, rng, owner, limits);
+    if (!target.valid()) continue;  // no acceptable target: stays dangling
+    graph.set_out_edge(owner, i, target);
+    if (hooks.on_edge_created) {
+      hooks.on_edge_created(owner, i, target, /*regenerated=*/false, now);
+    }
+  }
+}
+
+/// Redraws the orphaned out-slots reported by DynamicGraph::remove_node.
+/// Under regeneration this also retries any other dangling slots of the
+/// same owners (they can only exist in the bounded-degree extension).
+inline void regenerate_requests(DynamicGraph& graph, Rng& rng,
+                                std::span<const OutSlotRef> orphans,
+                                const NetworkHooks& hooks, double now,
+                                const WiringLimits& limits = {}) {
+  for (const OutSlotRef& orphan : orphans) {
+    const NodeId target = draw_target(graph, rng, orphan.owner, limits);
+    if (!target.valid()) continue;
+    graph.set_out_edge(orphan.owner, orphan.index, target);
+    if (hooks.on_edge_created) {
+      hooks.on_edge_created(orphan.owner, orphan.index, target,
+                            /*regenerated=*/true, now);
+    }
+  }
+  if (limits.max_in_degree == 0) return;
+  for (const OutSlotRef& orphan : orphans) {
+    const std::uint32_t slots = graph.out_slot_count(orphan.owner);
+    for (std::uint32_t i = 0; i < slots; ++i) {
+      if (graph.out_target(orphan.owner, i).valid()) continue;
+      const NodeId target = draw_target(graph, rng, orphan.owner, limits);
+      if (!target.valid()) break;
+      graph.set_out_edge(orphan.owner, i, target);
+      if (hooks.on_edge_created) {
+        hooks.on_edge_created(orphan.owner, i, target,
+                              /*regenerated=*/true, now);
+      }
+    }
+  }
+}
+
+}  // namespace churnet::detail

@@ -1,0 +1,52 @@
+#include "p2p/address_table.hpp"
+
+#include <algorithm>
+
+#include "common/assertx.hpp"
+
+namespace churnet {
+
+AddressTable::AddressTable(std::uint32_t capacity) : capacity_(capacity) {
+  CHURNET_EXPECTS(capacity >= 1);
+  entries_.reserve(capacity);
+}
+
+void AddressTable::insert(NodeId address, Rng& rng) {
+  CHURNET_EXPECTS(address.valid());
+  if (contains(address)) return;
+  if (entries_.size() < capacity_) {
+    entries_.push_back(address);
+    return;
+  }
+  entries_[static_cast<std::size_t>(rng.below(entries_.size()))] = address;
+}
+
+void AddressTable::erase(NodeId address) {
+  const auto it = std::find(entries_.begin(), entries_.end(), address);
+  if (it == entries_.end()) return;
+  *it = entries_.back();
+  entries_.pop_back();
+}
+
+NodeId AddressTable::sample(Rng& rng) const {
+  if (entries_.empty()) return kInvalidNode;
+  return entries_[static_cast<std::size_t>(rng.below(entries_.size()))];
+}
+
+std::vector<NodeId> AddressTable::sample_many(std::uint32_t count,
+                                              Rng& rng) const {
+  const auto want = std::min<std::uint64_t>(count, entries_.size());
+  std::vector<NodeId> out;
+  out.reserve(want);
+  for (const std::uint64_t i : rng.sample_distinct(entries_.size(), want)) {
+    out.push_back(entries_[static_cast<std::size_t>(i)]);
+  }
+  return out;
+}
+
+bool AddressTable::contains(NodeId address) const {
+  return std::find(entries_.begin(), entries_.end(), address) !=
+         entries_.end();
+}
+
+}  // namespace churnet

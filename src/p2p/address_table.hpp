@@ -1,0 +1,51 @@
+// Per-peer address book, modelled after Bitcoin Core's address manager in
+// spirit (paper Section 1.1): a bounded list of known peer addresses,
+// seeded at bootstrap and refreshed through gossip, from which replacement
+// neighbors are sampled. Entries can go stale (the peer may have left);
+// staleness is only discovered when a dial fails.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "common/rng.hpp"
+#include "graph/node_id.hpp"
+
+namespace churnet {
+
+class AddressTable {
+ public:
+  /// `capacity` bounds the number of stored addresses.
+  explicit AddressTable(std::uint32_t capacity = 256);
+
+  /// Inserts an address; deduplicates; when full, overwrites a uniformly
+  /// random entry (cheap approximation of bucket eviction).
+  void insert(NodeId address, Rng& rng);
+
+  /// Removes an address if present (used when a dial reveals staleness).
+  void erase(NodeId address);
+
+  /// Uniform random entry; invalid id if the table is empty.
+  NodeId sample(Rng& rng) const;
+
+  /// Up to `count` distinct random entries (for gossip advertisement).
+  std::vector<NodeId> sample_many(std::uint32_t count, Rng& rng) const;
+
+  bool contains(NodeId address) const;
+
+  /// Read-only view of all stored addresses (order is unspecified).
+  std::span<const NodeId> entries() const { return entries_; }
+
+  std::uint32_t size() const {
+    return static_cast<std::uint32_t>(entries_.size());
+  }
+  std::uint32_t capacity() const { return capacity_; }
+  bool empty() const { return entries_.empty(); }
+
+ private:
+  std::uint32_t capacity_;
+  std::vector<NodeId> entries_;
+};
+
+}  // namespace churnet

@@ -1,0 +1,224 @@
+#include "p2p/p2p_network.hpp"
+
+#include <algorithm>
+
+#include "common/assertx.hpp"
+
+namespace churnet {
+
+P2pConfig P2pConfig::with_n(std::uint32_t n, std::uint64_t seed) {
+  CHURNET_EXPECTS(n >= 1);
+  P2pConfig config;
+  config.lambda = 1.0;
+  config.mu = 1.0 / static_cast<double>(n);
+  config.seed = seed;
+  return config;
+}
+
+P2pNetwork::P2pNetwork(P2pConfig config)
+    : config_(config),
+      churn_(config.lambda, config.mu, Rng(config.seed).next_u64()),
+      rng_(config.seed + 0x6C8E9CF570932BD5ULL) {
+  CHURNET_EXPECTS(config.target_out >= 1);
+  CHURNET_EXPECTS(config.max_in >= 1);
+}
+
+P2pNetwork::EventReport P2pNetwork::step() {
+  ChurnEvent event;
+  if (pending_valid_) {
+    event = pending_;
+    pending_valid_ = false;
+  } else {
+    event = churn_.next(graph_.alive_count());
+  }
+  return apply(event);
+}
+
+P2pNetwork::EventReport P2pNetwork::apply(const ChurnEvent& event) {
+  now_ = event.time;
+  EventReport report;
+  report.kind = event.kind;
+  report.time = event.time;
+
+  if (event.kind == ChurnEvent::Kind::kBirth) {
+    const NodeId born = graph_.add_node(config_.target_out, event.time);
+    if (tables_.size() <= born.slot) tables_.resize(born.slot + 1);
+    tables_[born.slot] = AddressTable(config_.table_capacity);
+    bootstrap(born);
+    if (hooks_.on_birth) hooks_.on_birth(born, event.time);
+    report.node = born;
+    return report;
+  }
+
+  CHURNET_ASSERT(graph_.alive_count() > 0);
+  const NodeId victim = graph_.random_alive(rng_);
+  if (hooks_.on_death) hooks_.on_death(victim, event.time);
+  const std::vector<OutSlotRef> orphans = graph_.remove_node(victim);
+  // Survivors notice the lost connection, redial from their tables, and
+  // take the opportunity to retry any other dangling slots (a cheap stand-in
+  // for Bitcoin Core's periodic connection maintenance).
+  for (const OutSlotRef& orphan : orphans) {
+    table_ref(orphan.owner).erase(victim);
+    dial_from_table(orphan.owner, orphan.index);
+    fill_dangling(orphan.owner);
+  }
+  report.node = victim;
+  return report;
+}
+
+void P2pNetwork::fill_dangling(NodeId owner) {
+  for (std::uint32_t i = 0; i < graph_.out_slot_count(owner); ++i) {
+    if (graph_.out_target(owner, i).valid()) continue;
+    if (!dial_from_table(owner, i)) break;  // table exhausted; stop trying
+  }
+}
+
+void P2pNetwork::bootstrap(NodeId newborn) {
+  // DNS seeds: a uniform sample of currently live nodes. This is the one
+  // centralized ingredient, mirroring real bootstrap (paper Section 1.1).
+  AddressTable& table = tables_[newborn.slot];
+  const std::uint64_t peers = graph_.alive_count() - 1;  // excluding self
+  const auto want = std::min<std::uint64_t>(config_.seed_sample, peers);
+  for (std::uint64_t i = 0; i < want; ++i) {
+    const NodeId seed_peer = graph_.random_alive_other(rng_, newborn);
+    if (seed_peer.valid()) table.insert(seed_peer, rng_);
+  }
+  for (std::uint32_t slot_index = 0; slot_index < config_.target_out;
+       ++slot_index) {
+    dial_from_table(newborn, slot_index);
+  }
+}
+
+bool P2pNetwork::dial_from_table(NodeId owner, std::uint32_t slot_index) {
+  AddressTable& table = table_ref(owner);
+  for (std::uint32_t attempt = 0; attempt < config_.dial_attempts;
+       ++attempt) {
+    const NodeId candidate = table.sample(rng_);
+    if (!candidate.valid()) return false;  // empty table, give up
+    if (candidate == owner) {
+      table.erase(candidate);
+      continue;
+    }
+    if (!graph_.is_alive(candidate)) {
+      // Stale address discovered: evict and count the failed dial.
+      table.erase(candidate);
+      ++failed_dials_;
+      continue;
+    }
+    if (graph_.in_degree(candidate) >= config_.max_in) {
+      ++failed_dials_;
+      continue;  // callee full; keep the address, it is still live
+    }
+    // Refuse duplicate connections to the same peer.
+    bool duplicate = false;
+    for (std::uint32_t i = 0; i < graph_.out_slot_count(owner); ++i) {
+      if (graph_.out_target(owner, i) == candidate) {
+        duplicate = true;
+        break;
+      }
+    }
+    if (duplicate) continue;
+    graph_.set_out_edge(owner, slot_index, candidate);
+    ++successful_dials_;
+    gossip_exchange(owner, candidate);
+    if (hooks_.on_edge_created) {
+      hooks_.on_edge_created(owner, slot_index, candidate,
+                             /*regenerated=*/false, now_);
+    }
+    return true;
+  }
+  return false;
+}
+
+void P2pNetwork::gossip_exchange(NodeId a, NodeId b) {
+  AddressTable& table_a = table_ref(a);
+  AddressTable& table_b = table_ref(b);
+  // Each side advertises a random sample of its table plus its current
+  // out-neighbors; the latter are alive by construction, which keeps the
+  // distributed address database from going stale (Bitcoin nodes likewise
+  // relay the addresses of peers they are actually connected to).
+  auto advertise = [&](NodeId advertiser, NodeId receiver,
+                       AddressTable& from, AddressTable& to) {
+    to.insert(advertiser, rng_);
+    for (const NodeId address : from.sample_many(config_.gossip_sample, rng_)) {
+      if (address != receiver) to.insert(address, rng_);
+    }
+    for (std::uint32_t i = 0; i < graph_.out_slot_count(advertiser); ++i) {
+      const NodeId neighbor = graph_.out_target(advertiser, i);
+      if (neighbor.valid() && neighbor != receiver) {
+        to.insert(neighbor, rng_);
+      }
+    }
+  };
+  advertise(b, a, table_b, table_a);
+  advertise(a, b, table_a, table_b);
+}
+
+AddressTable& P2pNetwork::table_ref(NodeId node) {
+  CHURNET_EXPECTS(graph_.is_alive(node));
+  CHURNET_ASSERT(node.slot < tables_.size());
+  return tables_[node.slot];
+}
+
+const AddressTable& P2pNetwork::table_of(NodeId node) const {
+  CHURNET_EXPECTS(graph_.is_alive(node));
+  CHURNET_ASSERT(node.slot < tables_.size());
+  return tables_[node.slot];
+}
+
+void P2pNetwork::run_events(std::uint64_t events) {
+  for (std::uint64_t i = 0; i < events; ++i) step();
+}
+
+void P2pNetwork::run_until(double time) {
+  CHURNET_EXPECTS(time >= now_);
+  for (;;) {
+    if (!pending_valid_) {
+      pending_ = churn_.next(graph_.alive_count());
+      pending_valid_ = true;
+    }
+    if (pending_.time > time) break;
+    pending_valid_ = false;
+    apply(pending_);
+  }
+  now_ = time;
+}
+
+void P2pNetwork::warm_up(double multiple) {
+  CHURNET_EXPECTS(multiple > 0.0);
+  run_until(now_ + multiple / config_.mu);
+}
+
+double P2pNetwork::peek_next_event_time() {
+  if (!pending_valid_) {
+    pending_ = churn_.next(graph_.alive_count());
+    pending_valid_ = true;
+  }
+  return pending_.time;
+}
+
+std::uint64_t P2pNetwork::dangling_out_slots() const {
+  std::uint64_t dangling = 0;
+  for (const NodeId node : graph_.alive_nodes()) {
+    dangling += config_.target_out - graph_.out_degree(node);
+  }
+  return dangling;
+}
+
+double P2pNetwork::mean_table_staleness() const {
+  double sum = 0.0;
+  std::uint64_t counted = 0;
+  for (const NodeId node : graph_.alive_nodes()) {
+    const AddressTable& table = tables_[node.slot];
+    if (table.empty()) continue;
+    std::uint32_t stale = 0;
+    for (const NodeId address : table.entries()) {
+      if (!graph_.is_alive(address)) ++stale;
+    }
+    sum += static_cast<double>(stale) / static_cast<double>(table.size());
+    ++counted;
+  }
+  return counted == 0 ? 0.0 : sum / static_cast<double>(counted);
+}
+
+}  // namespace churnet

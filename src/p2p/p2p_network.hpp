@@ -1,0 +1,116 @@
+// Bitcoin-like unstructured P2P overlay under Poisson churn.
+//
+// The paper motivates the PDGR model as an idealization of how networks
+// like Bitcoin maintain a random sparse topology (Sections 1.1, 2, 5): each
+// full node keeps a target out-degree, a bounded in-degree, and a large
+// locally stored address list seeded by DNS seeds and refreshed by gossip,
+// from which it redials whenever it loses a neighbor. This module
+// implements that mechanism concretely so examples and benches can compare
+// the engineered overlay against the idealized PDGR (which dials uniformly
+// from the *full* live node set):
+//
+//   * birth: bootstrap the address table from `seed_sample` live nodes
+//     ("DNS seeds"), then dial up to `target_out` peers from the table;
+//   * death: every surviving node that lost an out-peer redials from its
+//     own table (stale entries fail and are evicted; dials also fail when
+//     the callee's in-degree is at `max_in`);
+//   * on every successful dial the two peers exchange `gossip_sample`
+//     addresses (plus each other's), keeping tables fresh.
+//
+// The overlay exposes the same informal interface as PoissonNetwork
+// (set_hooks / graph / step / peek_next_event_time / now), so the async
+// flooding driver runs on it unchanged — "block propagation".
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "churn/poisson_churn.hpp"
+#include "common/rng.hpp"
+#include "graph/dynamic_graph.hpp"
+#include "graph/snapshot.hpp"
+#include "models/edge_policy.hpp"
+#include "p2p/address_table.hpp"
+
+namespace churnet {
+
+struct P2pConfig {
+  double lambda = 1.0;           // node arrival rate
+  double mu = 1e-3;              // per-node departure rate
+  std::uint32_t target_out = 8;  // Bitcoin Core's default outbound target
+  std::uint32_t max_in = 64;     // bounded inbound slots
+  /// Bounded address book. Sized so gossip turns the table over roughly
+  /// once per expected lifetime, keeping the stale fraction moderate.
+  std::uint32_t table_capacity = 128;
+  std::uint32_t seed_sample = 16;    // DNS-seed addresses at bootstrap
+  std::uint32_t gossip_sample = 8;   // addresses exchanged per connection
+  std::uint32_t dial_attempts = 8;   // tries per wanted connection
+  std::uint64_t seed = 1;
+
+  /// Paper parameterization: lambda = 1, mu = 1/n.
+  static P2pConfig with_n(std::uint32_t n, std::uint64_t seed);
+};
+
+class P2pNetwork {
+ public:
+  explicit P2pNetwork(P2pConfig config);
+
+  struct EventReport {
+    ChurnEvent::Kind kind = ChurnEvent::Kind::kBirth;
+    double time = 0.0;
+    NodeId node;
+  };
+
+  /// Executes the next churn event plus the overlay maintenance it triggers.
+  EventReport step();
+
+  void run_events(std::uint64_t events);
+  void run_until(double time);
+  void warm_up(double multiple = 10.0);
+
+  /// Absolute time of the next churn event without executing it.
+  double peek_next_event_time();
+
+  Snapshot snapshot() const { return Snapshot::capture(graph_, now_); }
+  const DynamicGraph& graph() const { return graph_; }
+  double now() const { return now_; }
+  const P2pConfig& config() const { return config_; }
+  Rng& rng() { return rng_; }
+  void set_hooks(NetworkHooks hooks) { hooks_ = std::move(hooks); }
+
+  // ---- overlay health metrics -----------------------------------------
+
+  /// Dials that failed (stale address or full callee) since construction.
+  std::uint64_t failed_dials() const { return failed_dials_; }
+  std::uint64_t successful_dials() const { return successful_dials_; }
+  /// Out-slots currently dangling network-wide (unfillable wants).
+  std::uint64_t dangling_out_slots() const;
+  /// Fraction of address-table entries pointing at dead peers, averaged
+  /// over alive nodes (staleness of the distributed address database).
+  double mean_table_staleness() const;
+  const AddressTable& table_of(NodeId node) const;
+
+ private:
+  EventReport apply(const ChurnEvent& event);
+  void bootstrap(NodeId newborn);
+  /// Tries to fill one out-slot of `owner` from its address table.
+  bool dial_from_table(NodeId owner, std::uint32_t slot_index);
+  /// Retries every dangling out-slot of `owner` (connection maintenance).
+  void fill_dangling(NodeId owner);
+  void gossip_exchange(NodeId a, NodeId b);
+  AddressTable& table_ref(NodeId node);
+
+  P2pConfig config_;
+  PoissonChurn churn_;
+  DynamicGraph graph_;
+  Rng rng_;
+  NetworkHooks hooks_;
+  double now_ = 0.0;
+  bool pending_valid_ = false;
+  ChurnEvent pending_{};
+  std::vector<AddressTable> tables_;  // indexed by slot, reset at birth
+  std::uint64_t failed_dials_ = 0;
+  std::uint64_t successful_dials_ = 0;
+};
+
+}  // namespace churnet

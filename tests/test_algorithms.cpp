@@ -1,0 +1,116 @@
+// Tests for graph/algorithms.hpp: BFS, components, degree statistics.
+#include "graph/algorithms.hpp"
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+namespace churnet {
+namespace {
+
+using Edges = std::vector<std::pair<std::uint32_t, std::uint32_t>>;
+
+TEST(Bfs, PathGraphDistances) {
+  const Snapshot snap = Snapshot::from_edges(5, Edges{{0, 1}, {1, 2}, {2, 3},
+                                                      {3, 4}});
+  const auto dist = bfs_distances(snap, 0);
+  for (std::uint32_t v = 0; v < 5; ++v) {
+    EXPECT_EQ(dist[v], static_cast<std::int32_t>(v));
+  }
+}
+
+TEST(Bfs, DisconnectedMarksUnreachable) {
+  const Snapshot snap = Snapshot::from_edges(4, Edges{{0, 1}});
+  const auto dist = bfs_distances(snap, 0);
+  EXPECT_EQ(dist[0], 0);
+  EXPECT_EQ(dist[1], 1);
+  EXPECT_EQ(dist[2], -1);
+  EXPECT_EQ(dist[3], -1);
+}
+
+TEST(Bfs, CycleGraph) {
+  const Snapshot snap =
+      Snapshot::from_edges(6, Edges{{0, 1}, {1, 2}, {2, 3}, {3, 4}, {4, 5},
+                                    {5, 0}});
+  const auto dist = bfs_distances(snap, 0);
+  EXPECT_EQ(dist[3], 3);
+  EXPECT_EQ(dist[5], 1);
+  EXPECT_EQ(dist[4], 2);
+}
+
+TEST(Bfs, SelfDistanceZero) {
+  const Snapshot snap = Snapshot::from_edges(1, {});
+  const auto dist = bfs_distances(snap, 0);
+  EXPECT_EQ(dist[0], 0);
+}
+
+TEST(Eccentricity, StarAndPath) {
+  const Snapshot star =
+      Snapshot::from_edges(5, Edges{{0, 1}, {0, 2}, {0, 3}, {0, 4}});
+  EXPECT_EQ(eccentricity(star, 0), 1u);
+  EXPECT_EQ(eccentricity(star, 1), 2u);
+  const Snapshot path = Snapshot::from_edges(4, Edges{{0, 1}, {1, 2}, {2, 3}});
+  EXPECT_EQ(eccentricity(path, 0), 3u);
+  EXPECT_EQ(eccentricity(path, 1), 2u);
+}
+
+TEST(Components, SingleComponent) {
+  const Snapshot snap = Snapshot::from_edges(4, Edges{{0, 1}, {1, 2}, {2, 3}});
+  const Components comps = connected_components(snap);
+  EXPECT_EQ(comps.count, 1u);
+  EXPECT_EQ(comps.largest_size, 4u);
+  for (std::uint32_t v = 0; v < 4; ++v) EXPECT_EQ(comps.label[v], 0u);
+}
+
+TEST(Components, MultipleComponentsAndIsolated) {
+  const Snapshot snap =
+      Snapshot::from_edges(6, Edges{{0, 1}, {2, 3}, {3, 4}});
+  const Components comps = connected_components(snap);
+  EXPECT_EQ(comps.count, 3u);  // {0,1}, {2,3,4}, {5}
+  EXPECT_EQ(comps.largest_size, 3u);
+  EXPECT_EQ(comps.label[2], comps.label[4]);
+  EXPECT_NE(comps.label[0], comps.label[2]);
+  EXPECT_NE(comps.label[5], comps.label[0]);
+}
+
+TEST(Components, LargestLabelIdentifiesLargestComponent) {
+  const Snapshot snap =
+      Snapshot::from_edges(7, Edges{{0, 1}, {2, 3}, {3, 4}, {4, 5}, {5, 6}});
+  const Components comps = connected_components(snap);
+  EXPECT_EQ(comps.largest_size, 5u);
+  EXPECT_EQ(comps.label[3], comps.largest_label);
+}
+
+TEST(Components, EmptyGraph) {
+  const Snapshot snap = Snapshot::from_edges(0, {});
+  const Components comps = connected_components(snap);
+  EXPECT_EQ(comps.count, 0u);
+  EXPECT_EQ(comps.largest_size, 0u);
+}
+
+TEST(DegreeStats, MixedDegrees) {
+  const Snapshot snap =
+      Snapshot::from_edges(5, Edges{{0, 1}, {0, 2}, {0, 3}});
+  const DegreeStats stats = degree_stats(snap);
+  EXPECT_EQ(stats.max, 3u);
+  EXPECT_EQ(stats.min, 0u);
+  EXPECT_EQ(stats.isolated, 1u);  // node 4
+  EXPECT_DOUBLE_EQ(stats.mean, 6.0 / 5.0);
+}
+
+TEST(DegreeStats, EmptySnapshot) {
+  const Snapshot snap = Snapshot::from_edges(0, {});
+  const DegreeStats stats = degree_stats(snap);
+  EXPECT_DOUBLE_EQ(stats.mean, 0.0);
+  EXPECT_EQ(stats.isolated, 0u);
+}
+
+TEST(DegreeStats, HandshakeLemma) {
+  const Snapshot snap =
+      Snapshot::from_edges(6, Edges{{0, 1}, {1, 2}, {3, 4}, {4, 5}, {0, 5}});
+  const DegreeStats stats = degree_stats(snap);
+  EXPECT_DOUBLE_EQ(stats.mean * 6.0, 2.0 * 5.0);
+}
+
+}  // namespace
+}  // namespace churnet

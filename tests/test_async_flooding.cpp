@@ -1,0 +1,121 @@
+// Tests for flooding/async_flooding.hpp (paper Definition 4.2 semantics).
+#include "flooding/async_flooding.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "benchutil/experiment.hpp"
+
+namespace churnet {
+namespace {
+
+TEST(AsyncFlood, CompletesOnPdgr) {
+  constexpr std::uint32_t kN = 300;
+  int completions = 0;
+  for (std::uint64_t rep = 0; rep < 8; ++rep) {
+    PoissonNetwork net(PoissonConfig::with_n(kN, 35, EdgePolicy::kRegenerate,
+                                             derive_seed(1, 0, rep)));
+    net.warm_up(8.0);
+    AsyncFloodOptions options;
+    options.max_time = 200.0;
+    const AsyncFloodResult result = flood_poisson_async(net, options);
+    if (result.completed) {
+      ++completions;
+      EXPECT_LE(result.completion_time, 15.0 * std::log2(kN));
+      EXPECT_GT(result.messages_delivered, kN / 2);
+    }
+  }
+  EXPECT_GE(completions, 7);
+}
+
+TEST(AsyncFlood, AsynchronousAtLeastAsFastAsDiscretizedInShape) {
+  // The discretized process (Def. 4.3) is a slowed-down version of the
+  // asynchronous one (Def. 4.2); asynchronous completion times should be
+  // small (a few multiples of log n).
+  constexpr std::uint32_t kN = 400;
+  OnlineStats times;
+  for (std::uint64_t rep = 0; rep < 6; ++rep) {
+    PoissonNetwork net(PoissonConfig::with_n(kN, 30, EdgePolicy::kRegenerate,
+                                             derive_seed(2, 0, rep)));
+    net.warm_up(8.0);
+    AsyncFloodOptions options;
+    options.max_time = 500.0;
+    const AsyncFloodResult result = flood_poisson_async(net, options);
+    if (result.completed) times.add(result.completion_time);
+  }
+  ASSERT_GT(times.count(), 3u);
+  EXPECT_LT(times.mean(), 4.0 * std::log2(kN));
+}
+
+TEST(AsyncFlood, FractionStopWorks) {
+  PoissonNetwork net(
+      PoissonConfig::with_n(400, 25, EdgePolicy::kRegenerate, 3));
+  net.warm_up(6.0);
+  AsyncFloodOptions options;
+  options.stop_at_fraction = 0.5;
+  options.max_time = 300.0;
+  const AsyncFloodResult result = flood_poisson_async(net, options);
+  EXPECT_GE(result.final_fraction, 0.5);
+}
+
+TEST(AsyncFlood, RespectsDeadline) {
+  PoissonNetwork net(PoissonConfig::with_n(300, 2, EdgePolicy::kNone, 4));
+  net.warm_up(5.0);
+  const double start = net.now();
+  AsyncFloodOptions options;
+  options.max_time = 10.0;
+  flood_poisson_async(net, options);
+  // The network clock may overshoot by at most one unexecuted event peek.
+  EXPECT_LE(net.now(), start + 10.0 + 50.0);
+}
+
+TEST(AsyncFlood, DieOutIsDetectedWithTinyDegree) {
+  int die_outs = 0;
+  for (std::uint64_t rep = 0; rep < 30; ++rep) {
+    PoissonNetwork net(PoissonConfig::with_n(50, 1, EdgePolicy::kNone,
+                                             derive_seed(5, 0, rep)));
+    net.warm_up(5.0);
+    AsyncFloodOptions options;
+    options.max_time = 2000.0;
+    const AsyncFloodResult result = flood_poisson_async(net, options);
+    if (result.died_out) {
+      ++die_outs;
+      EXPECT_FALSE(result.completed);
+      EXPECT_DOUBLE_EQ(result.final_fraction, 0.0);
+    }
+  }
+  EXPECT_GT(die_outs, 0);
+}
+
+TEST(AsyncFlood, PeakInformedAtLeastFinalInformed) {
+  PoissonNetwork net(
+      PoissonConfig::with_n(200, 20, EdgePolicy::kRegenerate, 6));
+  net.warm_up(5.0);
+  const AsyncFloodResult result = flood_poisson_async(net);
+  EXPECT_GE(static_cast<double>(result.peak_informed),
+            result.final_fraction *
+                static_cast<double>(net.graph().alive_count()) - 1.0);
+}
+
+TEST(AsyncFlood, MessageAccountingIsConsistent) {
+  PoissonNetwork net(
+      PoissonConfig::with_n(250, 15, EdgePolicy::kRegenerate, 7));
+  net.warm_up(5.0);
+  const AsyncFloodResult result = flood_poisson_async(net);
+  // Every informed node except the source consumed exactly one delivered
+  // message; drops are counted separately.
+  EXPECT_GE(result.messages_delivered + 1, result.peak_informed);
+}
+
+TEST(AsyncFlood, HooksClearedAfterRun) {
+  PoissonNetwork net(
+      PoissonConfig::with_n(150, 10, EdgePolicy::kRegenerate, 8));
+  net.warm_up(4.0);
+  flood_poisson_async(net);
+  net.run_events(2000);
+  EXPECT_TRUE(net.graph().check_consistency());
+}
+
+}  // namespace
+}  // namespace churnet

@@ -1,0 +1,328 @@
+// Tests for graph/dynamic_graph.hpp: slot reuse, generational ids, edge
+// wiring, O(1) death semantics, orphan reporting, consistency invariants.
+#include "graph/dynamic_graph.hpp"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <set>
+#include <unordered_map>
+#include <vector>
+
+#include "common/rng.hpp"
+
+namespace churnet {
+namespace {
+
+TEST(DynamicGraph, StartsEmpty) {
+  DynamicGraph graph;
+  EXPECT_EQ(graph.alive_count(), 0u);
+  EXPECT_EQ(graph.edge_count(), 0u);
+  EXPECT_EQ(graph.total_births(), 0u);
+  EXPECT_TRUE(graph.check_consistency());
+}
+
+TEST(DynamicGraph, AddNodeBasics) {
+  DynamicGraph graph;
+  const NodeId a = graph.add_node(3, 1.5);
+  EXPECT_TRUE(graph.is_alive(a));
+  EXPECT_EQ(graph.alive_count(), 1u);
+  EXPECT_EQ(graph.out_slot_count(a), 3u);
+  EXPECT_EQ(graph.out_degree(a), 0u);  // slots start dangling
+  EXPECT_EQ(graph.in_degree(a), 0u);
+  EXPECT_DOUBLE_EQ(graph.birth_time(a), 1.5);
+  EXPECT_EQ(graph.birth_seq(a), 0u);
+  const NodeId b = graph.add_node(3, 2.0);
+  EXPECT_EQ(graph.birth_seq(b), 1u);
+  EXPECT_EQ(graph.total_births(), 2u);
+}
+
+TEST(DynamicGraph, SetAndClearOutEdge) {
+  DynamicGraph graph;
+  const NodeId a = graph.add_node(2, 0.0);
+  const NodeId b = graph.add_node(2, 0.0);
+  graph.set_out_edge(a, 0, b);
+  EXPECT_EQ(graph.out_degree(a), 1u);
+  EXPECT_EQ(graph.in_degree(b), 1u);
+  EXPECT_EQ(graph.degree(a), 1u);
+  EXPECT_EQ(graph.degree(b), 1u);
+  EXPECT_EQ(graph.out_target(a, 0), b);
+  EXPECT_EQ(graph.out_target(a, 1), kInvalidNode);
+  EXPECT_EQ(graph.edge_count(), 1u);
+  EXPECT_TRUE(graph.check_consistency());
+
+  graph.clear_out_edge(a, 0);
+  EXPECT_EQ(graph.out_degree(a), 0u);
+  EXPECT_EQ(graph.in_degree(b), 0u);
+  EXPECT_EQ(graph.edge_count(), 0u);
+  EXPECT_TRUE(graph.check_consistency());
+}
+
+TEST(DynamicGraph, ParallelEdgesAllowed) {
+  DynamicGraph graph;
+  const NodeId a = graph.add_node(3, 0.0);
+  const NodeId b = graph.add_node(3, 0.0);
+  graph.set_out_edge(a, 0, b);
+  graph.set_out_edge(a, 1, b);
+  graph.set_out_edge(a, 2, b);
+  EXPECT_EQ(graph.out_degree(a), 3u);
+  EXPECT_EQ(graph.in_degree(b), 3u);
+  EXPECT_TRUE(graph.check_consistency());
+}
+
+TEST(DynamicGraph, RemoveNodeDetachesAllEdges) {
+  DynamicGraph graph;
+  const NodeId a = graph.add_node(1, 0.0);
+  const NodeId b = graph.add_node(1, 0.0);
+  const NodeId c = graph.add_node(1, 0.0);
+  graph.set_out_edge(a, 0, b);  // a -> b
+  graph.set_out_edge(b, 0, c);  // b -> c
+  graph.set_out_edge(c, 0, b);  // c -> b
+  EXPECT_EQ(graph.edge_count(), 3u);
+
+  const auto orphans = graph.remove_node(b);
+  EXPECT_FALSE(graph.is_alive(b));
+  EXPECT_EQ(graph.alive_count(), 2u);
+  EXPECT_EQ(graph.edge_count(), 0u);
+  EXPECT_EQ(graph.out_degree(a), 0u);
+  EXPECT_EQ(graph.out_degree(c), 0u);
+  // Orphans: the out-slots of a and c that pointed at b.
+  ASSERT_EQ(orphans.size(), 2u);
+  std::set<std::uint32_t> owners;
+  for (const auto& orphan : orphans) {
+    owners.insert(orphan.owner.slot);
+    EXPECT_EQ(orphan.index, 0u);
+  }
+  EXPECT_TRUE(owners.contains(a.slot));
+  EXPECT_TRUE(owners.contains(c.slot));
+  EXPECT_TRUE(graph.check_consistency());
+}
+
+TEST(DynamicGraph, RemoveNodeReportsNoOrphanForOwnEdges) {
+  DynamicGraph graph;
+  const NodeId a = graph.add_node(2, 0.0);
+  const NodeId b = graph.add_node(2, 0.0);
+  graph.set_out_edge(a, 0, b);
+  graph.set_out_edge(a, 1, b);
+  const auto orphans = graph.remove_node(a);
+  EXPECT_TRUE(orphans.empty());  // b loses in-edges, not out-edges
+  EXPECT_EQ(graph.in_degree(b), 0u);
+  EXPECT_TRUE(graph.check_consistency());
+}
+
+TEST(DynamicGraph, GenerationalIdsDetectStaleReferences) {
+  DynamicGraph graph;
+  const NodeId a = graph.add_node(1, 0.0);
+  graph.remove_node(a);
+  EXPECT_FALSE(graph.is_alive(a));
+  // The slot is recycled with a bumped generation.
+  const NodeId reused = graph.add_node(1, 1.0);
+  EXPECT_EQ(reused.slot, a.slot);
+  EXPECT_NE(reused.generation, a.generation);
+  EXPECT_FALSE(graph.is_alive(a));
+  EXPECT_TRUE(graph.is_alive(reused));
+}
+
+TEST(DynamicGraph, InvalidIdNeverAlive) {
+  DynamicGraph graph;
+  EXPECT_FALSE(graph.is_alive(kInvalidNode));
+  EXPECT_FALSE(graph.is_alive(NodeId{99, 0}));
+}
+
+TEST(DynamicGraph, RandomAliveReturnsAliveNodes) {
+  DynamicGraph graph;
+  Rng rng(1);
+  std::vector<NodeId> nodes;
+  for (int i = 0; i < 10; ++i) nodes.push_back(graph.add_node(0, 0.0));
+  graph.remove_node(nodes[3]);
+  graph.remove_node(nodes[7]);
+  for (int i = 0; i < 1000; ++i) {
+    const NodeId pick = graph.random_alive(rng);
+    EXPECT_TRUE(graph.is_alive(pick));
+  }
+}
+
+TEST(DynamicGraph, RandomAliveIsUniform) {
+  DynamicGraph graph;
+  Rng rng(2);
+  std::vector<NodeId> nodes;
+  for (int i = 0; i < 5; ++i) nodes.push_back(graph.add_node(0, 0.0));
+  std::unordered_map<std::uint32_t, int> counts;
+  constexpr int kDraws = 50000;
+  for (int i = 0; i < kDraws; ++i) ++counts[graph.random_alive(rng).slot];
+  for (const NodeId node : nodes) {
+    EXPECT_NEAR(counts[node.slot], kDraws / 5, 700);
+  }
+}
+
+TEST(DynamicGraph, RandomAliveOtherExcludesNode) {
+  DynamicGraph graph;
+  Rng rng(3);
+  const NodeId a = graph.add_node(0, 0.0);
+  const NodeId b = graph.add_node(0, 0.0);
+  for (int i = 0; i < 200; ++i) {
+    EXPECT_EQ(graph.random_alive_other(rng, a), b);
+    EXPECT_EQ(graph.random_alive_other(rng, b), a);
+  }
+}
+
+TEST(DynamicGraph, RandomAliveOtherUniformOverRest) {
+  DynamicGraph graph;
+  Rng rng(4);
+  std::vector<NodeId> nodes;
+  for (int i = 0; i < 6; ++i) nodes.push_back(graph.add_node(0, 0.0));
+  std::unordered_map<std::uint32_t, int> counts;
+  constexpr int kDraws = 50000;
+  for (int i = 0; i < kDraws; ++i) {
+    const NodeId pick = graph.random_alive_other(rng, nodes[2]);
+    EXPECT_NE(pick, nodes[2]);
+    ++counts[pick.slot];
+  }
+  for (const NodeId node : nodes) {
+    if (node == nodes[2]) continue;
+    EXPECT_NEAR(counts[node.slot], kDraws / 5, 700);
+  }
+}
+
+TEST(DynamicGraph, RandomAliveOtherSingletonReturnsInvalid) {
+  DynamicGraph graph;
+  Rng rng(5);
+  const NodeId only = graph.add_node(0, 0.0);
+  EXPECT_EQ(graph.random_alive_other(rng, only), kInvalidNode);
+}
+
+TEST(DynamicGraph, RandomAliveOtherWithDeadExcludeSamplesAll) {
+  DynamicGraph graph;
+  Rng rng(6);
+  const NodeId dead = graph.add_node(0, 0.0);
+  graph.remove_node(dead);
+  const NodeId a = graph.add_node(0, 0.0);
+  for (int i = 0; i < 100; ++i) {
+    EXPECT_EQ(graph.random_alive_other(rng, dead), a);
+  }
+}
+
+TEST(DynamicGraph, AppendNeighborsBothDirections) {
+  DynamicGraph graph;
+  const NodeId a = graph.add_node(1, 0.0);
+  const NodeId b = graph.add_node(1, 0.0);
+  const NodeId c = graph.add_node(1, 0.0);
+  graph.set_out_edge(a, 0, b);
+  graph.set_out_edge(c, 0, a);
+  std::vector<NodeId> neighbors;
+  graph.append_neighbors(a, neighbors);
+  ASSERT_EQ(neighbors.size(), 2u);
+  EXPECT_TRUE((neighbors[0] == b && neighbors[1] == c) ||
+              (neighbors[0] == c && neighbors[1] == b));
+}
+
+TEST(DynamicGraph, AliveNodesMatchesLiveSet) {
+  DynamicGraph graph;
+  std::vector<NodeId> nodes;
+  for (int i = 0; i < 8; ++i) nodes.push_back(graph.add_node(0, 0.0));
+  graph.remove_node(nodes[0]);
+  graph.remove_node(nodes[4]);
+  const auto alive = graph.alive_nodes();
+  EXPECT_EQ(alive.size(), 6u);
+  for (const NodeId node : alive) EXPECT_TRUE(graph.is_alive(node));
+}
+
+TEST(DynamicGraph, InListSwapEraseKeepsBackPointers) {
+  // Regression shape: removing an in-edge from the middle of a long in-list
+  // must fix the moved entry's back-pointer.
+  DynamicGraph graph;
+  const NodeId hub = graph.add_node(0, 0.0);
+  std::vector<NodeId> spokes;
+  for (int i = 0; i < 10; ++i) {
+    const NodeId s = graph.add_node(1, 0.0);
+    graph.set_out_edge(s, 0, hub);
+    spokes.push_back(s);
+  }
+  EXPECT_EQ(graph.in_degree(hub), 10u);
+  // Remove spokes in an order that exercises middle-of-list removals.
+  for (const int i : {0, 5, 2, 8, 1}) {
+    graph.remove_node(spokes[static_cast<std::size_t>(i)]);
+    EXPECT_TRUE(graph.check_consistency());
+  }
+  EXPECT_EQ(graph.in_degree(hub), 5u);
+}
+
+TEST(DynamicGraph, ClearOutEdgeMiddleOfInList) {
+  DynamicGraph graph;
+  const NodeId hub = graph.add_node(0, 0.0);
+  std::vector<NodeId> spokes;
+  for (int i = 0; i < 5; ++i) {
+    const NodeId s = graph.add_node(1, 0.0);
+    graph.set_out_edge(s, 0, hub);
+    spokes.push_back(s);
+  }
+  graph.clear_out_edge(spokes[1], 0);
+  EXPECT_TRUE(graph.check_consistency());
+  graph.clear_out_edge(spokes[4], 0);
+  EXPECT_TRUE(graph.check_consistency());
+  EXPECT_EQ(graph.in_degree(hub), 3u);
+}
+
+TEST(DynamicGraph, RetargetAfterClearWorks) {
+  DynamicGraph graph;
+  const NodeId a = graph.add_node(1, 0.0);
+  const NodeId b = graph.add_node(1, 0.0);
+  const NodeId c = graph.add_node(1, 0.0);
+  graph.set_out_edge(a, 0, b);
+  graph.clear_out_edge(a, 0);
+  graph.set_out_edge(a, 0, c);
+  EXPECT_EQ(graph.out_target(a, 0), c);
+  EXPECT_EQ(graph.in_degree(b), 0u);
+  EXPECT_EQ(graph.in_degree(c), 1u);
+  EXPECT_TRUE(graph.check_consistency());
+}
+
+// Property test: random add/remove/wire churn keeps the structure
+// consistent and leaves no dangling references.
+class DynamicGraphChurnTest : public ::testing::TestWithParam<std::uint64_t> {
+};
+
+TEST_P(DynamicGraphChurnTest, RandomChurnPreservesInvariants) {
+  Rng rng(GetParam());
+  DynamicGraph graph;
+  std::vector<NodeId> alive;
+  constexpr int kSteps = 2000;
+  for (int step = 0; step < kSteps; ++step) {
+    const double action = rng.real01();
+    if (action < 0.5 || alive.size() < 3) {
+      const NodeId node = graph.add_node(3, static_cast<double>(step));
+      // Wire as many slots as possible to random targets.
+      for (std::uint32_t i = 0; i < 3; ++i) {
+        const NodeId target = graph.random_alive_other(rng, node);
+        if (target.valid()) graph.set_out_edge(node, i, target);
+      }
+      alive.push_back(node);
+    } else {
+      const std::size_t pick =
+          static_cast<std::size_t>(rng.below(alive.size()));
+      const NodeId victim = alive[pick];
+      alive[pick] = alive.back();
+      alive.pop_back();
+      const auto orphans = graph.remove_node(victim);
+      // Regenerate some of the orphans, clear others implicitly.
+      for (const auto& orphan : orphans) {
+        if (!rng.bernoulli(0.5)) continue;
+        const NodeId target = graph.random_alive_other(rng, orphan.owner);
+        if (target.valid()) {
+          graph.set_out_edge(orphan.owner, orphan.index, target);
+        }
+      }
+    }
+    if (step % 100 == 0) {
+      ASSERT_TRUE(graph.check_consistency());
+    }
+  }
+  EXPECT_TRUE(graph.check_consistency());
+  EXPECT_EQ(graph.alive_count(), alive.size());
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, DynamicGraphChurnTest,
+                         ::testing::Values(1, 2, 3, 4, 5, 6, 7, 8));
+
+}  // namespace
+}  // namespace churnet

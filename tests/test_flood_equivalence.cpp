@@ -1,0 +1,227 @@
+// Equivalence tests: the optimized incremental flooding drivers must match
+// naive reference implementations of the paper's definitions step for
+// step. The references recompute the full boundary from scratch at every
+// step (O(|I| * deg) per step); the drivers examine only frontier and
+// freshly created edges. Any divergence indicates a frontier bookkeeping
+// bug.
+//
+// Determinism caveat: flooding drivers do not consume network randomness,
+// so two networks with the same config evolve identically, and the traces
+// are comparable step by step.
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <unordered_set>
+
+#include "benchutil/experiment.hpp"
+#include "churnet/churnet.hpp"
+
+namespace churnet {
+namespace {
+
+/// Reference implementation of Def. 3.3 (synchronous streaming flooding).
+std::vector<std::uint64_t> naive_flood_streaming(StreamingNetwork& net,
+                                                 std::uint64_t max_steps) {
+  std::vector<std::uint64_t> informed_per_step;
+  const auto source_round = net.step();
+  std::unordered_set<NodeId> informed{source_round.born};
+  informed_per_step.push_back(informed.size());
+  std::vector<NodeId> scratch;
+  for (std::uint64_t step = 1; step <= max_steps; ++step) {
+    // Full boundary of I_{t-1} in G_{t-1}: scan every informed node.
+    std::unordered_set<NodeId> next = informed;
+    for (const NodeId u : informed) {
+      scratch.clear();
+      net.graph().append_neighbors(u, scratch);
+      for (const NodeId v : scratch) next.insert(v);
+    }
+    const auto report = net.step();
+    if (report.died.has_value()) next.erase(*report.died);
+    informed = std::move(next);
+    informed_per_step.push_back(informed.size());
+    if (informed.size() + 1 >= net.graph().alive_count()) break;
+    if (informed.empty()) break;
+  }
+  return informed_per_step;
+}
+
+/// Reference implementation of Def. 4.3 (discretized Poisson flooding).
+std::vector<std::uint64_t> naive_flood_poisson(PoissonNetwork& net,
+                                               std::uint64_t max_steps) {
+  std::vector<std::uint64_t> informed_per_step;
+  std::unordered_set<NodeId> deaths;
+  NetworkHooks hooks;
+  hooks.on_death = [&deaths](NodeId node, double) { deaths.insert(node); };
+  net.set_hooks(std::move(hooks));
+
+  NodeId source;
+  for (;;) {
+    const auto event = net.step();
+    if (event.kind == ChurnEvent::Kind::kBirth) {
+      source = event.node;
+      break;
+    }
+  }
+  std::unordered_set<NodeId> informed{source};
+  informed_per_step.push_back(informed.size());
+  double clock = net.now();
+  std::vector<NodeId> scratch;
+  for (std::uint64_t step = 1; step <= max_steps; ++step) {
+    // Candidates: every (u in I_T, v adjacent in E_T) pair.
+    std::vector<std::pair<NodeId, NodeId>> candidates;
+    for (const NodeId u : informed) {
+      scratch.clear();
+      net.graph().append_neighbors(u, scratch);
+      for (const NodeId v : scratch) {
+        if (!informed.contains(v)) candidates.emplace_back(u, v);
+      }
+    }
+    deaths.clear();
+    net.run_until(clock + 1.0);
+    clock += 1.0;
+    for (const NodeId dead : deaths) informed.erase(dead);
+    for (const auto& [u, v] : candidates) {
+      if (deaths.contains(u) || deaths.contains(v)) continue;
+      informed.insert(v);
+    }
+    informed_per_step.push_back(informed.size());
+    if (informed.size() == net.graph().alive_count()) break;
+    if (informed.empty()) break;
+  }
+  net.set_hooks({});
+  return informed_per_step;
+}
+
+struct EquivalenceParam {
+  std::uint32_t n;
+  std::uint32_t d;
+  EdgePolicy policy;
+  std::uint64_t seed;
+};
+
+std::string param_name(
+    const ::testing::TestParamInfo<EquivalenceParam>& info) {
+  return "n" + std::to_string(info.param.n) + "_d" +
+         std::to_string(info.param.d) +
+         (info.param.policy == EdgePolicy::kRegenerate ? "_regen" : "_none") +
+         "_s" + std::to_string(info.param.seed);
+}
+
+class FloodEquivalence : public ::testing::TestWithParam<EquivalenceParam> {};
+
+TEST_P(FloodEquivalence, StreamingDriverMatchesNaiveReference) {
+  const EquivalenceParam param = GetParam();
+  StreamingConfig config;
+  config.n = param.n;
+  config.d = param.d;
+  config.policy = param.policy;
+  config.seed = param.seed;
+  constexpr std::uint64_t kMaxSteps = 60;
+
+  StreamingNetwork incremental_net(config);
+  incremental_net.warm_up();
+  FloodOptions options;
+  options.max_steps = kMaxSteps;
+  options.stop_on_die_out = true;
+  const FloodTrace trace = flood_streaming(incremental_net, options);
+
+  StreamingNetwork naive_net(config);
+  naive_net.warm_up();
+  const auto reference = naive_flood_streaming(naive_net, kMaxSteps);
+
+  ASSERT_EQ(trace.informed_per_step.size(), reference.size());
+  for (std::size_t t = 0; t < reference.size(); ++t) {
+    ASSERT_EQ(trace.informed_per_step[t], reference[t]) << "step " << t;
+  }
+}
+
+TEST_P(FloodEquivalence, PoissonDriverMatchesNaiveReference) {
+  const EquivalenceParam param = GetParam();
+  const PoissonConfig config =
+      PoissonConfig::with_n(param.n, param.d, param.policy, param.seed);
+  constexpr std::uint64_t kMaxSteps = 40;
+
+  PoissonNetwork incremental_net(config);
+  incremental_net.warm_up(6.0);
+  FloodOptions options;
+  options.max_steps = kMaxSteps;
+  options.stop_on_die_out = true;
+  const FloodTrace trace = flood_poisson_discretized(incremental_net, options);
+
+  PoissonNetwork naive_net(config);
+  naive_net.warm_up(6.0);
+  const auto reference = naive_flood_poisson(naive_net, kMaxSteps);
+
+  ASSERT_EQ(trace.informed_per_step.size(), reference.size());
+  for (std::size_t t = 0; t < reference.size(); ++t) {
+    ASSERT_EQ(trace.informed_per_step[t], reference[t]) << "step " << t;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Grid, FloodEquivalence,
+    ::testing::Values(
+        EquivalenceParam{60, 1, EdgePolicy::kNone, 1},
+        EquivalenceParam{60, 2, EdgePolicy::kRegenerate, 2},
+        EquivalenceParam{120, 3, EdgePolicy::kNone, 3},
+        EquivalenceParam{120, 4, EdgePolicy::kRegenerate, 4},
+        EquivalenceParam{250, 2, EdgePolicy::kNone, 5},
+        EquivalenceParam{250, 6, EdgePolicy::kRegenerate, 6},
+        EquivalenceParam{500, 8, EdgePolicy::kNone, 7},
+        EquivalenceParam{500, 8, EdgePolicy::kRegenerate, 8},
+        EquivalenceParam{250, 1, EdgePolicy::kNone, 9},
+        EquivalenceParam{250, 12, EdgePolicy::kRegenerate, 10}),
+    param_name);
+
+TEST(AsyncEquivalence, MatchesBfsWhenChurnIsFrozen) {
+  // With a vanishing death rate and the flood finishing long before the
+  // next churn event, asynchronous flooding is exactly BFS: completion
+  // time equals the source's eccentricity.
+  // Rates chosen so (a) the jump chain is almost surely a birth while the
+  // network grows (lambda >> N*mu) and (b) the expected gap between churn
+  // events (~1/lambda = 1e9) dwarfs the flood duration, freezing the
+  // topology for the comparison.
+  PoissonConfig config;
+  config.lambda = 1e-9;
+  config.mu = 1e-18;
+  config.d = 4;
+  config.policy = EdgePolicy::kRegenerate;
+  config.seed = 42;
+  PoissonNetwork net(config);
+  // Grow to ~400 nodes, then freeze by jumping to just after an event.
+  while (net.graph().alive_count() < 400) net.step();
+
+  const Snapshot before = net.snapshot();
+  const NodeId source_id = net.graph().random_alive(net.rng());
+  const auto source_index = before.index_of(source_id);
+  ASSERT_TRUE(source_index.has_value());
+  const std::uint32_t expected = eccentricity(before, *source_index);
+
+  AsyncFloodOptions options;
+  options.max_time = 1e4;
+  const AsyncFloodResult result = flood_async_from(net, source_id, options);
+  ASSERT_TRUE(result.completed);
+  EXPECT_DOUBLE_EQ(result.completion_time, static_cast<double>(expected));
+}
+
+TEST(AsyncEquivalence, MessagesRespectUnitLatency) {
+  // Between consecutive informs along one edge exactly one unit elapses:
+  // the completion time of a frozen-network flood is an integer.
+  PoissonConfig config;
+  config.lambda = 1e-9;
+  config.mu = 1e-18;
+  config.d = 3;
+  config.policy = EdgePolicy::kNone;
+  config.seed = 43;
+  PoissonNetwork net(config);
+  while (net.graph().alive_count() < 300) net.step();
+  const NodeId source_id = net.graph().random_alive(net.rng());
+  AsyncFloodOptions options;
+  options.max_time = 1e4;
+  options.stop_at_fraction = 0.9;
+  const AsyncFloodResult result = flood_async_from(net, source_id, options);
+  EXPECT_DOUBLE_EQ(result.elapsed, std::floor(result.elapsed));
+}
+
+}  // namespace
+}  // namespace churnet

@@ -1,0 +1,113 @@
+// Tests for common/histogram.hpp.
+#include "common/histogram.hpp"
+
+#include <gtest/gtest.h>
+
+namespace churnet {
+namespace {
+
+TEST(Histogram, BinAssignment) {
+  Histogram h(0.0, 10.0, 10);
+  h.add(0.0);   // bin 0
+  h.add(0.99);  // bin 0
+  h.add(1.0);   // bin 1
+  h.add(9.99);  // bin 9
+  EXPECT_EQ(h.bin(0), 2u);
+  EXPECT_EQ(h.bin(1), 1u);
+  EXPECT_EQ(h.bin(9), 1u);
+  EXPECT_EQ(h.total(), 4u);
+}
+
+TEST(Histogram, UnderflowOverflow) {
+  Histogram h(0.0, 1.0, 4);
+  h.add(-0.5);
+  h.add(1.0);  // hi is exclusive -> overflow
+  h.add(2.0);
+  EXPECT_EQ(h.underflow(), 1u);
+  EXPECT_EQ(h.overflow(), 2u);
+  EXPECT_EQ(h.total(), 3u);
+}
+
+TEST(Histogram, WeightedAdd) {
+  Histogram h(0.0, 10.0, 2);
+  h.add(1.0, 5);
+  h.add(7.0, 3);
+  EXPECT_EQ(h.bin(0), 5u);
+  EXPECT_EQ(h.bin(1), 3u);
+  EXPECT_EQ(h.total(), 8u);
+}
+
+TEST(Histogram, BinEdges) {
+  Histogram h(0.0, 10.0, 5);
+  EXPECT_DOUBLE_EQ(h.bin_lo(0), 0.0);
+  EXPECT_DOUBLE_EQ(h.bin_hi(0), 2.0);
+  EXPECT_DOUBLE_EQ(h.bin_lo(4), 8.0);
+  EXPECT_DOUBLE_EQ(h.bin_hi(4), 10.0);
+}
+
+TEST(Histogram, RenderProducesOneLinePerBin) {
+  Histogram h(0.0, 1.0, 3);
+  h.add(0.1);
+  h.add(0.5);
+  const std::string out = h.render();
+  int lines = 0;
+  for (const char c : out) lines += c == '\n' ? 1 : 0;
+  EXPECT_EQ(lines, 3);
+}
+
+TEST(IntHistogram, CountsExactValues) {
+  IntHistogram h(10);
+  h.add(0);
+  h.add(3);
+  h.add(3);
+  h.add(10);
+  EXPECT_EQ(h.count(0), 1u);
+  EXPECT_EQ(h.count(3), 2u);
+  EXPECT_EQ(h.count(10), 1u);
+  EXPECT_EQ(h.count(5), 0u);
+  EXPECT_EQ(h.total(), 4u);
+}
+
+TEST(IntHistogram, OverflowBucket) {
+  IntHistogram h(4);
+  h.add(5);
+  h.add(100);
+  EXPECT_EQ(h.overflow(), 2u);
+  EXPECT_EQ(h.count(100), 0u);
+  EXPECT_EQ(h.total(), 2u);
+}
+
+TEST(IntHistogram, MeanIncludesOverflowValues) {
+  IntHistogram h(2);
+  h.add(1);
+  h.add(5);  // overflow but still in the mean
+  EXPECT_DOUBLE_EQ(h.mean(), 3.0);
+}
+
+TEST(IntHistogram, Pmf) {
+  IntHistogram h(4);
+  h.add(1);
+  h.add(1);
+  h.add(2);
+  h.add(3);
+  EXPECT_DOUBLE_EQ(h.pmf(1), 0.5);
+  EXPECT_DOUBLE_EQ(h.pmf(2), 0.25);
+  EXPECT_DOUBLE_EQ(h.pmf(0), 0.0);
+}
+
+TEST(IntHistogram, EmptyPmfAndMean) {
+  IntHistogram h(4);
+  EXPECT_DOUBLE_EQ(h.pmf(0), 0.0);
+  EXPECT_DOUBLE_EQ(h.mean(), 0.0);
+}
+
+TEST(IntHistogram, RenderIncludesOverflowLine) {
+  IntHistogram h(2);
+  h.add(1);
+  h.add(9);
+  const std::string out = h.render();
+  EXPECT_NE(out.find(">2"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace churnet

@@ -1,0 +1,131 @@
+// Tests for expansion/isolated.hpp and the isolated-node phenomenology of
+// the models (paper Lemmas 3.5 / 4.10 at test scale).
+#include "expansion/isolated.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "benchutil/experiment.hpp"
+#include "models/poisson_network.hpp"
+#include "models/streaming_network.hpp"
+
+namespace churnet {
+namespace {
+
+using Edges = std::vector<std::pair<std::uint32_t, std::uint32_t>>;
+
+TEST(IsolatedCensus, CountsDegreeZero) {
+  const Snapshot snap = Snapshot::from_edges(5, Edges{{0, 1}});
+  const IsolatedCensus census = isolated_census(snap);
+  EXPECT_EQ(census.isolated_nodes, 3u);
+  EXPECT_EQ(census.total_nodes, 5u);
+  EXPECT_DOUBLE_EQ(census.fraction, 0.6);
+}
+
+TEST(IsolatedCensus, EmptySnapshot) {
+  const Snapshot snap = Snapshot::from_edges(0, {});
+  const IsolatedCensus census = isolated_census(snap);
+  EXPECT_EQ(census.isolated_nodes, 0u);
+  EXPECT_DOUBLE_EQ(census.fraction, 0.0);
+}
+
+TEST(IsolatedCensus, NoIsolatedInConnectedGraph) {
+  const Snapshot snap = Snapshot::from_edges(3, Edges{{0, 1}, {1, 2}});
+  EXPECT_EQ(isolated_census(snap).isolated_nodes, 0u);
+}
+
+TEST(LemmaFractions, MonotoneDecreasingInD) {
+  EXPECT_GT(lemma_3_5_isolated_fraction(2), lemma_3_5_isolated_fraction(3));
+  EXPECT_GT(lemma_4_10_isolated_fraction(2), lemma_4_10_isolated_fraction(3));
+  EXPECT_NEAR(lemma_3_5_isolated_fraction(1), std::exp(-2.0) / 6.0, 1e-12);
+  EXPECT_NEAR(lemma_4_10_isolated_fraction(1), std::exp(-2.0) / 18.0, 1e-12);
+}
+
+TEST(IsolatedNodes, SdgHasIsolatedNodesAtSmallD) {
+  // Lemma 3.5 at test scale: for small d a noticeable fraction of nodes is
+  // isolated; the lemma's e^{-2d}/6 is a lower bound.
+  constexpr std::uint32_t kN = 2000;
+  constexpr std::uint32_t kD = 2;
+  double fraction_sum = 0.0;
+  constexpr int kReps = 10;
+  for (std::uint64_t rep = 0; rep < kReps; ++rep) {
+    StreamingConfig config;
+    config.n = kN;
+    config.d = kD;
+    config.policy = EdgePolicy::kNone;
+    config.seed = derive_seed(1, 0, rep);
+    StreamingNetwork net(config);
+    net.warm_up();
+    net.run_rounds(kN);
+    fraction_sum += isolated_census(net.snapshot()).fraction;
+  }
+  const double mean_fraction = fraction_sum / kReps;
+  EXPECT_GT(mean_fraction, lemma_3_5_isolated_fraction(kD));
+  EXPECT_LT(mean_fraction, 0.2);
+}
+
+TEST(IsolatedNodes, SdgrHasNoIsolatedNodesSteadyState) {
+  // With regeneration every post-founder node keeps out-degree d >= 1, so
+  // no isolated nodes exist once the founders died out.
+  StreamingConfig config;
+  config.n = 1000;
+  config.d = 3;
+  config.policy = EdgePolicy::kRegenerate;
+  config.seed = 2;
+  StreamingNetwork net(config);
+  net.warm_up();
+  net.run_rounds(1100);
+  EXPECT_EQ(isolated_census(net.snapshot()).isolated_nodes, 0u);
+}
+
+TEST(IsolatedNodes, PdgHasIsolatedNodesAtSmallD) {
+  // Lemma 4.10 at test scale.
+  constexpr std::uint32_t kN = 2000;
+  constexpr std::uint32_t kD = 2;
+  double fraction_sum = 0.0;
+  constexpr int kReps = 8;
+  for (std::uint64_t rep = 0; rep < kReps; ++rep) {
+    PoissonNetwork net(PoissonConfig::with_n(kN, kD, EdgePolicy::kNone,
+                                             derive_seed(3, 0, rep)));
+    net.warm_up(8.0);
+    fraction_sum += isolated_census(net.snapshot()).fraction;
+  }
+  const double mean_fraction = fraction_sum / kReps;
+  EXPECT_GT(mean_fraction, lemma_4_10_isolated_fraction(kD));
+}
+
+TEST(IsolatedNodes, PdgrHasNearlyNoIsolatedNodes) {
+  PoissonNetwork net(PoissonConfig::with_n(1500, 3, EdgePolicy::kRegenerate,
+                                           4));
+  net.warm_up(12.0);
+  const IsolatedCensus census = isolated_census(net.snapshot());
+  // Only unlucky founders could be isolated; after 12 lifetimes virtually
+  // none survive.
+  EXPECT_LE(census.fraction, 0.002);
+}
+
+TEST(IsolatedNodes, IsolationDropsExponentiallyWithD) {
+  // Shape check: isolated fraction should drop by a large factor from d=1
+  // to d=3 (the paper's e^{-2d} scaling at lower-order fidelity).
+  constexpr std::uint32_t kN = 3000;
+  double fractions[2] = {0.0, 0.0};
+  const std::uint32_t ds[2] = {1, 3};
+  for (int i = 0; i < 2; ++i) {
+    for (std::uint64_t rep = 0; rep < 6; ++rep) {
+      StreamingConfig config;
+      config.n = kN;
+      config.d = ds[i];
+      config.policy = EdgePolicy::kNone;
+      config.seed = derive_seed(5, ds[i], rep);
+      StreamingNetwork net(config);
+      net.warm_up();
+      net.run_rounds(kN);
+      fractions[i] += isolated_census(net.snapshot()).fraction;
+    }
+  }
+  EXPECT_GT(fractions[0], 5.0 * fractions[1]);
+}
+
+}  // namespace
+}  // namespace churnet

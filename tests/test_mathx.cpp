@@ -1,0 +1,152 @@
+// Tests for common/mathx.hpp: log-binomials, pmfs, KL divergence
+// (Theorem A.3 of the paper: D(p||q) >= 0), entropy, normalization.
+#include "common/mathx.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <vector>
+
+#include "common/rng.hpp"
+
+namespace churnet {
+namespace {
+
+TEST(Mathx, LogFactorialSmallValues) {
+  EXPECT_NEAR(log_factorial(0), 0.0, 1e-12);
+  EXPECT_NEAR(log_factorial(1), 0.0, 1e-12);
+  EXPECT_NEAR(log_factorial(2), std::log(2.0), 1e-12);
+  EXPECT_NEAR(log_factorial(5), std::log(120.0), 1e-10);
+  EXPECT_NEAR(log_factorial(10), std::log(3628800.0), 1e-9);
+}
+
+TEST(Mathx, LogBinomialMatchesPascal) {
+  EXPECT_NEAR(log_binomial(5, 2), std::log(10.0), 1e-10);
+  EXPECT_NEAR(log_binomial(10, 5), std::log(252.0), 1e-9);
+  EXPECT_NEAR(log_binomial(7, 0), 0.0, 1e-12);
+  EXPECT_NEAR(log_binomial(7, 7), 0.0, 1e-12);
+}
+
+TEST(Mathx, LogBinomialSymmetry) {
+  for (std::uint64_t n = 1; n <= 30; ++n) {
+    for (std::uint64_t k = 0; k <= n; ++k) {
+      EXPECT_NEAR(log_binomial(n, k), log_binomial(n, n - k), 1e-9);
+    }
+  }
+}
+
+TEST(Mathx, LogBinomialUpperBound) {
+  // The bound C(n,k) <= (n*e/k)^k used throughout the paper's proofs.
+  for (std::uint64_t n : {10ull, 100ull, 1000ull}) {
+    for (std::uint64_t k = 1; k <= n / 2; k += std::max<std::uint64_t>(1, n / 7)) {
+      const double bound = static_cast<double>(k) *
+                           (std::log(static_cast<double>(n) / k) + 1.0);
+      EXPECT_LE(log_binomial(n, k), bound + 1e-9);
+    }
+  }
+}
+
+TEST(Mathx, PoissonPmfSumsToOne) {
+  for (const double mean : {0.5, 1.0, 4.0, 20.0}) {
+    double total = 0.0;
+    for (std::uint64_t k = 0; k < 200; ++k) total += poisson_pmf(k, mean);
+    EXPECT_NEAR(total, 1.0, 1e-9);
+  }
+}
+
+TEST(Mathx, PoissonPmfKnownValues) {
+  EXPECT_NEAR(poisson_pmf(0, 1.0), std::exp(-1.0), 1e-12);
+  EXPECT_NEAR(poisson_pmf(1, 1.0), std::exp(-1.0), 1e-12);
+  EXPECT_NEAR(poisson_pmf(2, 1.0), std::exp(-1.0) / 2.0, 1e-12);
+  EXPECT_DOUBLE_EQ(poisson_pmf(0, 0.0), 1.0);
+  EXPECT_DOUBLE_EQ(poisson_pmf(3, 0.0), 0.0);
+}
+
+TEST(Mathx, BinomialPmfSumsToOne) {
+  for (const double p : {0.1, 0.5, 0.9}) {
+    double total = 0.0;
+    for (std::uint64_t k = 0; k <= 50; ++k) total += binomial_pmf(50, k, p);
+    EXPECT_NEAR(total, 1.0, 1e-9);
+  }
+}
+
+TEST(Mathx, BinomialPmfDegenerate) {
+  EXPECT_DOUBLE_EQ(binomial_pmf(10, 0, 0.0), 1.0);
+  EXPECT_DOUBLE_EQ(binomial_pmf(10, 3, 0.0), 0.0);
+  EXPECT_DOUBLE_EQ(binomial_pmf(10, 10, 1.0), 1.0);
+  EXPECT_DOUBLE_EQ(binomial_pmf(10, 9, 1.0), 0.0);
+}
+
+TEST(Mathx, BinomialPmfMatchesDirectComputation) {
+  // C(6,2) 0.3^2 0.7^4 = 15 * 0.09 * 0.2401
+  EXPECT_NEAR(binomial_pmf(6, 2, 0.3), 15.0 * 0.09 * 0.2401, 1e-12);
+}
+
+TEST(Mathx, KlDivergenceOfIdenticalIsZero) {
+  const std::vector<double> p{0.2, 0.3, 0.5};
+  EXPECT_NEAR(kl_divergence(p, p), 0.0, 1e-12);
+}
+
+TEST(Mathx, KlDivergenceNonNegativeOnRandomDistributions) {
+  // Theorem A.3 (the paper uses this to bound the union bound in
+  // Lemma 4.18): D(p||q) >= 0 for all distributions.
+  Rng rng(9);
+  for (int trial = 0; trial < 200; ++trial) {
+    std::vector<double> p(10);
+    std::vector<double> q(10);
+    for (int i = 0; i < 10; ++i) {
+      p[i] = rng.real01() + 1e-6;
+      q[i] = rng.real01() + 1e-6;
+    }
+    normalize(p);
+    normalize(q);
+    EXPECT_GE(kl_divergence(p, q), -1e-12);
+  }
+}
+
+TEST(Mathx, KlDivergenceKnownValue) {
+  // D({1,0} || {0.5,0.5}) = log 2.
+  const std::vector<double> p{1.0, 0.0};
+  const std::vector<double> q{0.5, 0.5};
+  EXPECT_NEAR(kl_divergence(p, q), std::log(2.0), 1e-12);
+}
+
+TEST(Mathx, KlDivergenceAsymmetric) {
+  const std::vector<double> p{0.9, 0.1};
+  const std::vector<double> q{0.5, 0.5};
+  EXPECT_GT(std::abs(kl_divergence(p, q) - kl_divergence(q, p)), 1e-3);
+}
+
+TEST(Mathx, EntropyUniformIsLogN) {
+  const std::vector<double> p(8, 1.0 / 8.0);
+  EXPECT_NEAR(entropy(p), std::log(8.0), 1e-12);
+}
+
+TEST(Mathx, EntropyDegenerateIsZero) {
+  const std::vector<double> p{1.0, 0.0, 0.0};
+  EXPECT_NEAR(entropy(p), 0.0, 1e-12);
+}
+
+TEST(Mathx, EntropyBounds) {
+  Rng rng(10);
+  for (int trial = 0; trial < 100; ++trial) {
+    std::vector<double> p(16);
+    for (auto& x : p) x = rng.real01() + 1e-9;
+    normalize(p);
+    const double h = entropy(p);
+    EXPECT_GE(h, 0.0);
+    EXPECT_LE(h, std::log(16.0) + 1e-12);
+  }
+}
+
+TEST(Mathx, NormalizeSumsToOne) {
+  std::vector<double> w{1.0, 2.0, 3.0, 4.0};
+  normalize(w);
+  double total = 0.0;
+  for (const double x : w) total += x;
+  EXPECT_NEAR(total, 1.0, 1e-12);
+  EXPECT_NEAR(w[3], 0.4, 1e-12);
+}
+
+}  // namespace
+}  // namespace churnet

@@ -1,0 +1,117 @@
+// Tests for flooding/onion_skin.hpp (paper Section 3.1.2, Claim 3.10,
+// Lemma 3.9).
+#include "flooding/onion_skin.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "benchutil/experiment.hpp"
+#include "common/stats.hpp"
+
+namespace churnet {
+namespace {
+
+OnionSkinConfig make_config(std::uint32_t n, std::uint32_t d,
+                            std::uint64_t seed) {
+  OnionSkinConfig config;
+  config.n = n;
+  config.d = d;
+  config.seed = seed;
+  return config;
+}
+
+TEST(OnionSkin, Phase0LayerBoundedByD) {
+  const OnionSkinResult result = run_onion_skin(make_config(10000, 200, 1));
+  ASSERT_FALSE(result.old_layers.empty());
+  EXPECT_LE(result.old_layers[0], 200u);
+  EXPECT_GT(result.old_layers[0], 0u);
+}
+
+TEST(OnionSkin, Claim310Phase0AtLeastDOver20) {
+  // Claim 3.10: |O_0| >= d/20 with probability >= 1 - e^{-d/100}. For
+  // d = 200 the failure probability is ~13.5%; over 30 seeds the great
+  // majority must pass (in fact |O_0| ~ d/2 typically).
+  int passes = 0;
+  for (std::uint64_t rep = 0; rep < 30; ++rep) {
+    const OnionSkinResult result =
+        run_onion_skin(make_config(20000, 200, derive_seed(2, 0, rep)));
+    passes += result.old_layers[0] >= 200 / 20 ? 1 : 0;
+  }
+  EXPECT_GE(passes, 27);
+}
+
+TEST(OnionSkin, ReachesTargetForLargeD) {
+  // Lemma 3.9: with d >= 200, both sides reach n/d informed nodes with
+  // probability >= 1 - 4e^{-2} ~ 0.46; empirically it is far higher.
+  int reached = 0;
+  for (std::uint64_t rep = 0; rep < 20; ++rep) {
+    const OnionSkinResult result =
+        run_onion_skin(make_config(20000, 200, derive_seed(3, 0, rep)));
+    reached += result.reached_target ? 1 : 0;
+  }
+  EXPECT_GE(reached, 16);
+}
+
+TEST(OnionSkin, LayersGrowGeometrically) {
+  // Claim 3.10: conditional growth factor ~ d/20 per step while layers are
+  // below n/d. Check the realized growth of consecutive old layers.
+  const OnionSkinResult result = run_onion_skin(make_config(50000, 200, 4));
+  ASSERT_GE(result.old_layers.size(), 2u);
+  const std::uint64_t target = 50000 / 200;
+  for (std::size_t k = 0; k + 1 < result.old_layers.size(); ++k) {
+    if (result.old_layers[k + 1] == 0) break;
+    if (result.old_layers[k] >= target) break;  // growth phase over
+    EXPECT_GE(result.old_layers[k + 1],
+              result.old_layers[k] * (200 / 40))  // half the paper factor
+        << "phase " << k;
+  }
+}
+
+TEST(OnionSkin, PhaseCountIsLogarithmic) {
+  // O(log n / log d) phases suffice (Lemma 3.9).
+  const OnionSkinResult result = run_onion_skin(make_config(100000, 200, 5));
+  EXPECT_TRUE(result.reached_target);
+  const double bound =
+      4.0 + 3.0 * std::log(100000.0) / std::log(200.0 / 20.0);
+  EXPECT_LE(result.phases, static_cast<std::uint32_t>(bound));
+}
+
+TEST(OnionSkin, InformedCountsMatchLayerSums) {
+  const OnionSkinResult result = run_onion_skin(make_config(30000, 200, 6));
+  std::uint64_t old_total = 0;
+  for (const std::uint64_t layer : result.old_layers) old_total += layer;
+  std::uint64_t young_total = 0;
+  for (const std::uint64_t layer : result.young_layers) young_total += layer;
+  EXPECT_EQ(result.informed_old, old_total);
+  EXPECT_EQ(result.informed_young, young_total);
+}
+
+TEST(OnionSkin, SmallDOftenStalls) {
+  // With tiny d the process dies out quickly (the flip side of Claim 3.10):
+  // most runs should fail to reach the target.
+  int reached = 0;
+  for (std::uint64_t rep = 0; rep < 30; ++rep) {
+    const OnionSkinResult result =
+        run_onion_skin(make_config(5000, 4, derive_seed(7, 0, rep)));
+    reached += result.reached_target ? 1 : 0;
+  }
+  EXPECT_LE(reached, 15);
+}
+
+TEST(OnionSkin, DeterministicForSeed) {
+  const OnionSkinResult a = run_onion_skin(make_config(10000, 200, 42));
+  const OnionSkinResult b = run_onion_skin(make_config(10000, 200, 42));
+  EXPECT_EQ(a.old_layers, b.old_layers);
+  EXPECT_EQ(a.young_layers, b.young_layers);
+  EXPECT_EQ(a.reached_target, b.reached_target);
+}
+
+TEST(OnionSkin, YoungNodesNeverExceedHalfN) {
+  const OnionSkinResult result = run_onion_skin(make_config(8000, 200, 8));
+  EXPECT_LE(result.informed_young, 4000u);
+  EXPECT_LE(result.informed_old, 4000u);
+}
+
+}  // namespace
+}  // namespace churnet

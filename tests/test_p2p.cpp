@@ -1,0 +1,221 @@
+// Tests for the P2P overlay substrate (p2p/address_table.hpp,
+// p2p/p2p_network.hpp) and block propagation over it.
+#include "p2p/p2p_network.hpp"
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "benchutil/experiment.hpp"
+#include "flooding/async_flooding.hpp"
+#include "graph/algorithms.hpp"
+#include "p2p/address_table.hpp"
+
+namespace churnet {
+namespace {
+
+TEST(AddressTable, InsertAndContains) {
+  AddressTable table(8);
+  Rng rng(1);
+  const NodeId a{1, 0};
+  const NodeId b{2, 0};
+  table.insert(a, rng);
+  EXPECT_TRUE(table.contains(a));
+  EXPECT_FALSE(table.contains(b));
+  EXPECT_EQ(table.size(), 1u);
+}
+
+TEST(AddressTable, InsertDeduplicates) {
+  AddressTable table(8);
+  Rng rng(2);
+  const NodeId a{1, 0};
+  table.insert(a, rng);
+  table.insert(a, rng);
+  EXPECT_EQ(table.size(), 1u);
+}
+
+TEST(AddressTable, GenerationsDistinguishEntries) {
+  AddressTable table(8);
+  Rng rng(3);
+  table.insert(NodeId{1, 0}, rng);
+  table.insert(NodeId{1, 1}, rng);  // same slot, later generation
+  EXPECT_EQ(table.size(), 2u);
+}
+
+TEST(AddressTable, CapacityEviction) {
+  AddressTable table(4);
+  Rng rng(4);
+  for (std::uint32_t i = 0; i < 20; ++i) table.insert(NodeId{i, 0}, rng);
+  EXPECT_EQ(table.size(), 4u);
+  EXPECT_EQ(table.capacity(), 4u);
+}
+
+TEST(AddressTable, EraseRemoves) {
+  AddressTable table(8);
+  Rng rng(5);
+  const NodeId a{1, 0};
+  const NodeId b{2, 0};
+  table.insert(a, rng);
+  table.insert(b, rng);
+  table.erase(a);
+  EXPECT_FALSE(table.contains(a));
+  EXPECT_TRUE(table.contains(b));
+  table.erase(a);  // erasing a missing entry is a no-op
+  EXPECT_EQ(table.size(), 1u);
+}
+
+TEST(AddressTable, SampleFromEmptyIsInvalid) {
+  AddressTable table(8);
+  Rng rng(6);
+  EXPECT_EQ(table.sample(rng), kInvalidNode);
+  EXPECT_TRUE(table.sample_many(5, rng).empty());
+}
+
+TEST(AddressTable, SampleReturnsStoredEntries) {
+  AddressTable table(16);
+  Rng rng(7);
+  for (std::uint32_t i = 0; i < 10; ++i) table.insert(NodeId{i, 0}, rng);
+  for (int trial = 0; trial < 200; ++trial) {
+    EXPECT_TRUE(table.contains(table.sample(rng)));
+  }
+}
+
+TEST(AddressTable, SampleManyDistinct) {
+  AddressTable table(16);
+  Rng rng(8);
+  for (std::uint32_t i = 0; i < 10; ++i) table.insert(NodeId{i, 0}, rng);
+  const auto picked = table.sample_many(6, rng);
+  EXPECT_EQ(picked.size(), 6u);
+  std::set<NodeId> unique(picked.begin(), picked.end());
+  EXPECT_EQ(unique.size(), 6u);
+  const auto more_than_stored = table.sample_many(50, rng);
+  EXPECT_EQ(more_than_stored.size(), 10u);
+}
+
+P2pConfig test_config(std::uint32_t n, std::uint64_t seed) {
+  P2pConfig config = P2pConfig::with_n(n, seed);
+  config.target_out = 8;
+  config.max_in = 64;
+  return config;
+}
+
+TEST(P2pNetwork, WarmUpReachesExpectedScale) {
+  P2pNetwork net(test_config(500, 1));
+  net.warm_up(5.0);
+  const double size = net.graph().alive_count();
+  EXPECT_GT(size, 0.7 * 500);
+  EXPECT_LT(size, 1.3 * 500);
+}
+
+TEST(P2pNetwork, GraphStaysConsistent) {
+  P2pNetwork net(test_config(300, 2));
+  net.warm_up(5.0);
+  EXPECT_TRUE(net.graph().check_consistency());
+  net.run_events(5000);
+  EXPECT_TRUE(net.graph().check_consistency());
+}
+
+TEST(P2pNetwork, MostOutSlotsAreFilled) {
+  P2pNetwork net(test_config(500, 3));
+  net.warm_up(8.0);
+  const double dangling = static_cast<double>(net.dangling_out_slots());
+  const double total = 8.0 * static_cast<double>(net.graph().alive_count());
+  EXPECT_LT(dangling / total, 0.05);
+}
+
+TEST(P2pNetwork, InDegreeRespectsCap) {
+  P2pConfig config = test_config(400, 4);
+  config.max_in = 16;
+  P2pNetwork net(config);
+  net.warm_up(8.0);
+  for (const NodeId node : net.graph().alive_nodes()) {
+    EXPECT_LE(net.graph().in_degree(node), 16u);
+  }
+}
+
+TEST(P2pNetwork, NoDuplicateOutPeers) {
+  P2pNetwork net(test_config(300, 5));
+  net.warm_up(6.0);
+  for (const NodeId node : net.graph().alive_nodes()) {
+    std::set<NodeId> peers;
+    for (std::uint32_t i = 0; i < net.graph().out_slot_count(node); ++i) {
+      const NodeId target = net.graph().out_target(node, i);
+      if (!target.valid()) continue;
+      EXPECT_TRUE(peers.insert(target).second)
+          << "duplicate out-peer connection";
+    }
+  }
+}
+
+TEST(P2pNetwork, TablesStayMostlyFresh) {
+  P2pNetwork net(test_config(400, 6));
+  net.warm_up(10.0);
+  // Gossip keeps staleness bounded; with lifetime n and steady gossip the
+  // stale fraction should be well below a half.
+  EXPECT_LT(net.mean_table_staleness(), 0.5);
+}
+
+TEST(P2pNetwork, DialAccountingAccumulates) {
+  P2pNetwork net(test_config(300, 7));
+  net.warm_up(8.0);
+  EXPECT_GT(net.successful_dials(), 0u);
+  // Failed dials happen (stale addresses) but should not dominate.
+  EXPECT_LT(net.failed_dials(), net.successful_dials());
+}
+
+TEST(P2pNetwork, OverlayIsWellConnected) {
+  P2pNetwork net(test_config(600, 8));
+  net.warm_up(8.0);
+  const Snapshot snap = net.snapshot();
+  const Components comps = connected_components(snap);
+  EXPECT_GT(static_cast<double>(comps.largest_size),
+            0.99 * static_cast<double>(snap.node_count()));
+}
+
+TEST(P2pNetwork, BlockPropagationReachesAlmostEveryone) {
+  P2pNetwork net(test_config(500, 9));
+  net.warm_up(8.0);
+  // Miner: a random current node.
+  const NodeId miner = net.graph().random_alive(net.rng());
+  AsyncFloodOptions options;
+  options.max_time = 100.0;
+  options.stop_at_fraction = 0.99;
+  const AsyncFloodResult result = flood_async_from(net, miner, options);
+  EXPECT_GE(result.final_fraction, 0.99);
+}
+
+TEST(P2pNetwork, DeterministicForSeed) {
+  P2pNetwork a(test_config(200, 10));
+  P2pNetwork b(test_config(200, 10));
+  a.run_events(3000);
+  b.run_events(3000);
+  EXPECT_EQ(a.graph().alive_count(), b.graph().alive_count());
+  EXPECT_EQ(a.graph().edge_count(), b.graph().edge_count());
+  EXPECT_EQ(a.successful_dials(), b.successful_dials());
+}
+
+TEST(P2pNetwork, HooksFireOnBirthAndDeath) {
+  P2pNetwork net(test_config(150, 11));
+  std::uint64_t births = 0;
+  std::uint64_t deaths = 0;
+  NetworkHooks hooks;
+  hooks.on_birth = [&](NodeId, double) { ++births; };
+  hooks.on_death = [&](NodeId, double) { ++deaths; };
+  net.set_hooks(std::move(hooks));
+  net.run_events(2000);
+  EXPECT_EQ(births + deaths, 2000u);
+  EXPECT_GT(births, 0u);
+  EXPECT_GT(deaths, 0u);
+}
+
+TEST(P2pNetwork, PeekMatchesStep) {
+  P2pNetwork net(test_config(100, 12));
+  net.warm_up(2.0);
+  for (int i = 0; i < 100; ++i) {
+    const double peeked = net.peek_next_event_time();
+    EXPECT_DOUBLE_EQ(net.step().time, peeked);
+  }
+}
+
+}  // namespace
+}  // namespace churnet

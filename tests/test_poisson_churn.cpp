@@ -1,0 +1,133 @@
+// Tests for churn/poisson_churn.hpp: the exact jump chain of Lemma 4.6.
+// Statistical checks use fixed seeds with generous tolerances.
+#include "churn/poisson_churn.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "common/stats.hpp"
+
+namespace churnet {
+namespace {
+
+TEST(PoissonChurn, TimeIsStrictlyIncreasing) {
+  PoissonChurn churn(1.0, 0.01, 1);
+  double last = 0.0;
+  for (int i = 0; i < 10000; ++i) {
+    const ChurnEvent event = churn.next(50);
+    EXPECT_GT(event.time, last);
+    last = event.time;
+  }
+  EXPECT_DOUBLE_EQ(churn.now(), last);
+  EXPECT_EQ(churn.event_count(), 10000u);
+}
+
+TEST(PoissonChurn, EmptyNetworkOnlyBirths) {
+  PoissonChurn churn(1.0, 0.5, 2);
+  for (int i = 0; i < 1000; ++i) {
+    EXPECT_EQ(churn.next(0).kind, ChurnEvent::Kind::kBirth);
+  }
+}
+
+TEST(PoissonChurn, BirthProbabilityMatchesLemma46) {
+  // With N alive, P(birth) = lambda / (lambda + N*mu). Fix N = 1000,
+  // lambda = 1, mu = 1/1000 -> P(birth) = 1/2.
+  PoissonChurn churn(1.0, 1e-3, 3);
+  int births = 0;
+  constexpr int kEvents = 100000;
+  for (int i = 0; i < kEvents; ++i) {
+    births += churn.next(1000).kind == ChurnEvent::Kind::kBirth ? 1 : 0;
+  }
+  EXPECT_NEAR(static_cast<double>(births) / kEvents, 0.5, 0.01);
+}
+
+TEST(PoissonChurn, BirthProbabilitySkewedNetwork) {
+  // N = 3000 with n = 1000: P(birth) = 1/(1+3) = 0.25.
+  PoissonChurn churn(1.0, 1e-3, 4);
+  int births = 0;
+  constexpr int kEvents = 100000;
+  for (int i = 0; i < kEvents; ++i) {
+    births += churn.next(3000).kind == ChurnEvent::Kind::kBirth ? 1 : 0;
+  }
+  EXPECT_NEAR(static_cast<double>(births) / kEvents, 0.25, 0.01);
+}
+
+TEST(PoissonChurn, InterEventTimesExponentialWithTotalRate) {
+  // With N alive, gaps ~ Exp(lambda + N*mu); fix N = 500, lambda = 2,
+  // mu = 0.004 -> total rate 4.
+  PoissonChurn churn(2.0, 0.004, 5);
+  OnlineStats gaps;
+  double last = 0.0;
+  constexpr int kEvents = 100000;
+  for (int i = 0; i < kEvents; ++i) {
+    const ChurnEvent event = churn.next(500);
+    gaps.add(event.time - last);
+    last = event.time;
+  }
+  EXPECT_NEAR(gaps.mean(), 0.25, 0.005);
+  // Exponential: stddev == mean.
+  EXPECT_NEAR(gaps.stddev(), 0.25, 0.01);
+}
+
+TEST(PoissonChurn, ExpectedSize) {
+  PoissonChurn churn(1.0, 1e-4, 6);
+  EXPECT_DOUBLE_EQ(churn.expected_size(), 10000.0);
+  EXPECT_DOUBLE_EQ(churn.lambda(), 1.0);
+  EXPECT_DOUBLE_EQ(churn.mu(), 1e-4);
+}
+
+TEST(PoissonChurn, DeterministicForSeed) {
+  PoissonChurn a(1.0, 0.01, 42);
+  PoissonChurn b(1.0, 0.01, 42);
+  for (int i = 0; i < 1000; ++i) {
+    const ChurnEvent ea = a.next(100);
+    const ChurnEvent eb = b.next(100);
+    EXPECT_DOUBLE_EQ(ea.time, eb.time);
+    EXPECT_EQ(ea.kind, eb.kind);
+  }
+}
+
+TEST(PoissonChurn, Lemma47JumpProbabilitiesNearHalf) {
+  // Paper Lemma 4.7: once |N| is near n, both jump directions have
+  // probability in [0.47, 0.53]. Simulate the full chain (alive count fed
+  // back) and measure.
+  PoissonChurn churn(1.0, 1e-3, 7);
+  std::uint64_t alive = 0;
+  // Warm up to stationarity.
+  for (int i = 0; i < 60000; ++i) {
+    alive += churn.next(alive).kind == ChurnEvent::Kind::kBirth ? 1 : -1;
+  }
+  int births = 0;
+  constexpr int kEvents = 200000;
+  for (int i = 0; i < kEvents; ++i) {
+    const bool birth = churn.next(alive).kind == ChurnEvent::Kind::kBirth;
+    births += birth ? 1 : 0;
+    alive += birth ? 1 : -1;
+  }
+  const double p_birth = static_cast<double>(births) / kEvents;
+  EXPECT_GE(p_birth, 0.47);
+  EXPECT_LE(p_birth, 0.53);
+}
+
+TEST(PoissonChurn, StationarySizeConcentratesAroundN) {
+  // Paper Lemma 4.4: |N_t| in [0.9n, 1.1n] w.h.p. for t >= 3n.
+  constexpr double kN = 2000.0;
+  PoissonChurn churn(1.0, 1.0 / kN, 8);
+  std::uint64_t alive = 0;
+  while (churn.now() < 3.0 * kN) {
+    alive += churn.next(alive).kind == ChurnEvent::Kind::kBirth ? 1 : -1;
+  }
+  int in_band = 0;
+  int samples = 0;
+  while (churn.now() < 10.0 * kN) {
+    alive += churn.next(alive).kind == ChurnEvent::Kind::kBirth ? 1 : -1;
+    ++samples;
+    const double size = static_cast<double>(alive);
+    in_band += (size >= 0.9 * kN && size <= 1.1 * kN) ? 1 : 0;
+  }
+  EXPECT_GT(static_cast<double>(in_band) / samples, 0.99);
+}
+
+}  // namespace
+}  // namespace churnet

@@ -1,0 +1,302 @@
+// Unit and statistical tests for common/rng.hpp. All statistical checks use
+// fixed seeds and tolerances wide enough (>= 6 sigma) to be deterministic.
+#include "common/rng.hpp"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <bit>
+#include <cmath>
+#include <numeric>
+#include <set>
+#include <vector>
+
+namespace churnet {
+namespace {
+
+TEST(Rng, DeterministicForSameSeed) {
+  Rng a(42);
+  Rng b(42);
+  for (int i = 0; i < 1000; ++i) EXPECT_EQ(a.next_u64(), b.next_u64());
+}
+
+TEST(Rng, DifferentSeedsDiverge) {
+  Rng a(1);
+  Rng b(2);
+  int same = 0;
+  for (int i = 0; i < 64; ++i) same += a.next_u64() == b.next_u64() ? 1 : 0;
+  EXPECT_LE(same, 1);
+}
+
+TEST(Rng, AdjacentSeedsDecorrelated) {
+  // splitmix64 seeding should decorrelate seeds 0 and 1.
+  Rng a(0);
+  Rng b(1);
+  std::uint64_t agree_bits = 0;
+  constexpr int kWords = 256;
+  for (int i = 0; i < kWords; ++i) {
+    agree_bits += 64 - std::popcount(a.next_u64() ^ b.next_u64());
+  }
+  const double mean_agree = static_cast<double>(agree_bits) / kWords;
+  EXPECT_NEAR(mean_agree, 32.0, 3.0);
+}
+
+TEST(Rng, BelowRespectsBound) {
+  Rng rng(7);
+  for (std::uint64_t bound : {1ull, 2ull, 3ull, 10ull, 1000ull, 1ull << 40}) {
+    for (int i = 0; i < 200; ++i) EXPECT_LT(rng.below(bound), bound);
+  }
+}
+
+TEST(Rng, BelowOneAlwaysZero) {
+  Rng rng(7);
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(rng.below(1), 0u);
+}
+
+TEST(Rng, BelowIsApproximatelyUniform) {
+  Rng rng(11);
+  constexpr std::uint64_t kBound = 10;
+  constexpr int kDraws = 100000;
+  std::vector<int> counts(kBound, 0);
+  for (int i = 0; i < kDraws; ++i) ++counts[rng.below(kBound)];
+  // Expected 10000 per bucket; 6-sigma band ~ +-600.
+  for (const int c : counts) EXPECT_NEAR(c, kDraws / kBound, 600);
+}
+
+TEST(Rng, UniformIntCoversRangeInclusive) {
+  Rng rng(3);
+  std::set<std::int64_t> seen;
+  for (int i = 0; i < 1000; ++i) {
+    const std::int64_t x = rng.uniform_int(-2, 2);
+    EXPECT_GE(x, -2);
+    EXPECT_LE(x, 2);
+    seen.insert(x);
+  }
+  EXPECT_EQ(seen.size(), 5u);
+}
+
+TEST(Rng, Real01InHalfOpenInterval) {
+  Rng rng(5);
+  for (int i = 0; i < 100000; ++i) {
+    const double x = rng.real01();
+    EXPECT_GE(x, 0.0);
+    EXPECT_LT(x, 1.0);
+  }
+}
+
+TEST(Rng, Real01MeanAndVariance) {
+  Rng rng(13);
+  double sum = 0.0;
+  double sum_sq = 0.0;
+  constexpr int kDraws = 200000;
+  for (int i = 0; i < kDraws; ++i) {
+    const double x = rng.real01();
+    sum += x;
+    sum_sq += x * x;
+  }
+  const double mean = sum / kDraws;
+  const double var = sum_sq / kDraws - mean * mean;
+  EXPECT_NEAR(mean, 0.5, 0.005);
+  EXPECT_NEAR(var, 1.0 / 12.0, 0.005);
+}
+
+TEST(Rng, BernoulliEdgeCases) {
+  Rng rng(17);
+  for (int i = 0; i < 100; ++i) {
+    EXPECT_FALSE(rng.bernoulli(0.0));
+    EXPECT_TRUE(rng.bernoulli(1.0));
+    EXPECT_FALSE(rng.bernoulli(-1.0));
+    EXPECT_TRUE(rng.bernoulli(2.0));
+  }
+}
+
+TEST(Rng, BernoulliFrequency) {
+  Rng rng(19);
+  constexpr int kDraws = 100000;
+  int hits = 0;
+  for (int i = 0; i < kDraws; ++i) hits += rng.bernoulli(0.3) ? 1 : 0;
+  EXPECT_NEAR(static_cast<double>(hits) / kDraws, 0.3, 0.01);
+}
+
+TEST(Rng, ExponentialMeanMatchesRate) {
+  Rng rng(23);
+  for (const double rate : {0.5, 1.0, 4.0}) {
+    double sum = 0.0;
+    constexpr int kDraws = 100000;
+    for (int i = 0; i < kDraws; ++i) sum += rng.exponential(rate);
+    EXPECT_NEAR(sum / kDraws, 1.0 / rate, 0.05 / rate);
+  }
+}
+
+TEST(Rng, ExponentialIsNonNegative) {
+  Rng rng(29);
+  for (int i = 0; i < 10000; ++i) EXPECT_GE(rng.exponential(1.0), 0.0);
+}
+
+TEST(Rng, ExponentialMemorylessTail) {
+  // P(X > 2) should be e^-2 for rate 1.
+  Rng rng(31);
+  constexpr int kDraws = 200000;
+  int tail = 0;
+  for (int i = 0; i < kDraws; ++i) tail += rng.exponential(1.0) > 2.0 ? 1 : 0;
+  EXPECT_NEAR(static_cast<double>(tail) / kDraws, std::exp(-2.0), 0.004);
+}
+
+class PoissonMeanTest : public ::testing::TestWithParam<double> {};
+
+TEST_P(PoissonMeanTest, MeanAndVarianceMatch) {
+  const double mean = GetParam();
+  Rng rng(37);
+  double sum = 0.0;
+  double sum_sq = 0.0;
+  const int draws = 60000;
+  for (int i = 0; i < draws; ++i) {
+    const double x = static_cast<double>(rng.poisson(mean));
+    sum += x;
+    sum_sq += x * x;
+  }
+  const double sample_mean = sum / draws;
+  const double sample_var = sum_sq / draws - sample_mean * sample_mean;
+  const double sigma = std::sqrt(mean / draws);
+  EXPECT_NEAR(sample_mean, mean, 8.0 * sigma + 1e-9);
+  EXPECT_NEAR(sample_var, mean, 0.1 * mean + 0.05);
+}
+
+INSTANTIATE_TEST_SUITE_P(SmallAndLargeMeans, PoissonMeanTest,
+                         ::testing::Values(0.1, 1.0, 5.0, 29.0, 30.0, 100.0,
+                                           1000.0));
+
+TEST(Rng, PoissonZeroMean) {
+  Rng rng(41);
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(rng.poisson(0.0), 0u);
+}
+
+TEST(Rng, NormalMoments) {
+  Rng rng(43);
+  double sum = 0.0;
+  double sum_sq = 0.0;
+  constexpr int kDraws = 200000;
+  for (int i = 0; i < kDraws; ++i) {
+    const double x = rng.normal();
+    sum += x;
+    sum_sq += x * x;
+  }
+  EXPECT_NEAR(sum / kDraws, 0.0, 0.02);
+  EXPECT_NEAR(sum_sq / kDraws, 1.0, 0.03);
+}
+
+TEST(Rng, NormalWithParameters) {
+  Rng rng(47);
+  double sum = 0.0;
+  constexpr int kDraws = 100000;
+  for (int i = 0; i < kDraws; ++i) sum += rng.normal(10.0, 2.0);
+  EXPECT_NEAR(sum / kDraws, 10.0, 0.05);
+}
+
+class BinomialTest
+    : public ::testing::TestWithParam<std::pair<std::uint64_t, double>> {};
+
+TEST_P(BinomialTest, MeanMatches) {
+  const auto [n, p] = GetParam();
+  Rng rng(53);
+  double sum = 0.0;
+  const int draws = 40000;
+  for (int i = 0; i < draws; ++i) {
+    const std::uint64_t x = rng.binomial(n, p);
+    EXPECT_LE(x, n);
+    sum += static_cast<double>(x);
+  }
+  const double expected = static_cast<double>(n) * p;
+  const double sigma =
+      std::sqrt(static_cast<double>(n) * p * (1 - p) / draws);
+  EXPECT_NEAR(sum / draws, expected, 8.0 * sigma + 1e-9);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Various, BinomialTest,
+    ::testing::Values(std::pair<std::uint64_t, double>{10, 0.5},
+                      std::pair<std::uint64_t, double>{100, 0.03},
+                      std::pair<std::uint64_t, double>{100, 0.97},
+                      std::pair<std::uint64_t, double>{1000, 0.5},
+                      std::pair<std::uint64_t, double>{5, 0.0},
+                      std::pair<std::uint64_t, double>{5, 1.0}));
+
+TEST(Rng, BinomialDegenerateCases) {
+  Rng rng(59);
+  EXPECT_EQ(rng.binomial(0, 0.5), 0u);
+  EXPECT_EQ(rng.binomial(100, 0.0), 0u);
+  EXPECT_EQ(rng.binomial(100, 1.0), 100u);
+}
+
+TEST(Rng, ShuffleIsPermutation) {
+  Rng rng(61);
+  std::vector<int> values(100);
+  std::iota(values.begin(), values.end(), 0);
+  rng.shuffle(std::span<int>(values));
+  std::vector<int> sorted = values;
+  std::sort(sorted.begin(), sorted.end());
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(sorted[i], i);
+}
+
+TEST(Rng, ShuffleUniformFirstElement) {
+  Rng rng(67);
+  constexpr int kSize = 8;
+  constexpr int kTrials = 80000;
+  std::vector<int> first_counts(kSize, 0);
+  std::vector<int> values(kSize);
+  for (int t = 0; t < kTrials; ++t) {
+    std::iota(values.begin(), values.end(), 0);
+    rng.shuffle(std::span<int>(values));
+    ++first_counts[static_cast<std::size_t>(values[0])];
+  }
+  for (const int c : first_counts) EXPECT_NEAR(c, kTrials / kSize, 700);
+}
+
+TEST(Rng, SampleDistinctProducesDistinctValues) {
+  Rng rng(71);
+  for (const std::uint64_t population : {10ull, 100ull, 100000ull}) {
+    for (const std::uint64_t k :
+         {std::uint64_t{0}, std::uint64_t{1}, std::uint64_t{5},
+          population / 2}) {
+      const auto picked = rng.sample_distinct(population, k);
+      EXPECT_EQ(picked.size(), k);
+      std::set<std::uint64_t> unique(picked.begin(), picked.end());
+      EXPECT_EQ(unique.size(), k);
+      for (const std::uint64_t v : picked) EXPECT_LT(v, population);
+    }
+  }
+}
+
+TEST(Rng, SampleDistinctFullPopulation) {
+  Rng rng(73);
+  const auto picked = rng.sample_distinct(20, 20);
+  std::set<std::uint64_t> unique(picked.begin(), picked.end());
+  EXPECT_EQ(unique.size(), 20u);
+}
+
+TEST(Rng, SampleDistinctIsUniform) {
+  Rng rng(79);
+  constexpr std::uint64_t kPopulation = 10;
+  std::vector<int> counts(kPopulation, 0);
+  constexpr int kTrials = 50000;
+  for (int t = 0; t < kTrials; ++t) {
+    for (const std::uint64_t v : rng.sample_distinct(kPopulation, 3)) {
+      ++counts[v];
+    }
+  }
+  // Each element appears with probability 3/10 per trial.
+  for (const int c : counts) EXPECT_NEAR(c, kTrials * 3 / 10, 800);
+}
+
+TEST(Rng, SplitProducesIndependentStream) {
+  Rng parent(83);
+  Rng child = parent.split();
+  int same = 0;
+  for (int i = 0; i < 64; ++i) {
+    same += parent.next_u64() == child.next_u64() ? 1 : 0;
+  }
+  EXPECT_LE(same, 1);
+}
+
+}  // namespace
+}  // namespace churnet

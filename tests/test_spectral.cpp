@@ -1,0 +1,147 @@
+// Tests for expansion/spectral.hpp: lambda_2 of the lazy random walk
+// against known spectra, Cheeger bound sanity, and agreement with the
+// combinatorial probe on expanders vs non-expanders.
+#include "expansion/spectral.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <numbers>
+
+#include "baselines/static_dout.hpp"
+#include "expansion/expansion.hpp"
+
+namespace churnet {
+namespace {
+
+using Edges = std::vector<std::pair<std::uint32_t, std::uint32_t>>;
+
+Snapshot cycle_graph(std::uint32_t n) {
+  Edges edges;
+  for (std::uint32_t v = 0; v < n; ++v) edges.emplace_back(v, (v + 1) % n);
+  return Snapshot::from_edges(n, edges);
+}
+
+Snapshot complete_graph(std::uint32_t n) {
+  Edges edges;
+  for (std::uint32_t u = 0; u < n; ++u) {
+    for (std::uint32_t v = u + 1; v < n; ++v) edges.emplace_back(u, v);
+  }
+  return Snapshot::from_edges(n, edges);
+}
+
+TEST(Spectral, CycleMatchesKnownSpectrum) {
+  // Lazy walk on C_n: lambda_2 = (1 + cos(2*pi/n)) / 2.
+  for (const std::uint32_t n : {8u, 16u, 32u}) {
+    const Snapshot snap = cycle_graph(n);
+    Rng rng(1);
+    const SpectralResult result = spectral_gap(snap, rng, 20000, 1e-12);
+    const double expected =
+        (1.0 + std::cos(2.0 * std::numbers::pi / n)) / 2.0;
+    EXPECT_NEAR(result.lambda2, expected, 1e-4) << "n=" << n;
+    EXPECT_TRUE(result.converged);
+  }
+}
+
+TEST(Spectral, CompleteGraphMatchesKnownSpectrum) {
+  // Walk on K_n has second eigenvalue -1/(n-1); lazy: (1 - 1/(n-1))/2.
+  for (const std::uint32_t n : {6u, 12u, 24u}) {
+    const Snapshot snap = complete_graph(n);
+    Rng rng(2);
+    const SpectralResult result = spectral_gap(snap, rng, 20000, 1e-12);
+    const double expected = (1.0 - 1.0 / (n - 1.0)) / 2.0;
+    EXPECT_NEAR(result.lambda2, expected, 1e-6) << "n=" << n;
+  }
+}
+
+TEST(Spectral, DisconnectedGraphHasZeroGap) {
+  // Two disjoint triangles: lambda_2 = 1 exactly.
+  const Snapshot snap = Snapshot::from_edges(
+      6, Edges{{0, 1}, {1, 2}, {2, 0}, {3, 4}, {4, 5}, {5, 3}});
+  Rng rng(3);
+  const SpectralResult result = spectral_gap(snap, rng, 5000, 1e-12);
+  EXPECT_NEAR(result.lambda2, 1.0, 1e-6);
+  EXPECT_NEAR(result.spectral_gap, 0.0, 1e-6);
+}
+
+TEST(Spectral, IsolatedNodeShortCircuitsToGapZero) {
+  const Snapshot snap = Snapshot::from_edges(4, Edges{{0, 1}, {1, 2}});
+  Rng rng(4);
+  const SpectralResult result = spectral_gap(snap, rng);
+  EXPECT_DOUBLE_EQ(result.lambda2, 1.0);
+  EXPECT_DOUBLE_EQ(result.spectral_gap, 0.0);
+  EXPECT_TRUE(result.converged);
+}
+
+TEST(Spectral, StaticDoutExpanderHasLargeGap) {
+  Rng rng(5);
+  const Snapshot snap = static_dout_snapshot(2000, 5, rng);
+  Rng power_rng(6);
+  const SpectralResult result = spectral_gap(snap, power_rng, 2000, 1e-10);
+  EXPECT_GT(result.spectral_gap, 0.15);
+  EXPECT_LT(result.lambda2, 0.85);
+}
+
+TEST(Spectral, CheegerBoundsAreOrdered) {
+  Rng rng(7);
+  const Snapshot snap = static_dout_snapshot(500, 4, rng);
+  Rng power_rng(8);
+  const SpectralResult result = spectral_gap(snap, power_rng, 2000, 1e-10);
+  EXPECT_LE(result.cheeger_lower, result.cheeger_upper);
+  EXPECT_GE(result.cheeger_lower, 0.0);
+}
+
+TEST(Spectral, BarbellHasSmallGap) {
+  // Two K_8 cliques joined by one edge: conductance ~ 1/(2*28+1), so the
+  // gap must be tiny compared to a clique of the same size.
+  Edges edges;
+  for (std::uint32_t u = 0; u < 8; ++u) {
+    for (std::uint32_t v = u + 1; v < 8; ++v) {
+      edges.emplace_back(u, v);
+      edges.emplace_back(8 + u, 8 + v);
+    }
+  }
+  edges.emplace_back(0, 8);
+  const Snapshot barbell = Snapshot::from_edges(16, edges);
+  Rng rng(9);
+  const SpectralResult bar = spectral_gap(barbell, rng, 50000, 1e-12);
+  Rng rng2(10);
+  const SpectralResult clique =
+      spectral_gap(complete_graph(16), rng2, 50000, 1e-12);
+  EXPECT_LT(bar.spectral_gap, clique.spectral_gap / 5.0);
+  // Cheeger upper bound must dominate the true conductance of the cut
+  // separating the cliques: Phi = 1 / (2*28+1).
+  EXPECT_GE(bar.cheeger_upper, 1.0 / 57.0);
+}
+
+TEST(Spectral, AgreesWithProbeOnOrdering) {
+  // The spectral gap and the probe minimum must order a good expander vs a
+  // ring the same way.
+  Rng rng(11);
+  const Snapshot expander = static_dout_snapshot(512, 6, rng);
+  const Snapshot ring = cycle_graph(512);
+  Rng r1(12);
+  Rng r2(13);
+  const double expander_gap = spectral_gap(expander, r1).spectral_gap;
+  const double ring_gap = spectral_gap(ring, r2).spectral_gap;
+  EXPECT_GT(expander_gap, 10.0 * ring_gap);
+  Rng r3(14);
+  Rng r4(15);
+  const double expander_probe =
+      probe_expansion(expander, r3, {}).min_ratio;
+  const double ring_probe = probe_expansion(ring, r4, {}).min_ratio;
+  EXPECT_GT(expander_probe, 10.0 * ring_probe);
+}
+
+TEST(Spectral, DeterministicForSeed) {
+  Rng graph_rng(16);
+  const Snapshot snap = static_dout_snapshot(300, 4, graph_rng);
+  Rng a(17);
+  Rng b(17);
+  const SpectralResult ra = spectral_gap(snap, a);
+  const SpectralResult rb = spectral_gap(snap, b);
+  EXPECT_DOUBLE_EQ(ra.lambda2, rb.lambda2);
+}
+
+}  // namespace
+}  // namespace churnet

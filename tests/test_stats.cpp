@@ -1,0 +1,224 @@
+// Tests for common/stats.hpp: Welford accumulation, merging, intervals,
+// quantiles and least-squares fitting.
+#include "common/stats.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <vector>
+
+#include "common/rng.hpp"
+
+namespace churnet {
+namespace {
+
+TEST(OnlineStats, EmptyDefaults) {
+  OnlineStats stats;
+  EXPECT_EQ(stats.count(), 0u);
+  EXPECT_DOUBLE_EQ(stats.mean(), 0.0);
+  EXPECT_DOUBLE_EQ(stats.variance(), 0.0);
+  EXPECT_DOUBLE_EQ(stats.stderr_mean(), 0.0);
+}
+
+TEST(OnlineStats, SingleValue) {
+  OnlineStats stats;
+  stats.add(5.0);
+  EXPECT_EQ(stats.count(), 1u);
+  EXPECT_DOUBLE_EQ(stats.mean(), 5.0);
+  EXPECT_DOUBLE_EQ(stats.variance(), 0.0);
+  EXPECT_DOUBLE_EQ(stats.min(), 5.0);
+  EXPECT_DOUBLE_EQ(stats.max(), 5.0);
+}
+
+TEST(OnlineStats, KnownSmallSample) {
+  OnlineStats stats;
+  for (const double x : {2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0}) {
+    stats.add(x);
+  }
+  EXPECT_DOUBLE_EQ(stats.mean(), 5.0);
+  // Sample variance with n-1 denominator: sum of squares = 32, 32/7.
+  EXPECT_NEAR(stats.variance(), 32.0 / 7.0, 1e-12);
+  EXPECT_DOUBLE_EQ(stats.min(), 2.0);
+  EXPECT_DOUBLE_EQ(stats.max(), 9.0);
+}
+
+TEST(OnlineStats, MatchesTwoPassComputation) {
+  Rng rng(1);
+  std::vector<double> values;
+  OnlineStats stats;
+  for (int i = 0; i < 10000; ++i) {
+    const double x = rng.normal(3.0, 7.0);
+    values.push_back(x);
+    stats.add(x);
+  }
+  double mean = 0.0;
+  for (const double x : values) mean += x;
+  mean /= static_cast<double>(values.size());
+  double var = 0.0;
+  for (const double x : values) var += (x - mean) * (x - mean);
+  var /= static_cast<double>(values.size() - 1);
+  EXPECT_NEAR(stats.mean(), mean, 1e-9);
+  EXPECT_NEAR(stats.variance(), var, 1e-6);
+}
+
+TEST(OnlineStats, MergeMatchesCombinedStream) {
+  Rng rng(2);
+  OnlineStats combined;
+  OnlineStats left;
+  OnlineStats right;
+  for (int i = 0; i < 1000; ++i) {
+    const double x = rng.real01() * 10.0;
+    combined.add(x);
+    (i % 3 == 0 ? left : right).add(x);
+  }
+  left.merge(right);
+  EXPECT_EQ(left.count(), combined.count());
+  EXPECT_NEAR(left.mean(), combined.mean(), 1e-9);
+  EXPECT_NEAR(left.variance(), combined.variance(), 1e-6);
+  EXPECT_DOUBLE_EQ(left.min(), combined.min());
+  EXPECT_DOUBLE_EQ(left.max(), combined.max());
+}
+
+TEST(OnlineStats, MergeWithEmpty) {
+  OnlineStats a;
+  a.add(1.0);
+  a.add(3.0);
+  OnlineStats empty;
+  a.merge(empty);
+  EXPECT_EQ(a.count(), 2u);
+  EXPECT_DOUBLE_EQ(a.mean(), 2.0);
+  empty.merge(a);
+  EXPECT_EQ(empty.count(), 2u);
+  EXPECT_DOUBLE_EQ(empty.mean(), 2.0);
+}
+
+TEST(WilsonInterval, ContainsTrueProportionTypically) {
+  // 300/1000 successes: interval should contain 0.3 comfortably.
+  const Interval interval = wilson_interval(300, 1000);
+  EXPECT_LT(interval.lo, 0.3);
+  EXPECT_GT(interval.hi, 0.3);
+  EXPECT_GT(interval.lo, 0.25);
+  EXPECT_LT(interval.hi, 0.35);
+}
+
+TEST(WilsonInterval, EdgeCases) {
+  const Interval zero = wilson_interval(0, 100);
+  EXPECT_DOUBLE_EQ(zero.lo, 0.0);
+  EXPECT_GT(zero.hi, 0.0);
+  EXPECT_LT(zero.hi, 0.08);
+  const Interval all = wilson_interval(100, 100);
+  EXPECT_LT(all.lo, 1.0);
+  EXPECT_GT(all.lo, 0.92);
+  EXPECT_DOUBLE_EQ(all.hi, 1.0);
+  const Interval empty = wilson_interval(0, 0);
+  EXPECT_DOUBLE_EQ(empty.lo, 0.0);
+  EXPECT_DOUBLE_EQ(empty.hi, 1.0);
+}
+
+TEST(WilsonInterval, WiderForHigherConfidence) {
+  const Interval narrow = wilson_interval(50, 100, 1.96);
+  const Interval wide = wilson_interval(50, 100, 3.29);
+  EXPECT_LT(wide.lo, narrow.lo);
+  EXPECT_GT(wide.hi, narrow.hi);
+}
+
+TEST(WilsonInterval, CoverageSimulation) {
+  // Empirical coverage of the 95% interval should be >= ~90% at p=0.2.
+  Rng rng(3);
+  int covered = 0;
+  constexpr int kTrials = 2000;
+  constexpr int kSamples = 200;
+  for (int t = 0; t < kTrials; ++t) {
+    std::uint64_t successes = 0;
+    for (int i = 0; i < kSamples; ++i) successes += rng.bernoulli(0.2) ? 1 : 0;
+    if (wilson_interval(successes, kSamples).contains(0.2)) ++covered;
+  }
+  EXPECT_GT(static_cast<double>(covered) / kTrials, 0.90);
+}
+
+TEST(MeanInterval, ShrinksWithSamples) {
+  OnlineStats small;
+  OnlineStats large;
+  Rng rng(4);
+  for (int i = 0; i < 20; ++i) small.add(rng.normal());
+  for (int i = 0; i < 2000; ++i) large.add(rng.normal());
+  const Interval si = mean_interval(small);
+  const Interval li = mean_interval(large);
+  EXPECT_LT(li.hi - li.lo, si.hi - si.lo);
+}
+
+TEST(Quantile, KnownValues) {
+  const std::vector<double> values{1.0, 2.0, 3.0, 4.0, 5.0};
+  EXPECT_DOUBLE_EQ(quantile(values, 0.0), 1.0);
+  EXPECT_DOUBLE_EQ(quantile(values, 1.0), 5.0);
+  EXPECT_DOUBLE_EQ(quantile(values, 0.5), 3.0);
+  EXPECT_DOUBLE_EQ(quantile(values, 0.25), 2.0);
+  EXPECT_DOUBLE_EQ(median(values), 3.0);
+}
+
+TEST(Quantile, InterpolatesBetweenPoints) {
+  const std::vector<double> values{0.0, 10.0};
+  EXPECT_DOUBLE_EQ(quantile(values, 0.5), 5.0);
+  EXPECT_DOUBLE_EQ(quantile(values, 0.25), 2.5);
+}
+
+TEST(Quantile, UnsortedInput) {
+  const std::vector<double> values{5.0, 1.0, 3.0, 2.0, 4.0};
+  EXPECT_DOUBLE_EQ(median(values), 3.0);
+}
+
+TEST(Quantile, SingleElement) {
+  const std::vector<double> values{7.0};
+  EXPECT_DOUBLE_EQ(quantile(values, 0.0), 7.0);
+  EXPECT_DOUBLE_EQ(quantile(values, 0.5), 7.0);
+  EXPECT_DOUBLE_EQ(quantile(values, 1.0), 7.0);
+}
+
+TEST(LinearFit, ExactLine) {
+  const std::vector<double> xs{1.0, 2.0, 3.0, 4.0};
+  const std::vector<double> ys{3.0, 5.0, 7.0, 9.0};  // y = 1 + 2x
+  const LinearFit fit = fit_linear(xs, ys);
+  EXPECT_NEAR(fit.slope, 2.0, 1e-12);
+  EXPECT_NEAR(fit.intercept, 1.0, 1e-12);
+  EXPECT_NEAR(fit.r_squared, 1.0, 1e-12);
+}
+
+TEST(LinearFit, NoisyLineHighR2) {
+  Rng rng(5);
+  std::vector<double> xs;
+  std::vector<double> ys;
+  for (int i = 0; i < 200; ++i) {
+    const double x = static_cast<double>(i);
+    xs.push_back(x);
+    ys.push_back(4.0 - 0.5 * x + rng.normal(0.0, 1.0));
+  }
+  const LinearFit fit = fit_linear(xs, ys);
+  EXPECT_NEAR(fit.slope, -0.5, 0.01);
+  EXPECT_NEAR(fit.intercept, 4.0, 0.6);
+  EXPECT_GT(fit.r_squared, 0.99);
+}
+
+TEST(LinearFit, FlatDataZeroSlope) {
+  const std::vector<double> xs{1.0, 2.0, 3.0};
+  const std::vector<double> ys{5.0, 5.0, 5.0};
+  const LinearFit fit = fit_linear(xs, ys);
+  EXPECT_DOUBLE_EQ(fit.slope, 0.0);
+  EXPECT_DOUBLE_EQ(fit.intercept, 5.0);
+}
+
+TEST(LinearFit, LogarithmicScalingDetection) {
+  // The shape check used by the flooding-time bench: times that scale like
+  // c*log(n) fit ln(n) with high R^2.
+  std::vector<double> xs;
+  std::vector<double> ys;
+  for (const double n : {1e3, 2e3, 4e3, 8e3, 16e3, 32e3}) {
+    xs.push_back(std::log(n));
+    ys.push_back(3.0 * std::log(n) + 2.0);
+  }
+  const LinearFit fit = fit_linear(xs, ys);
+  EXPECT_NEAR(fit.slope, 3.0, 1e-9);
+  EXPECT_GT(fit.r_squared, 0.999);
+}
+
+}  // namespace
+}  // namespace churnet

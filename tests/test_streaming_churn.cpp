@@ -1,0 +1,87 @@
+// Tests for churn/streaming_churn.hpp (paper Definition 3.2).
+#include "churn/streaming_churn.hpp"
+
+#include <gtest/gtest.h>
+
+namespace churnet {
+namespace {
+
+NodeId make_id(std::uint32_t slot) { return NodeId{slot, 0}; }
+
+TEST(StreamingChurn, NoDeathDuringFill) {
+  StreamingChurn churn(5);
+  for (std::uint32_t t = 1; t <= 5; ++t) {
+    const auto victim = churn.begin_round();
+    EXPECT_FALSE(victim.has_value()) << "round " << t;
+    churn.record_birth(make_id(t));
+    EXPECT_EQ(churn.round(), t);
+    EXPECT_EQ(churn.alive(), t);
+  }
+}
+
+TEST(StreamingChurn, OldestDiesAfterFill) {
+  StreamingChurn churn(3);
+  for (std::uint32_t t = 1; t <= 3; ++t) {
+    churn.begin_round();
+    churn.record_birth(make_id(t));
+  }
+  // Round 4: the node born at round 1 dies (lived rounds 1..3).
+  auto victim = churn.begin_round();
+  ASSERT_TRUE(victim.has_value());
+  EXPECT_EQ(*victim, make_id(1));
+  churn.record_birth(make_id(4));
+  // Round 5: node born at round 2 dies.
+  victim = churn.begin_round();
+  ASSERT_TRUE(victim.has_value());
+  EXPECT_EQ(*victim, make_id(2));
+  churn.record_birth(make_id(5));
+  EXPECT_EQ(churn.alive(), 3u);
+}
+
+TEST(StreamingChurn, LifetimeIsExactlyN) {
+  constexpr std::uint32_t kN = 7;
+  StreamingChurn churn(kN);
+  // Every node born at round t must die at round t + n.
+  for (std::uint32_t t = 1; t <= 40; ++t) {
+    const auto victim = churn.begin_round();
+    if (t <= kN) {
+      EXPECT_FALSE(victim.has_value());
+    } else {
+      ASSERT_TRUE(victim.has_value());
+      EXPECT_EQ(victim->slot, t - kN);
+    }
+    churn.record_birth(make_id(t));
+  }
+}
+
+TEST(StreamingChurn, SizeIsPinnedAtN) {
+  constexpr std::uint32_t kN = 4;
+  StreamingChurn churn(kN);
+  for (std::uint32_t t = 1; t <= 50; ++t) {
+    churn.begin_round();
+    churn.record_birth(make_id(t));
+    EXPECT_EQ(churn.alive(), std::min(t, kN));
+  }
+}
+
+TEST(StreamingChurn, NEqualsOneReplacesEveryRound) {
+  StreamingChurn churn(1);
+  churn.begin_round();
+  churn.record_birth(make_id(1));
+  const auto victim = churn.begin_round();
+  ASSERT_TRUE(victim.has_value());
+  EXPECT_EQ(*victim, make_id(1));
+  churn.record_birth(make_id(2));
+  EXPECT_EQ(churn.alive(), 1u);
+}
+
+TEST(StreamingChurn, RoundCounterMatchesBirths) {
+  StreamingChurn churn(3);
+  EXPECT_EQ(churn.round(), 0u);
+  churn.begin_round();
+  churn.record_birth(make_id(1));
+  EXPECT_EQ(churn.round(), 1u);
+}
+
+}  // namespace
+}  // namespace churnet

@@ -1,0 +1,116 @@
+// Tests for common/table.hpp and common/cli.hpp.
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "common/cli.hpp"
+#include "common/table.hpp"
+
+namespace churnet {
+namespace {
+
+TEST(Formatting, FixedAndScientific) {
+  EXPECT_EQ(fmt_fixed(3.14159, 2), "3.14");
+  EXPECT_EQ(fmt_fixed(2.0, 0), "2");
+  EXPECT_EQ(fmt_sci(12345.678, 2), "1.23e+04");
+  EXPECT_EQ(fmt_int(-42), "-42");
+  EXPECT_EQ(fmt_percent(0.1234, 1), "12.3%");
+}
+
+TEST(Table, RenderAlignsColumns) {
+  Table table({"name", "value"});
+  table.add_row({"x", "1"});
+  table.add_row({"longer", "22"});
+  const std::string out = table.render();
+  // Header, rule, two rows.
+  int lines = 0;
+  for (const char c : out) lines += c == '\n' ? 1 : 0;
+  EXPECT_EQ(lines, 4);
+  EXPECT_NE(out.find("name"), std::string::npos);
+  EXPECT_NE(out.find("longer"), std::string::npos);
+}
+
+TEST(Table, RowCount) {
+  Table table({"a"});
+  EXPECT_EQ(table.row_count(), 0u);
+  table.add_row({"1"});
+  table.add_row({"2"});
+  EXPECT_EQ(table.row_count(), 2u);
+}
+
+TEST(Table, CsvOutput) {
+  Table table({"a", "b"});
+  table.add_row({"1", "2"});
+  std::ostringstream out;
+  table.write_csv(out);
+  EXPECT_EQ(out.str(), "a,b\n1,2\n");
+}
+
+TEST(Table, PrintMatchesRender) {
+  Table table({"h"});
+  table.add_row({"v"});
+  std::ostringstream out;
+  table.print(out);
+  EXPECT_EQ(out.str(), table.render());
+}
+
+class CliTest : public ::testing::Test {
+ protected:
+  Cli make_cli() {
+    Cli cli("test program");
+    cli.add_int("n", 100, "network size");
+    cli.add_double("rate", 0.5, "a rate");
+    cli.add_string("mode", "fast", "a mode");
+    cli.add_flag("verbose", "chatty output");
+    return cli;
+  }
+};
+
+TEST_F(CliTest, DefaultsWhenNoArguments) {
+  Cli cli = make_cli();
+  const char* argv[] = {"prog"};
+  EXPECT_TRUE(cli.parse(1, argv));
+  EXPECT_EQ(cli.get_int("n"), 100);
+  EXPECT_DOUBLE_EQ(cli.get_double("rate"), 0.5);
+  EXPECT_EQ(cli.get_string("mode"), "fast");
+  EXPECT_FALSE(cli.get_flag("verbose"));
+}
+
+TEST_F(CliTest, SpaceSeparatedValues) {
+  Cli cli = make_cli();
+  const char* argv[] = {"prog", "--n", "42", "--rate", "1.25"};
+  EXPECT_TRUE(cli.parse(5, argv));
+  EXPECT_EQ(cli.get_int("n"), 42);
+  EXPECT_DOUBLE_EQ(cli.get_double("rate"), 1.25);
+}
+
+TEST_F(CliTest, EqualsSeparatedValues) {
+  Cli cli = make_cli();
+  const char* argv[] = {"prog", "--n=7", "--mode=slow"};
+  EXPECT_TRUE(cli.parse(3, argv));
+  EXPECT_EQ(cli.get_int("n"), 7);
+  EXPECT_EQ(cli.get_string("mode"), "slow");
+}
+
+TEST_F(CliTest, FlagsToggle) {
+  Cli cli = make_cli();
+  const char* argv[] = {"prog", "--verbose"};
+  EXPECT_TRUE(cli.parse(2, argv));
+  EXPECT_TRUE(cli.get_flag("verbose"));
+}
+
+TEST_F(CliTest, HelpReturnsFalse) {
+  Cli cli = make_cli();
+  const char* argv[] = {"prog", "--help"};
+  EXPECT_FALSE(cli.parse(2, argv));
+}
+
+TEST_F(CliTest, NegativeNumbersParse) {
+  Cli cli = make_cli();
+  const char* argv[] = {"prog", "--n", "-5"};
+  EXPECT_TRUE(cli.parse(3, argv));
+  EXPECT_EQ(cli.get_int("n"), -5);
+}
+
+}  // namespace
+}  // namespace churnet

@@ -1,0 +1,151 @@
+// Tests for baselines/walk_overlay.hpp: the decentralized random-walk
+// sampling overlay (paper Section 2 related-work baseline).
+#include "baselines/walk_overlay.hpp"
+
+#include <gtest/gtest.h>
+
+#include "benchutil/experiment.hpp"
+#include "expansion/expansion.hpp"
+#include "expansion/spectral.hpp"
+#include "graph/algorithms.hpp"
+#include "models/streaming_network.hpp"
+
+namespace churnet {
+namespace {
+
+WalkOverlayConfig make_config(std::uint32_t n, std::uint32_t m,
+                              std::uint64_t seed) {
+  WalkOverlayConfig config;
+  config.n = n;
+  config.m = m;
+  config.seed = seed;
+  return config;
+}
+
+TEST(WalkOverlay, WarmUpReachesN) {
+  WalkOverlay overlay(make_config(200, 4, 1));
+  overlay.warm_up();
+  EXPECT_EQ(overlay.graph().alive_count(), 200u);
+  EXPECT_EQ(overlay.round(), 400u);
+}
+
+TEST(WalkOverlay, SizeStaysPinned) {
+  WalkOverlay overlay(make_config(100, 4, 2));
+  overlay.warm_up();
+  for (int i = 0; i < 150; ++i) {
+    overlay.step();
+    EXPECT_EQ(overlay.graph().alive_count(), 100u);
+  }
+}
+
+TEST(WalkOverlay, GraphStaysConsistent) {
+  WalkOverlay overlay(make_config(300, 6, 3));
+  overlay.warm_up();
+  overlay.run_rounds(500);
+  EXPECT_TRUE(overlay.graph().check_consistency());
+}
+
+TEST(WalkOverlay, OutDegreeAtMostM) {
+  WalkOverlay overlay(make_config(200, 5, 4));
+  overlay.warm_up();
+  for (const NodeId node : overlay.graph().alive_nodes()) {
+    EXPECT_LE(overlay.graph().out_degree(node), 5u);
+  }
+}
+
+TEST(WalkOverlay, StaysConnectedAtModerateM) {
+  WalkOverlay overlay(make_config(1000, 6, 5));
+  overlay.warm_up();
+  const Components comps = connected_components(overlay.snapshot());
+  EXPECT_GT(static_cast<double>(comps.largest_size), 0.99 * 1000);
+}
+
+TEST(WalkOverlay, IsAnExpanderAtModerateM) {
+  WalkOverlay overlay(make_config(2000, 8, 6));
+  overlay.warm_up();
+  Rng probe_rng(7);
+  const ProbeResult probe =
+      probe_expansion(overlay.snapshot(), probe_rng, {});
+  EXPECT_GT(probe.min_ratio, 0.1);
+  Rng power_rng(8);
+  const SpectralResult spectral =
+      spectral_gap(overlay.snapshot(), power_rng);
+  EXPECT_GT(spectral.spectral_gap, 0.05);
+}
+
+TEST(WalkOverlay, DegreeBiasExceedsUniformDialing) {
+  // Walk endpoints are degree-biased (pi ~ deg), so the maximum degree
+  // should exceed the uniform-oracle SDGR at the same (n, d).
+  constexpr std::uint32_t kN = 2000;
+  constexpr std::uint32_t kM = 8;
+  std::uint32_t overlay_max = 0;
+  std::uint32_t sdgr_max = 0;
+  for (std::uint64_t rep = 0; rep < 3; ++rep) {
+    WalkOverlay overlay(make_config(kN, kM, derive_seed(9, 0, rep)));
+    overlay.warm_up();
+    overlay_max =
+        std::max(overlay_max, degree_stats(overlay.snapshot()).max);
+    StreamingConfig config;
+    config.n = kN;
+    config.d = kM;
+    config.policy = EdgePolicy::kRegenerate;
+    config.seed = derive_seed(9, 1, rep);
+    StreamingNetwork sdgr(config);
+    sdgr.warm_up();
+    sdgr_max = std::max(sdgr_max, degree_stats(sdgr.snapshot()).max);
+  }
+  EXPECT_GT(overlay_max, sdgr_max);
+}
+
+TEST(WalkOverlay, RegenerationKeepsDegreesNearlyFull) {
+  WalkOverlay overlay(make_config(500, 6, 10));
+  overlay.warm_up();
+  overlay.run_rounds(500);
+  std::uint64_t wired = 0;
+  for (const NodeId node : overlay.graph().alive_nodes()) {
+    wired += overlay.graph().out_degree(node);
+  }
+  const double fill =
+      static_cast<double>(wired) / (500.0 * 6.0);
+  EXPECT_GT(fill, 0.95);
+}
+
+TEST(WalkOverlay, NoRegenerationLosesEdges) {
+  WalkOverlayConfig config = make_config(500, 6, 11);
+  config.regenerate = false;
+  WalkOverlay overlay(config);
+  overlay.warm_up();
+  std::uint64_t wired = 0;
+  for (const NodeId node : overlay.graph().alive_nodes()) {
+    wired += overlay.graph().out_degree(node);
+  }
+  const double fill = static_cast<double>(wired) / (500.0 * 6.0);
+  EXPECT_LT(fill, 0.90);
+}
+
+TEST(WalkOverlay, DeterministicForSeed) {
+  WalkOverlay a(make_config(150, 4, 12));
+  WalkOverlay b(make_config(150, 4, 12));
+  a.warm_up();
+  b.warm_up();
+  EXPECT_EQ(a.graph().edge_count(), b.graph().edge_count());
+  EXPECT_EQ(a.failed_walks(), b.failed_walks());
+}
+
+TEST(WalkOverlay, HooksFire) {
+  WalkOverlay overlay(make_config(100, 4, 13));
+  std::uint64_t births = 0;
+  std::uint64_t edges = 0;
+  NetworkHooks hooks;
+  hooks.on_birth = [&](NodeId, double) { ++births; };
+  hooks.on_edge_created = [&](NodeId, std::uint32_t, NodeId, bool, double) {
+    ++edges;
+  };
+  overlay.set_hooks(std::move(hooks));
+  overlay.run_rounds(50);
+  EXPECT_EQ(births, 50u);
+  EXPECT_GT(edges, 0u);
+}
+
+}  // namespace
+}  // namespace churnet
