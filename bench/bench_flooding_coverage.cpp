@@ -11,6 +11,11 @@
 // Sweep 1 measures coverage vs d at fixed n against the paper's target
 // fraction. Sweep 2 measures the time to 90% coverage vs n at fixed d and
 // fits it against log2(n).
+//
+// Engine edition: scenarios come from the ScenarioRegistry and every
+// replication loop runs through the TrialRunner (one derive_seed stream per
+// (model, d) / size configuration; --threads parallelizes replications
+// without changing any number).
 #include <cmath>
 #include <cstdio>
 #include <iostream>
@@ -33,54 +38,59 @@ int main(int argc, char** argv) {
       scaled(static_cast<std::uint64_t>(cli.get_int("reps")),
              scale.rep_factor, 3);
   const std::uint64_t seed = seed_from_cli(cli);
+  const unsigned threads = threads_from_cli(cli);
 
   print_experiment_header(
       "T1.e flooding coverage without regeneration",
       "coverage >= 1 - e^{-d/10} within O(log n/log d + d) steps, w.p. "
       ">= 1 - 4e^{-d/100} (SDG Thm 3.8; PDG Thm 4.13 with e^{-d/20})");
 
+  const ScenarioRegistry& registry = ScenarioRegistry::paper();
+
   std::printf("--- sweep 1: coverage vs d (n=%u, budget 4*log2(n)+d steps) "
               "---\n", n);
   Table sweep1({"model", "d", "target frac", "mean coverage", "p10 coverage",
                 "P[>= target]", "verdict"});
   const std::uint32_t degrees[] = {2, 4, 6, 8, 12, 16};
-  for (int model = 0; model < 2; ++model) {
+  std::uint64_t stream = 0;
+  for (const char* name : {"SDG", "PDG"}) {
+    const Scenario& scenario = registry.at(name);
+    const bool streaming = scenario.model() == ModelKind::kStreaming;
     for (const std::uint32_t d : degrees) {
       const double target =
-          model == 0 ? 1.0 - std::exp(-static_cast<double>(d) / 10.0)
-                     : 1.0 - std::exp(-static_cast<double>(d) / 20.0);
+          streaming ? 1.0 - std::exp(-static_cast<double>(d) / 10.0)
+                    : 1.0 - std::exp(-static_cast<double>(d) / 20.0);
+      TrialRunnerOptions options;
+      options.replications = reps;
+      options.threads = threads;
+      options.base_seed = seed;
+      options.stream = ++stream;
+      const TrialResult result = TrialRunner(options).run(
+          "coverage", [&scenario, streaming, n, d](const TrialContext& ctx) {
+            thread_local FloodScratch scratch;
+            FloodOptions flood_options;
+            flood_options.max_steps = static_cast<std::uint64_t>(
+                4.0 * std::log2(static_cast<double>(n))) + d;
+            flood_options.stop_on_die_out = true;
+            ScenarioParams params;
+            params.n = n;
+            params.d = d;
+            params.seed = ctx.seed;
+            AnyNetwork net = scenario.make_warmed(params);
+            if (streaming) {
+              net.run_until(net.now() + static_cast<double>(n));
+            }
+            return net.flood(flood_options, scratch).final_fraction;
+          });
       std::vector<double> coverages;
       std::uint64_t hits = 0;
-      for (std::uint64_t rep = 0; rep < reps; ++rep) {
-        FloodOptions options;
-        options.max_steps =
-            static_cast<std::uint64_t>(4.0 * std::log2(n)) + d;
-        options.stop_on_die_out = true;
-        double coverage = 0.0;
-        if (model == 0) {
-          StreamingConfig config;
-          config.n = n;
-          config.d = d;
-          config.policy = EdgePolicy::kNone;
-          config.seed = derive_seed(seed, d, rep);
-          StreamingNetwork net(config);
-          net.warm_up();
-          net.run_rounds(n);
-          coverage = flood_streaming(net, options).final_fraction;
-        } else {
-          PoissonNetwork net(PoissonConfig::with_n(
-              n, d, EdgePolicy::kNone, derive_seed(seed, 100 + d, rep)));
-          net.warm_up(8.0);
-          coverage = flood_poisson_discretized(net, options).final_fraction;
-        }
-        coverages.push_back(coverage);
-        hits += coverage >= target ? 1 : 0;
+      for (const auto& row : result.samples()) {
+        coverages.push_back(row[0]);
+        hits += row[0] >= target ? 1 : 0;
       }
-      OnlineStats stats;
-      for (const double c : coverages) stats.add(c);
       sweep1.add_row(
-          {model == 0 ? "SDG" : "PDG", fmt_int(d), fmt_percent(target, 1),
-           fmt_percent(stats.mean(), 1),
+          {name, fmt_int(d), fmt_percent(target, 1),
+           fmt_percent(result.stats("coverage").mean(), 1),
            fmt_percent(quantile(coverages, 0.1), 1),
            fmt_percent(static_cast<double>(hits) /
                            static_cast<double>(reps),
@@ -96,26 +106,32 @@ int main(int argc, char** argv) {
   std::vector<double> log_ns;
   std::vector<double> times_sdg;
   const std::uint32_t sizes[] = {n / 8, n / 4, n / 2, n, 2 * n};
+  const Scenario& sdg = registry.at("SDG");
   for (const std::uint32_t size : sizes) {
-    OnlineStats steps;
-    for (std::uint64_t rep = 0; rep < reps; ++rep) {
-      StreamingConfig config;
-      config.n = size;
-      config.d = 8;
-      config.policy = EdgePolicy::kNone;
-      config.seed = derive_seed(seed, 200, rep * 1000 + size);
-      StreamingNetwork net(config);
-      net.warm_up();
-      net.run_rounds(size);
-      FloodOptions options;
-      options.max_steps = static_cast<std::uint64_t>(8.0 * std::log2(size));
-      options.stop_at_fraction = 0.9;
-      const FloodTrace trace = flood_streaming(net, options);
-      const std::uint64_t when = trace.step_reaching_fraction(0.9);
-      if (when != FloodTrace::kNever) {
-        steps.add(static_cast<double>(when));
-      }
-    }
+    TrialRunnerOptions options;
+    options.replications = reps;
+    options.threads = threads;
+    options.base_seed = seed;
+    options.stream = 200 + ++stream;
+    const TrialResult result = TrialRunner(options).run(
+        "steps_to_90", [&sdg, size](const TrialContext& ctx) {
+          thread_local FloodScratch scratch;
+          ScenarioParams params;
+          params.n = size;
+          params.d = 8;
+          params.seed = ctx.seed;
+          AnyNetwork net = sdg.make_warmed(params);
+          net.run_until(net.now() + static_cast<double>(size));
+          FloodOptions flood_options;
+          flood_options.max_steps = static_cast<std::uint64_t>(
+              8.0 * std::log2(static_cast<double>(size)));
+          flood_options.stop_at_fraction = 0.9;
+          const FloodTrace trace = net.flood(flood_options, scratch);
+          const std::uint64_t when = trace.step_reaching_fraction(0.9);
+          return when != FloodTrace::kNever ? static_cast<double>(when)
+                                            : std::nan("");
+        });
+    const OnlineStats& steps = result.stats("steps_to_90");
     if (steps.count() > 0) {
       sweep2.add_row({"SDG", fmt_int(size), fmt_fixed(steps.mean(), 2),
                       fmt_fixed(steps.stderr_mean(), 2)});

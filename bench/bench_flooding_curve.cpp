@@ -8,9 +8,15 @@
 //   * exponential growth phase with rate ~ log d per step;
 //   * SDG/PDG saturating strictly below 1 (isolated nodes);
 //   * SDGR/PDGR hitting exactly 1.
+//
+// Engine edition: the four models are the registry's four paper scenarios,
+// and the per-model replication loop runs through the TrialRunner (fixed
+// per-step metrics, curves padded with their final value; --threads fans
+// replications without changing the medians).
 #include <cmath>
 #include <cstdio>
 #include <iostream>
+#include <string>
 
 #include "churnet/churnet.hpp"
 
@@ -79,33 +85,41 @@ int main(int argc, char** argv) {
   options.max_steps = steps;
   options.stop_on_die_out = false;
 
+  const unsigned threads = threads_from_cli(cli);
+  const ScenarioRegistry& registry = ScenarioRegistry::paper();
+  const char* model_names[] = {"SDG", "SDGR", "PDG", "PDGR"};
+
   std::vector<std::vector<double>> curves;
   Table table({"step", "SDG", "SDGR", "PDG", "PDGR"});
   std::vector<std::vector<double>> medians(4);
+  // Fixed-length metric vector per replication: the fraction after each
+  // flooding step, padded with the final value when the flood stops early.
+  std::vector<std::string> metrics;
+  for (std::uint64_t t = 0; t <= steps; ++t) {
+    metrics.push_back("frac_step_" + std::to_string(t));
+  }
   for (int model = 0; model < 4; ++model) {
-    curves.clear();
-    for (std::uint64_t rep = 0; rep < reps; ++rep) {
-      const std::uint64_t rep_seed =
-          derive_seed(seed, static_cast<std::uint64_t>(model), rep);
-      if (model < 2) {
-        StreamingConfig config;
-        config.n = n;
-        config.d = d;
-        config.policy =
-            model == 0 ? EdgePolicy::kNone : EdgePolicy::kRegenerate;
-        config.seed = rep_seed;
-        StreamingNetwork net(config);
-        net.warm_up();
-        curves.push_back(fractions(flood_streaming(net, options)));
-      } else {
-        PoissonNetwork net(PoissonConfig::with_n(
-            n, d,
-            model == 2 ? EdgePolicy::kNone : EdgePolicy::kRegenerate,
-            rep_seed));
-        net.warm_up(8.0);
-        curves.push_back(fractions(flood_poisson_discretized(net, options)));
-      }
-    }
+    const Scenario& scenario = registry.at(model_names[model]);
+    TrialRunnerOptions runner_options;
+    runner_options.replications = reps;
+    runner_options.threads = threads;
+    runner_options.base_seed = seed;
+    runner_options.stream = static_cast<std::uint64_t>(model);
+    const TrialResult result = TrialRunner(runner_options)
+        .run(metrics, [&scenario, n, d, steps,
+                       &options](const TrialContext& ctx) {
+          thread_local FloodScratch scratch;
+          ScenarioParams params;
+          params.n = n;
+          params.d = d;
+          params.seed = ctx.seed;
+          AnyNetwork net = scenario.make_warmed(params);
+          std::vector<double> curve =
+              fractions(net.flood(options, scratch));
+          curve.resize(steps + 1, curve.back());  // pad early stops
+          return curve;
+        });
+    curves.assign(result.samples().begin(), result.samples().end());
     medians[static_cast<std::size_t>(model)] = median_curve(curves);
   }
   for (std::uint64_t t = 0; t <= steps; ++t) {

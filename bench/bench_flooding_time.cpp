@@ -11,6 +11,11 @@
 // We sweep n, report completion times for both models plus the static
 // d-out baseline (BFS eccentricity = flooding rounds on a frozen graph,
 // Lemma B.1), fit against log2(n), and also record the completion *rate*.
+//
+// Engine edition: all scenarios come from the ScenarioRegistry, every
+// replication runs through the TrialRunner (seeds derive_seed-routed per
+// (size, replication); --threads fans replications across a pool with
+// thread-count-independent results).
 #include <cmath>
 #include <cstdio>
 #include <iostream>
@@ -38,11 +43,17 @@ int main(int argc, char** argv) {
       static_cast<std::uint32_t>(cli.get_int("d-streaming"));
   const auto d_poisson = static_cast<std::uint32_t>(cli.get_int("d-poisson"));
   const std::uint64_t seed = seed_from_cli(cli);
+  const unsigned threads = threads_from_cli(cli);
 
   print_experiment_header(
       "T1.f flooding time with regeneration",
       "completion in O(log n) w.h.p.: SDGR (Thm 3.16, d >= 21), PDGR "
       "(Thm 4.20, d >= 35); static d-out BFS as the no-churn baseline");
+
+  const ScenarioRegistry& registry = ScenarioRegistry::paper();
+  const Scenario& sdgr = registry.at("SDGR");
+  const Scenario& pdgr = registry.at("PDGR");
+  const Scenario& baseline = registry.at("static-dout");
 
   Table table({"n", "SDGR rounds", "PDGR steps", "PDGR async time",
                "static BFS", "completed"});
@@ -53,66 +64,76 @@ int main(int argc, char** argv) {
   std::vector<double> log_ns;
   std::vector<double> sdgr_means;
   std::vector<double> pdgr_means;
+  std::uint64_t size_index = 0;
   for (const std::uint32_t size : sizes) {
-    OnlineStats sdgr_rounds;
-    OnlineStats pdgr_steps;
-    OnlineStats async_times;
-    OnlineStats bfs_rounds;
-    std::uint64_t completions = 0;
-    std::uint64_t attempts = 0;
-    for (std::uint64_t rep = 0; rep < reps; ++rep) {
-      {
-        StreamingConfig config;
-        config.n = size;
-        config.d = d_streaming;
-        config.policy = EdgePolicy::kRegenerate;
-        config.seed = derive_seed(seed, 1, rep * 1000 + size);
-        StreamingNetwork net(config);
-        net.warm_up();
-        net.run_rounds(size);
-        FloodOptions options;
-        options.max_steps =
-            static_cast<std::uint64_t>(30.0 * std::log2(size));
-        const FloodTrace trace = flood_streaming(net, options);
-        ++attempts;
-        if (trace.completed) {
-          ++completions;
-          sdgr_rounds.add(static_cast<double>(trace.completion_step));
-        }
-      }
-      {
-        PoissonNetwork net(PoissonConfig::with_n(
-            size, d_poisson, EdgePolicy::kRegenerate,
-            derive_seed(seed, 2, rep * 1000 + size)));
-        net.warm_up(8.0);
-        FloodOptions options;
-        options.max_steps =
-            static_cast<std::uint64_t>(30.0 * std::log2(size));
-        const FloodTrace trace = flood_poisson_discretized(net, options);
-        ++attempts;
-        if (trace.completed) {
-          ++completions;
-          pdgr_steps.add(static_cast<double>(trace.completion_step));
-        }
-        // Asynchronous process on the same (already churned) network.
-        AsyncFloodOptions async_options;
-        async_options.max_time = 30.0 * std::log2(size);
-        const AsyncFloodResult async_result =
-            flood_poisson_async(net, async_options);
-        ++attempts;
-        if (async_result.completed) {
-          ++completions;
-          async_times.add(async_result.completion_time);
-        }
-      }
-      {
-        Rng rng(derive_seed(seed, 3, rep * 1000 + size));
-        const Snapshot snap = static_dout_snapshot(size, d_streaming, rng);
-        const StaticFloodResult flood = static_flood(
-            snap, static_cast<std::uint32_t>(rng.below(size)));
-        if (flood.completed) bfs_rounds.add(static_cast<double>(flood.rounds));
-      }
-    }
+    TrialRunnerOptions options;
+    options.replications = reps;
+    options.threads = threads;
+    options.base_seed = seed;
+    options.stream = ++size_index;  // one derive_seed stream per size
+    const TrialResult result = TrialRunner(options).run(
+        {"sdgr_rounds", "pdgr_steps", "pdgr_async_time", "static_bfs",
+         "completions"},
+        [&, size](const TrialContext& ctx) {
+          thread_local FloodScratch scratch;
+          const auto budget = static_cast<std::uint64_t>(
+              30.0 * std::log2(static_cast<double>(size)));
+          FloodOptions flood_options;
+          flood_options.max_steps = budget;
+          double completions = 0.0;
+
+          ScenarioParams params;
+          params.n = size;
+          params.seed = derive_seed(ctx.seed, 1, 0);
+          params.d = d_streaming;
+          AnyNetwork snet = sdgr.make_warmed(params);
+          snet.run_until(snet.now() + static_cast<double>(size));
+          const FloodTrace strace = snet.flood(flood_options, scratch);
+          if (strace.completed) completions += 1.0;
+
+          params.seed = derive_seed(ctx.seed, 2, 0);
+          params.d = d_poisson;
+          AnyNetwork pnet = pdgr.make_warmed(params);
+          const FloodTrace ptrace = pnet.flood(flood_options, scratch);
+          if (ptrace.completed) completions += 1.0;
+
+          // Asynchronous process on the same (already churned) network.
+          AsyncFloodOptions async_options;
+          async_options.max_time =
+              30.0 * std::log2(static_cast<double>(size));
+          const AsyncFloodResult async_result =
+              flood_poisson_async(*pnet.get_if<PoissonNetwork>(),
+                                  async_options);
+          if (async_result.completed) completions += 1.0;
+
+          params.seed = derive_seed(ctx.seed, 3, 0);
+          params.d = d_streaming;
+          AnyNetwork bnet = baseline.make_warmed(params);
+          const FloodTrace btrace = bnet.flood(flood_options, scratch);
+
+          const double nan = std::nan("");
+          return std::vector<double>{
+              strace.completed
+                  ? static_cast<double>(strace.completion_step)
+                  : nan,
+              ptrace.completed
+                  ? static_cast<double>(ptrace.completion_step)
+                  : nan,
+              async_result.completed ? async_result.completion_time : nan,
+              btrace.completed
+                  ? static_cast<double>(btrace.completion_step)
+                  : nan,
+              completions};
+        });
+
+    const OnlineStats& sdgr_rounds = result.stats("sdgr_rounds");
+    const OnlineStats& pdgr_steps = result.stats("pdgr_steps");
+    const OnlineStats& async_times = result.stats("pdgr_async_time");
+    const OnlineStats& bfs_rounds = result.stats("static_bfs");
+    const auto completions = static_cast<std::uint64_t>(
+        std::llround(result.stats("completions").mean() *
+                     static_cast<double>(reps)));
+    const std::uint64_t attempts = 3 * reps;
     table.add_row(
         {fmt_int(size),
          sdgr_rounds.count() > 0 ? fmt_fixed(sdgr_rounds.mean(), 2) : "-",

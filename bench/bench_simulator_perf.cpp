@@ -1,8 +1,17 @@
-// Engineering microbenchmarks (google-benchmark): event throughput of the
-// four models and the P2P overlay, snapshot capture cost, flooding and
-// expansion-probe throughput. These guard against performance regressions;
-// they reproduce no paper claim.
-#include <benchmark/benchmark.h>
+// Engineering performance bench, engine edition: event throughput of the
+// four paper models, snapshot capture cost, and replicated flooding trials
+// fanned across the TrialRunner thread pool. These guard against
+// performance regressions; they reproduce no paper claim.
+//
+// The replication sections route every trial seed through derive_seed and
+// are bit-deterministic for a fixed --seed regardless of --threads; the
+// thread-scaling section reports the wall-clock speedup of --threads
+// workers over a serial run of the identical workload.
+#include <chrono>
+#include <cmath>
+#include <cstdio>
+#include <iostream>
+#include <thread>
 
 #include "churnet/churnet.hpp"
 
@@ -10,129 +19,234 @@ namespace {
 
 using namespace churnet;
 
-void BM_StreamingStep(benchmark::State& state) {
-  const auto n = static_cast<std::uint32_t>(state.range(0));
-  const auto policy = state.range(1) == 0 ? EdgePolicy::kNone
-                                          : EdgePolicy::kRegenerate;
-  StreamingConfig config;
-  config.n = n;
-  config.d = 8;
-  config.policy = policy;
-  config.seed = 1;
-  StreamingNetwork net(config);
-  net.warm_up();
-  for (auto _ : state) {
-    benchmark::DoNotOptimize(net.step().born);
-  }
-  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()));
+double seconds_since(std::chrono::steady_clock::time_point start) {
+  return std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                       start)
+      .count();
 }
-BENCHMARK(BM_StreamingStep)
-    ->Args({10000, 0})
-    ->Args({10000, 1})
-    ->Args({100000, 0})
-    ->Args({100000, 1});
-
-void BM_PoissonStep(benchmark::State& state) {
-  const auto n = static_cast<std::uint32_t>(state.range(0));
-  const auto policy = state.range(1) == 0 ? EdgePolicy::kNone
-                                          : EdgePolicy::kRegenerate;
-  PoissonNetwork net(PoissonConfig::with_n(n, 8, policy, 1));
-  net.warm_up(3.0);
-  for (auto _ : state) {
-    benchmark::DoNotOptimize(net.step().time);
-  }
-  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()));
-}
-BENCHMARK(BM_PoissonStep)
-    ->Args({10000, 0})
-    ->Args({10000, 1})
-    ->Args({100000, 0})
-    ->Args({100000, 1});
-
-void BM_P2pStep(benchmark::State& state) {
-  const auto n = static_cast<std::uint32_t>(state.range(0));
-  P2pNetwork net(P2pConfig::with_n(n, 1));
-  net.warm_up(3.0);
-  for (auto _ : state) {
-    benchmark::DoNotOptimize(net.step().time);
-  }
-  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()));
-}
-BENCHMARK(BM_P2pStep)->Arg(10000)->Arg(50000);
-
-void BM_SnapshotCapture(benchmark::State& state) {
-  const auto n = static_cast<std::uint32_t>(state.range(0));
-  PoissonNetwork net(PoissonConfig::with_n(n, 8, EdgePolicy::kRegenerate, 1));
-  net.warm_up(5.0);
-  for (auto _ : state) {
-    const Snapshot snap = net.snapshot();
-    benchmark::DoNotOptimize(snap.node_count());
-  }
-  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
-                          net.graph().alive_count());
-}
-BENCHMARK(BM_SnapshotCapture)->Arg(10000)->Arg(100000);
-
-void BM_FloodStreaming(benchmark::State& state) {
-  const auto n = static_cast<std::uint32_t>(state.range(0));
-  StreamingConfig config;
-  config.n = n;
-  config.d = 21;
-  config.policy = EdgePolicy::kRegenerate;
-  config.seed = 1;
-  StreamingNetwork net(config);
-  net.warm_up();
-  for (auto _ : state) {
-    benchmark::DoNotOptimize(flood_streaming(net).completed);
-  }
-  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) * n);
-}
-BENCHMARK(BM_FloodStreaming)->Arg(10000)->Arg(100000);
-
-void BM_FloodPoissonAsync(benchmark::State& state) {
-  const auto n = static_cast<std::uint32_t>(state.range(0));
-  PoissonNetwork net(
-      PoissonConfig::with_n(n, 21, EdgePolicy::kRegenerate, 1));
-  net.warm_up(5.0);
-  for (auto _ : state) {
-    benchmark::DoNotOptimize(flood_poisson_async(net).completed);
-  }
-  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) * n);
-}
-BENCHMARK(BM_FloodPoissonAsync)->Arg(10000)->Arg(100000);
-
-void BM_ExpansionProbe(benchmark::State& state) {
-  const auto n = static_cast<std::uint32_t>(state.range(0));
-  Rng rng(1);
-  const Snapshot snap = static_dout_snapshot(n, 8, rng);
-  for (auto _ : state) {
-    benchmark::DoNotOptimize(probe_expansion(snap, rng, {}).min_ratio);
-  }
-}
-BENCHMARK(BM_ExpansionProbe)->Arg(10000)->Arg(100000);
-
-void BM_BfsDistances(benchmark::State& state) {
-  const auto n = static_cast<std::uint32_t>(state.range(0));
-  Rng rng(1);
-  const Snapshot snap = static_dout_snapshot(n, 8, rng);
-  for (auto _ : state) {
-    benchmark::DoNotOptimize(bfs_distances(snap, 0).size());
-  }
-  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) * n);
-}
-BENCHMARK(BM_BfsDistances)->Arg(10000)->Arg(100000);
-
-void BM_OnionSkin(benchmark::State& state) {
-  OnionSkinConfig config;
-  config.n = static_cast<std::uint32_t>(state.range(0));
-  config.d = 200;
-  config.seed = 1;
-  for (auto _ : state) {
-    benchmark::DoNotOptimize(run_onion_skin(config).phases);
-  }
-}
-BENCHMARK(BM_OnionSkin)->Arg(100000);
 
 }  // namespace
 
-BENCHMARK_MAIN();
+int main(int argc, char** argv) {
+  Cli cli("simulator performance: model throughput and parallel replication "
+          "scaling");
+  cli.add_int("n", 20000, "network size for the throughput sections");
+  cli.add_int("steps", 200000, "churn steps per throughput measurement");
+  cli.add_int("reps", 16, "flooding replications per scenario");
+  cli.add_int("flood-n", 4000, "network size per flooding replication");
+  add_standard_options(cli);
+  if (!cli.parse(argc, argv)) return 0;
+  const BenchScale scale = scale_from_cli(cli);
+  const auto n = static_cast<std::uint32_t>(
+      scaled(static_cast<std::uint64_t>(cli.get_int("n")),
+             scale.size_factor, 2000));
+  const auto steps =
+      scaled(static_cast<std::uint64_t>(cli.get_int("steps")),
+             scale.size_factor, 20000);
+  const std::uint64_t reps =
+      scaled(static_cast<std::uint64_t>(cli.get_int("reps")),
+             scale.rep_factor, 4);
+  const auto flood_n = static_cast<std::uint32_t>(
+      scaled(static_cast<std::uint64_t>(cli.get_int("flood-n")),
+             scale.size_factor, 1000));
+  const std::uint64_t seed = seed_from_cli(cli);
+  const unsigned threads = threads_from_cli(cli);
+
+  print_experiment_header(
+      "simulator performance",
+      "engineering throughput only (no paper claim); deterministic for a "
+      "fixed --seed at any --threads");
+
+  const ScenarioRegistry& registry = ScenarioRegistry::paper();
+
+  // --- section 1: single-stream churn event throughput ------------------
+  std::printf("--- churn event throughput (n=%u, %llu steps each) ---\n", n,
+              static_cast<unsigned long long>(steps));
+  Table throughput({"scenario", "events/sec", "edges/node", "wall s"});
+  for (const char* name : {"SDG", "SDGR", "PDG", "PDGR"}) {
+    ScenarioParams params;
+    params.n = n;
+    params.d = 8;
+    params.seed = derive_seed(seed, 1, 0);
+    AnyNetwork net = registry.at(name).make_warmed(params);
+    const auto start = std::chrono::steady_clock::now();
+    for (std::uint64_t i = 0; i < steps; ++i) net.step();
+    const double elapsed = seconds_since(start);
+    throughput.add_row(
+        {name, fmt_sci(static_cast<double>(steps) / elapsed, 2),
+         fmt_fixed(static_cast<double>(net.graph().edge_count()) /
+                       static_cast<double>(net.graph().alive_count()),
+                   2),
+         fmt_fixed(elapsed, 3)});
+  }
+  throughput.print(std::cout);
+
+  // --- section 2: P2P overlay step throughput ----------------------------
+  {
+    P2pNetwork p2p(P2pConfig::with_n(n, derive_seed(seed, 3, 0)));
+    p2p.warm_up(3.0);
+    const auto start = std::chrono::steady_clock::now();
+    for (std::uint64_t i = 0; i < steps; ++i) p2p.step();
+    const double elapsed = seconds_since(start);
+    std::printf("\nP2P overlay: %.2e events/sec (n=%u, %llu steps)\n",
+                static_cast<double>(steps) / elapsed, n,
+                static_cast<unsigned long long>(steps));
+  }
+
+  // --- section 3: snapshot capture and analysis throughput ----------------
+  {
+    ScenarioParams params;
+    params.n = n;
+    params.d = 8;
+    params.seed = derive_seed(seed, 2, 0);
+    AnyNetwork net = registry.at("PDGR").make_warmed(params);
+    const int captures = 20;
+    auto start = std::chrono::steady_clock::now();
+    std::uint64_t total_nodes = 0;
+    for (int i = 0; i < captures; ++i) total_nodes += net.snapshot().node_count();
+    double elapsed = seconds_since(start);
+    std::printf("\nsnapshot capture: %.2e nodes/sec (%d captures of ~%llu "
+                "nodes)\n",
+                static_cast<double>(total_nodes) / elapsed, captures,
+                static_cast<unsigned long long>(total_nodes /
+                                                static_cast<std::uint64_t>(
+                                                    captures)));
+
+    // Analysis kernels on one frozen snapshot (regression guards for the
+    // expansion and graph-algorithm subsystems).
+    const Snapshot snap = net.snapshot();
+    Rng probe_rng(derive_seed(seed, 4, 0));
+    start = std::chrono::steady_clock::now();
+    const ProbeResult probe = probe_expansion(snap, probe_rng, {});
+    elapsed = seconds_since(start);
+    std::printf("expansion probe: %.3fs (%llu candidate sets, min ratio "
+                "%.3f)\n",
+                elapsed,
+                static_cast<unsigned long long>(probe.sets_probed),
+                probe.min_ratio);
+
+    const int bfs_runs = 5;
+    start = std::chrono::steady_clock::now();
+    std::uint64_t reached = 0;
+    for (int i = 0; i < bfs_runs; ++i) {
+      reached += bfs_distances(snap, static_cast<std::uint32_t>(
+                                         i % snap.node_count()))
+                     .size();
+    }
+    elapsed = seconds_since(start);
+    std::printf("BFS distances: %.2e nodes/sec (%d sources)\n",
+                static_cast<double>(reached) / elapsed, bfs_runs);
+  }
+
+  // --- section 4: onion-skin decomposition --------------------------------
+  {
+    OnionSkinConfig onion;
+    onion.n = n;
+    onion.d = 200;
+    onion.seed = derive_seed(seed, 5, 0);
+    const auto start = std::chrono::steady_clock::now();
+    const auto result = run_onion_skin(onion);
+    const double elapsed = seconds_since(start);
+    std::printf("onion skin: %.3fs (n=%u, d=%u, %llu phases)\n", elapsed, n,
+                onion.d,
+                static_cast<unsigned long long>(result.phases));
+  }
+
+  // --- section 5: replicated flooding through the TrialRunner ------------
+  unsigned resolved_threads = threads;
+  if (resolved_threads == 0) {
+    resolved_threads = std::thread::hardware_concurrency();
+    if (resolved_threads == 0) resolved_threads = 1;
+  }
+  std::printf("\n--- replicated flooding (n=%u, %llu reps, %u thread%s) "
+              "---\n",
+              flood_n, static_cast<unsigned long long>(reps),
+              resolved_threads, resolved_threads == 1 ? "" : "s");
+  Table floods({"scenario", "d", "floods/sec", "mean steps", "completed",
+                "wall s"});
+  std::uint64_t stream = 10;
+  for (const char* name : {"SDGR", "PDGR"}) {
+    const std::uint32_t d = *name == 'S' ? 21 : 35;
+    TrialRunnerOptions options;
+    options.replications = reps;
+    options.threads = threads;
+    options.base_seed = seed;
+    options.stream = stream++;
+    const Scenario& scenario = registry.at(name);
+    const TrialResult result = TrialRunner(options).run(
+        {"completion_step", "completed"},
+        [&scenario, flood_n, d](const TrialContext& ctx) {
+          ScenarioParams params;
+          params.n = flood_n;
+          params.d = d;
+          params.seed = ctx.seed;
+          AnyNetwork net = scenario.make_warmed(params);
+          thread_local FloodScratch scratch;  // reused across reps per worker
+          FloodOptions flood_options;
+          flood_options.max_steps = static_cast<std::uint64_t>(
+              30.0 * std::log2(static_cast<double>(flood_n)));
+          const FloodTrace trace = net.flood(flood_options, scratch);
+          return std::vector<double>{
+              trace.completed ? static_cast<double>(trace.completion_step)
+                              : std::nan(""),
+              trace.completed ? 1.0 : 0.0};
+        });
+    floods.add_row(
+        {name, fmt_int(d),
+         fmt_fixed(static_cast<double>(reps) / result.wall_seconds(), 2),
+         result.stats("completion_step").count() > 0
+             ? fmt_fixed(result.stats("completion_step").mean(), 2)
+             : "-",
+         fmt_int(static_cast<std::int64_t>(
+             result.stats("completed").count() > 0
+                 ? result.stats("completed").mean() *
+                       static_cast<double>(reps)
+                 : 0)),
+         fmt_fixed(result.wall_seconds(), 3)});
+  }
+  floods.print(std::cout);
+
+  // --- section 6: thread scaling of the replication loop -----------------
+  if (threads != 1) {
+    std::printf("\n--- thread scaling (SDGR floods, %llu reps) ---\n",
+                static_cast<unsigned long long>(reps));
+    const Scenario& scenario = registry.at("SDGR");
+    auto body = [&scenario, flood_n](const TrialContext& ctx) {
+      ScenarioParams params;
+      params.n = flood_n;
+      params.d = 21;
+      params.seed = ctx.seed;
+      AnyNetwork net = scenario.make_warmed(params);
+      thread_local FloodScratch scratch;
+      const FloodTrace trace = net.flood({}, scratch);
+      return trace.completed ? static_cast<double>(trace.completion_step)
+                             : std::nan("");
+    };
+    TrialRunnerOptions serial;
+    serial.replications = reps;
+    serial.threads = 1;
+    serial.base_seed = seed;
+    serial.stream = 20;
+    TrialRunnerOptions parallel = serial;
+    parallel.threads = threads;
+
+    const TrialResult serial_result =
+        TrialRunner(serial).run("completion_step", body);
+    const TrialResult parallel_result =
+        TrialRunner(parallel).run("completion_step", body);
+    const double speedup =
+        serial_result.wall_seconds() / parallel_result.wall_seconds();
+    const bool identical =
+        serial_result.stats("completion_step").count() ==
+            parallel_result.stats("completion_step").count() &&
+        serial_result.stats("completion_step").mean() ==
+            parallel_result.stats("completion_step").mean();
+    std::printf("T=1: %.3fs   T=%u: %.3fs   speedup: %.2fx\n",
+                serial_result.wall_seconds(), parallel_result.threads_used(),
+                parallel_result.wall_seconds(), speedup);
+    std::printf("identical aggregates across thread counts: %s\n",
+                verdict(identical).c_str());
+  }
+
+  return 0;
+}

@@ -1,12 +1,16 @@
-// Quickstart: build a Poisson dynamic graph with edge regeneration (the
-// paper's most realistic model), flood a message from a newborn node, and
-// print what happened.
+// Quickstart: pick a paper model from the scenario registry by name, flood
+// a message from a newborn node, and replicate the experiment across a
+// thread pool — the five-minute tour of the engine-era public API.
 //
-//   ./quickstart [--n 10000] [--d 8] [--seed 7]
+//   ./quickstart [--scenario PDGR] [--n 10000] [--d 8] [--seed 7]
+//                [--reps 8] [--threads 2]
 //
-// This is the five-minute tour of the public API: configure a model, warm
-// it up, snapshot it, run a process, read the results.
+// Flow: select a Scenario, build a warmed AnyNetwork, snapshot it, run a
+// process, then hand the whole experiment to the TrialRunner for
+// replicated, seed-decorrelated, parallel statistics.
+#include <cmath>
 #include <cstdio>
+#include <iostream>
 
 #include "churnet/churnet.hpp"
 
@@ -14,24 +18,35 @@ int main(int argc, char** argv) {
   using namespace churnet;
 
   Cli cli("quickstart: flood a message through a churning random network");
-  cli.add_int("n", 10000, "expected network size (lambda=1, mu=1/n)");
+  cli.add_string("scenario",
+                 "PDGR", "model to run: SDG, SDGR, PDG, PDGR, static-dout, "
+                 "erdos-renyi");
+  cli.add_int("n", 10000, "target network size");
   cli.add_int("d", 8, "out-requests per node");
   cli.add_int("seed", 7, "random seed");
+  cli.add_int("reps", 8, "replications for the summary table");
+  cli.add_int("threads", 2, "worker threads for the replications");
   if (!cli.parse(argc, argv)) return 0;
 
   const auto n = static_cast<std::uint32_t>(cli.get_int("n"));
   const auto d = static_cast<std::uint32_t>(cli.get_int("d"));
   const auto seed = static_cast<std::uint64_t>(cli.get_int("seed"));
 
-  // A Poisson dynamic graph with edge regeneration (PDGR, paper Def. 4.14):
-  // nodes arrive at rate 1, live Exp(1/n), keep out-degree d by redialing
-  // whenever a neighbor departs.
-  PoissonNetwork net(
-      PoissonConfig::with_n(n, d, EdgePolicy::kRegenerate, seed));
-  std::printf("warming up a PDGR network (n=%u, d=%u)...\n", n, d);
-  net.warm_up();  // ~10 expected lifetimes
+  // 1. Runtime model selection: every (model x edge-policy) configuration
+  // the paper studies is one named Scenario in the registry.
+  const Scenario& scenario =
+      ScenarioRegistry::paper().at(cli.get_string("scenario"));
+  std::printf("scenario %s: %s\n", scenario.name().c_str(),
+              scenario.description().c_str());
 
-  // Inspect a snapshot: sizes, degrees, connectivity.
+  ScenarioParams params;
+  params.n = n;
+  params.d = d;
+  params.seed = seed;
+  std::printf("warming up (n=%u, d=%u)...\n", n, d);
+  AnyNetwork net = scenario.make_warmed(params);
+
+  // 2. Inspect a snapshot: sizes, degrees, connectivity.
   const Snapshot snap = net.snapshot();
   const DegreeStats degrees = degree_stats(snap);
   const Components components = connected_components(snap);
@@ -52,8 +67,9 @@ int main(int argc, char** argv) {
               static_cast<unsigned long long>(probe.sets_probed),
               probe.argmin_family.c_str(), probe.argmin_size);
 
-  // Flood from the next newborn (discretized process, paper Def. 4.3).
-  const FloodTrace trace = flood_poisson_discretized(net);
+  // 3. Flood from the next newborn under the model's own semantics
+  // (synchronous Def. 3.3, discretized Def. 4.3, or BFS on a baseline).
+  const FloodTrace trace = net.flood();
   if (trace.completed) {
     std::printf("flooding completed in %llu steps (alive: %llu)\n",
                 static_cast<unsigned long long>(trace.completion_step),
@@ -69,17 +85,31 @@ int main(int argc, char** argv) {
   }
   std::printf("\n");
 
-  // The asynchronous process (Def. 4.2) is faster than its discretized
-  // worst-case cousin; compare.
-  const AsyncFloodResult async_result = flood_poisson_async(net);
-  if (async_result.completed) {
-    std::printf("asynchronous flooding completed in %.2f time units "
-                "(%llu messages delivered, %llu dropped mid-flight)\n",
-                async_result.completion_time,
-                static_cast<unsigned long long>(
-                    async_result.messages_delivered),
-                static_cast<unsigned long long>(
-                    async_result.messages_dropped));
-  }
+  // 4. Replicate: the TrialRunner reruns the experiment under decorrelated
+  // seeds (derive_seed(base, stream, replication)) across a thread pool;
+  // the statistics are identical at any --threads.
+  TrialRunnerOptions options;
+  options.replications = static_cast<std::uint64_t>(cli.get_int("reps"));
+  options.threads = static_cast<unsigned>(cli.get_int("threads"));
+  options.base_seed = seed;
+  options.stream = 1;
+  const TrialResult result = TrialRunner(options).run(
+      {"completion_step", "final_fraction"},
+      [&scenario, &params](const TrialContext& ctx) {
+        ScenarioParams rep_params = params;
+        rep_params.seed = ctx.seed;  // the only seed a replication uses
+        AnyNetwork rep_net = scenario.make_warmed(rep_params);
+        thread_local FloodScratch scratch;  // zero allocation after trial 1
+        const FloodTrace rep_trace = rep_net.flood({}, scratch);
+        return std::vector<double>{
+            rep_trace.completed
+                ? static_cast<double>(rep_trace.completion_step)
+                : std::nan(""),
+            rep_trace.final_fraction};
+      });
+  std::printf("\n%llu replications on %u thread(s) in %.2fs:\n",
+              static_cast<unsigned long long>(result.replications()),
+              result.threads_used(), result.wall_seconds());
+  result.to_table().print(std::cout);
   return 0;
 }

@@ -8,20 +8,13 @@
 
 namespace churnet {
 
-std::uint64_t derive_seed(std::uint64_t base, std::uint64_t stream,
-                          std::uint64_t replication) {
-  std::uint64_t x = base ^ (stream * 0x9E3779B97F4A7C15ULL) ^
-                    (replication * 0xC2B2AE3D27D4EB4FULL);
-  x = (x ^ (x >> 30)) * 0xBF58476D1CE4E5B9ULL;
-  x = (x ^ (x >> 27)) * 0x94D049BB133111EBULL;
-  return x ^ (x >> 31);
-}
-
 void add_standard_options(Cli& cli) {
   cli.add_int("seed", 12345, "base seed for all replications");
   cli.add_double("reps-factor", 1.0, "multiplier on replication counts");
   cli.add_flag("quick", "half-scale run (sizes and replications)");
   cli.add_flag("full", "4x-scale run (sizes and replications)");
+  cli.add_int("threads", 1,
+              "worker threads for replication loops (0 = all cores)");
 }
 
 BenchScale scale_from_cli(const Cli& cli) {
@@ -39,6 +32,10 @@ BenchScale scale_from_cli(const Cli& cli) {
 
 std::uint64_t seed_from_cli(const Cli& cli) {
   return static_cast<std::uint64_t>(cli.get_int("seed"));
+}
+
+unsigned threads_from_cli(const Cli& cli) {
+  return static_cast<unsigned>(cli.get_int("threads"));
 }
 
 std::uint64_t scaled(std::uint64_t base, double factor,
@@ -63,6 +60,23 @@ OnlineStats run_replications(
     stats.add(body(rep));
   }
   return stats;
+}
+
+OnlineStats run_replications_parallel(
+    std::uint64_t replications, unsigned threads, std::uint64_t base_seed,
+    std::uint64_t stream,
+    const std::function<double(std::uint64_t, std::uint64_t)>& body) {
+  TrialRunnerOptions options;
+  options.replications = replications;
+  options.threads = threads;
+  options.base_seed = base_seed;
+  options.stream = stream;
+  const TrialResult result = TrialRunner(options).run(
+      "value",
+      [&body](const TrialContext& ctx) {
+        return body(ctx.replication, ctx.seed);
+      });
+  return result.stats("value");
 }
 
 std::string verdict(bool pass) { return pass ? "PASS" : "FAIL"; }

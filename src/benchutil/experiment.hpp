@@ -1,6 +1,11 @@
 // Shared experiment-harness helpers for the bench binaries: seed derivation,
 // replication loops, scale switches and uniform headers, so every bench
 // prints paper-expected vs measured columns the same way.
+//
+// Replication loops delegate to the engine (engine/trial_runner.hpp): every
+// replication seed is derive_seed(base, stream, replication), and
+// run_replications_parallel fans the loop across a thread pool with
+// thread-count-independent results.
 #pragma once
 
 #include <cstdint>
@@ -8,14 +13,11 @@
 #include <string>
 
 #include "common/cli.hpp"
+#include "common/rng.hpp"  // derive_seed lives with the RNG machinery
 #include "common/stats.hpp"
+#include "engine/trial_runner.hpp"
 
 namespace churnet {
-
-/// Derives a per-replication seed from a base seed and stream/replication
-/// indices, decorrelated through splitmix-style mixing.
-std::uint64_t derive_seed(std::uint64_t base, std::uint64_t stream,
-                          std::uint64_t replication);
 
 /// Standard experiment scale: benches multiply their default n / replication
 /// counts by these factors.
@@ -24,8 +26,8 @@ struct BenchScale {
   double rep_factor = 1.0;
 };
 
-/// Adds the standard options (--seed, --reps-factor, --quick, --full) to a
-/// CLI. Benches call this once before parse().
+/// Adds the standard options (--seed, --reps-factor, --quick, --full,
+/// --threads) to a CLI. Benches call this once before parse().
 void add_standard_options(Cli& cli);
 
 /// Reads the standard options; --quick halves sizes and reps, --full
@@ -34,6 +36,9 @@ BenchScale scale_from_cli(const Cli& cli);
 
 /// Base seed from --seed.
 std::uint64_t seed_from_cli(const Cli& cli);
+
+/// Worker threads from --threads (0 = all hardware threads).
+unsigned threads_from_cli(const Cli& cli);
 
 /// Scales a default count by a factor with a floor of `minimum`.
 std::uint64_t scaled(std::uint64_t base, double factor,
@@ -47,6 +52,16 @@ void print_experiment_header(const std::string& experiment_id,
 /// accumulated statistics of its return values.
 OnlineStats run_replications(std::uint64_t replications,
                              const std::function<double(std::uint64_t)>& body);
+
+/// Parallel replication loop over the engine's TrialRunner: replication r
+/// runs on some pool thread with seed derive_seed(base_seed, stream, r),
+/// and the returned statistics are identical for every thread count. The
+/// body must derive ALL of its randomness from the provided seed.
+OnlineStats run_replications_parallel(
+    std::uint64_t replications, unsigned threads, std::uint64_t base_seed,
+    std::uint64_t stream,
+    const std::function<double(std::uint64_t replication, std::uint64_t seed)>&
+        body);
 
 /// "PASS"/"FAIL" with a measured-vs-expected note, for verdict columns.
 std::string verdict(bool pass);

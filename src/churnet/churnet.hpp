@@ -23,15 +23,20 @@
 #include "common/rng.hpp"                  // IWYU pragma: export
 #include "common/stats.hpp"                // IWYU pragma: export
 #include "common/table.hpp"                // IWYU pragma: export
+#include "engine/scenario.hpp"             // IWYU pragma: export
+#include "engine/trial_runner.hpp"         // IWYU pragma: export
 #include "expansion/expansion.hpp"         // IWYU pragma: export
 #include "expansion/isolated.hpp"          // IWYU pragma: export
 #include "expansion/spectral.hpp"          // IWYU pragma: export
 #include "flooding/async_flooding.hpp"     // IWYU pragma: export
+#include "flooding/flood_driver.hpp"       // IWYU pragma: export
 #include "flooding/flooding.hpp"           // IWYU pragma: export
 #include "flooding/onion_skin.hpp"         // IWYU pragma: export
 #include "graph/algorithms.hpp"            // IWYU pragma: export
 #include "graph/dynamic_graph.hpp"         // IWYU pragma: export
 #include "graph/snapshot.hpp"              // IWYU pragma: export
+#include "models/network.hpp"              // IWYU pragma: export
 #include "models/poisson_network.hpp"      // IWYU pragma: export
+#include "models/static_network.hpp"       // IWYU pragma: export
 #include "models/streaming_network.hpp"    // IWYU pragma: export
 #include "p2p/p2p_network.hpp"             // IWYU pragma: export

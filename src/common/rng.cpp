@@ -22,6 +22,15 @@ constexpr std::uint64_t rotl(std::uint64_t x, int k) {
 
 }  // namespace
 
+std::uint64_t derive_seed(std::uint64_t base, std::uint64_t stream,
+                          std::uint64_t replication) {
+  std::uint64_t x = base ^ (stream * 0x9E3779B97F4A7C15ULL) ^
+                    (replication * 0xC2B2AE3D27D4EB4FULL);
+  x = (x ^ (x >> 30)) * 0xBF58476D1CE4E5B9ULL;
+  x = (x ^ (x >> 27)) * 0x94D049BB133111EBULL;
+  return x ^ (x >> 31);
+}
+
 Rng::Rng(std::uint64_t seed) {
   std::uint64_t s = seed;
   for (auto& word : state_) word = splitmix64(s);

@@ -87,4 +87,12 @@ class Rng {
   bool has_spare_normal_ = false;
 };
 
+/// Derives a per-replication seed from a base seed and stream/replication
+/// indices, decorrelated through splitmix-style mixing. This is the one
+/// seeding path for replicated experiments: every (stream, replication)
+/// pair gets an independent-looking stream regardless of the base seed, so
+/// parallel trials are decorrelated by construction.
+std::uint64_t derive_seed(std::uint64_t base, std::uint64_t stream,
+                          std::uint64_t replication);
+
 }  // namespace churnet

@@ -1,0 +1,140 @@
+#include "engine/scenario.hpp"
+
+#include <cctype>
+#include <cstdio>
+#include <cstdlib>
+#include <utility>
+
+#include "common/assertx.hpp"
+#include "models/poisson_network.hpp"
+#include "models/static_network.hpp"
+#include "models/streaming_network.hpp"
+
+namespace churnet {
+namespace {
+
+bool iequals(std::string_view a, std::string_view b) {
+  if (a.size() != b.size()) return false;
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    if (std::tolower(static_cast<unsigned char>(a[i])) !=
+        std::tolower(static_cast<unsigned char>(b[i]))) {
+      return false;
+    }
+  }
+  return true;
+}
+
+}  // namespace
+
+Scenario::Scenario(std::string name, ModelKind model, EdgePolicy policy,
+                   std::string description)
+    : name_(std::move(name)),
+      model_(model),
+      policy_(policy),
+      description_(std::move(description)) {}
+
+bool Scenario::has_churn() const {
+  return model_ == ModelKind::kStreaming || model_ == ModelKind::kPoisson;
+}
+
+AnyNetwork Scenario::make(const ScenarioParams& params) const {
+  switch (model_) {
+    case ModelKind::kStreaming: {
+      StreamingConfig config;
+      config.n = params.n;
+      config.d = params.d;
+      config.policy = policy_;
+      config.seed = params.seed;
+      config.max_in_degree = params.max_in_degree;
+      return AnyNetwork(StreamingNetwork(config));
+    }
+    case ModelKind::kPoisson: {
+      PoissonConfig config =
+          PoissonConfig::with_n(params.n, params.d, policy_, params.seed);
+      config.max_in_degree = params.max_in_degree;
+      return AnyNetwork(PoissonNetwork(config));
+    }
+    case ModelKind::kStaticDOut: {
+      StaticConfig config;
+      config.n = params.n;
+      config.d = params.d;
+      config.topology = StaticConfig::Topology::kDOut;
+      config.seed = params.seed;
+      return AnyNetwork(StaticNetwork(config));
+    }
+    case ModelKind::kErdosRenyi: {
+      StaticConfig config;
+      config.n = params.n;
+      config.d = params.d;  // p defaults to 2d/n inside StaticNetwork
+      config.topology = StaticConfig::Topology::kErdosRenyi;
+      config.seed = params.seed;
+      return AnyNetwork(StaticNetwork(config));
+    }
+  }
+  CHURNET_ASSERT(false);
+  return AnyNetwork();
+}
+
+AnyNetwork Scenario::make_warmed(const ScenarioParams& params) const {
+  AnyNetwork net = make(params);
+  net.warm_up();
+  return net;
+}
+
+const ScenarioRegistry& ScenarioRegistry::paper() {
+  static const ScenarioRegistry registry = [] {
+    ScenarioRegistry r;
+    r.add(Scenario("SDG", ModelKind::kStreaming, EdgePolicy::kNone,
+                   "streaming dynamic graph, no regeneration (Def. 3.4)"));
+    r.add(Scenario("SDGR", ModelKind::kStreaming, EdgePolicy::kRegenerate,
+                   "streaming dynamic graph with regeneration (Def. 3.13)"));
+    r.add(Scenario("PDG", ModelKind::kPoisson, EdgePolicy::kNone,
+                   "Poisson dynamic graph, no regeneration (Def. 4.9)"));
+    r.add(Scenario("PDGR", ModelKind::kPoisson, EdgePolicy::kRegenerate,
+                   "Poisson dynamic graph with regeneration (Def. 4.14)"));
+    r.add(Scenario("static-dout", ModelKind::kStaticDOut, EdgePolicy::kNone,
+                   "static d-out random graph baseline (Lemma B.1)"));
+    r.add(Scenario("erdos-renyi", ModelKind::kErdosRenyi, EdgePolicy::kNone,
+                   "Erdos-Renyi G(n, 2d/n) baseline (mean-degree matched)"));
+    return r;
+  }();
+  return registry;
+}
+
+void ScenarioRegistry::add(Scenario scenario) {
+  for (Scenario& existing : scenarios_) {
+    if (iequals(existing.name(), scenario.name())) {
+      existing = std::move(scenario);
+      return;
+    }
+  }
+  scenarios_.push_back(std::move(scenario));
+}
+
+const Scenario* ScenarioRegistry::find(std::string_view name) const {
+  for (const Scenario& scenario : scenarios_) {
+    if (iequals(scenario.name(), name)) return &scenario;
+  }
+  return nullptr;
+}
+
+const Scenario& ScenarioRegistry::at(std::string_view name) const {
+  const Scenario* scenario = find(name);
+  if (scenario != nullptr) return *scenario;
+  std::fprintf(stderr, "unknown scenario '%.*s'; known scenarios:",
+               static_cast<int>(name.size()), name.data());
+  for (const Scenario& known : scenarios_) {
+    std::fprintf(stderr, " %s", known.name().c_str());
+  }
+  std::fprintf(stderr, "\n");
+  std::abort();
+}
+
+std::vector<std::string> ScenarioRegistry::names() const {
+  std::vector<std::string> result;
+  result.reserve(scenarios_.size());
+  for (const Scenario& scenario : scenarios_) result.push_back(scenario.name());
+  return result;
+}
+
+}  // namespace churnet

@@ -1,0 +1,101 @@
+// Scenario registry: every (model × edge-policy × churn parameterization)
+// the experiments run, addressable by name at runtime.
+//
+// A Scenario is a named factory producing an AnyNetwork from uniform
+// ScenarioParams, so bench binaries and examples select models by string
+// ("SDGR", "PDG", "static-dout", ...) instead of hard-coding a type per
+// binary. The built-in registry covers the paper's four dynamic models
+//
+//   SDG   streaming,  no regeneration   (Definition 3.4)
+//   SDGR  streaming,  regeneration      (Definition 3.13)
+//   PDG   Poisson,    no regeneration   (Definition 4.9)
+//   PDGR  Poisson,    regeneration      (Definition 4.14)
+//
+// plus the two static baselines (static d-out, Lemma B.1; Erdős–Rényi with
+// matching mean degree). Custom registries can add more scenarios (e.g.
+// bounded-degree variants via ScenarioParams::max_in_degree).
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "models/edge_policy.hpp"
+#include "models/network.hpp"
+
+namespace churnet {
+
+/// Uniform parameterization across scenarios. Model-specific mapping:
+/// streaming uses n as both size and lifetime; Poisson uses the paper's
+/// lambda = 1, mu = 1/n; the baselines sample one static topology of ~n
+/// mean-degree-matched nodes.
+struct ScenarioParams {
+  std::uint32_t n = 1000;
+  std::uint32_t d = 8;
+  std::uint64_t seed = 1;
+  /// Bounded-degree extension cap; 0 = the paper's unbounded models.
+  /// Ignored by the static baselines.
+  std::uint32_t max_in_degree = 0;
+};
+
+/// Which simulator a scenario instantiates.
+enum class ModelKind : std::uint8_t {
+  kStreaming,
+  kPoisson,
+  kStaticDOut,
+  kErdosRenyi,
+};
+
+/// A named, constructible model configuration.
+class Scenario {
+ public:
+  Scenario(std::string name, ModelKind model, EdgePolicy policy,
+           std::string description);
+
+  const std::string& name() const { return name_; }
+  ModelKind model() const { return model_; }
+  EdgePolicy policy() const { return policy_; }
+  const std::string& description() const { return description_; }
+  /// True for the four paper models (false for the static baselines).
+  bool has_churn() const;
+
+  /// Builds a fresh, seeded, NOT-warmed-up network.
+  AnyNetwork make(const ScenarioParams& params) const;
+
+  /// Builds and warms up (streaming: 2n rounds; Poisson: 10 expected
+  /// lifetimes; baselines: born stationary).
+  AnyNetwork make_warmed(const ScenarioParams& params) const;
+
+ private:
+  std::string name_;
+  ModelKind model_;
+  EdgePolicy policy_;
+  std::string description_;
+};
+
+/// Name-addressable collection of scenarios.
+class ScenarioRegistry {
+ public:
+  /// The built-in registry: SDG, SDGR, PDG, PDGR, static-dout, erdos-renyi.
+  static const ScenarioRegistry& paper();
+
+  ScenarioRegistry() = default;
+
+  /// Registers a scenario; names are unique (re-adding replaces).
+  void add(Scenario scenario);
+
+  /// Case-insensitive lookup; nullptr when absent.
+  const Scenario* find(std::string_view name) const;
+
+  /// Lookup that aborts with the known names when absent (for CLI paths).
+  const Scenario& at(std::string_view name) const;
+
+  const std::vector<Scenario>& scenarios() const { return scenarios_; }
+  std::vector<std::string> names() const;
+
+ private:
+  std::vector<Scenario> scenarios_;
+};
+
+}  // namespace churnet

@@ -1,0 +1,209 @@
+#include "engine/trial_runner.hpp"
+
+#include <atomic>
+#include <chrono>
+#include <cmath>
+#include <exception>
+#include <limits>
+#include <mutex>
+#include <ostream>
+#include <thread>
+#include <utility>
+
+#include "common/assertx.hpp"
+#include "common/rng.hpp"
+
+namespace churnet {
+namespace {
+
+unsigned resolve_threads(unsigned requested, std::uint64_t replications) {
+  unsigned threads = requested;
+  if (threads == 0) {
+    threads = std::thread::hardware_concurrency();
+    if (threads == 0) threads = 1;
+  }
+  if (static_cast<std::uint64_t>(threads) > replications) {
+    threads = static_cast<unsigned>(replications);
+  }
+  return threads == 0 ? 1u : threads;
+}
+
+void write_json_number(std::ostream& os, double value) {
+  // NaN and infinities have no JSON representation; emit null so the
+  // output always parses.
+  if (!std::isfinite(value)) {
+    os << "null";
+  } else {
+    os << value;
+  }
+}
+
+/// Round-trip double precision for the sink streams, restored on scope
+/// exit: the emitted samples must reproduce the in-memory values exactly.
+class PrecisionGuard {
+ public:
+  explicit PrecisionGuard(std::ostream& os)
+      : os_(os),
+        previous_(os.precision(std::numeric_limits<double>::max_digits10)) {}
+  ~PrecisionGuard() { os_.precision(previous_); }
+
+ private:
+  std::ostream& os_;
+  std::streamsize previous_;
+};
+
+}  // namespace
+
+TrialResult::TrialResult(TrialRunnerOptions options,
+                         std::vector<std::string> metrics,
+                         std::vector<std::vector<double>> samples,
+                         double wall_seconds, unsigned threads_used)
+    : options_(options),
+      metrics_(std::move(metrics)),
+      samples_(std::move(samples)),
+      wall_seconds_(wall_seconds),
+      threads_used_(threads_used) {
+  stats_.resize(metrics_.size());
+  // Fold in replication order: aggregation is independent of the thread
+  // interleaving that produced the samples.
+  for (const std::vector<double>& row : samples_) {
+    CHURNET_ASSERT(row.size() == metrics_.size());
+    for (std::size_t m = 0; m < row.size(); ++m) {
+      if (!std::isnan(row[m])) stats_[m].add(row[m]);
+    }
+  }
+}
+
+const OnlineStats& TrialResult::stats(std::string_view metric) const {
+  for (std::size_t m = 0; m < metrics_.size(); ++m) {
+    if (metrics_[m] == metric) return stats_[m];
+  }
+  CHURNET_EXPECTS(false && "unknown metric");
+  return stats_.front();
+}
+
+Table TrialResult::to_table() const {
+  Table table({"metric", "count", "mean", "stderr", "min", "max"});
+  for (std::size_t m = 0; m < metrics_.size(); ++m) {
+    const OnlineStats& s = stats_[m];
+    table.add_row({metrics_[m],
+                   fmt_int(static_cast<std::int64_t>(s.count())),
+                   s.count() > 0 ? fmt_fixed(s.mean(), 4) : "-",
+                   s.count() > 1 ? fmt_fixed(s.stderr_mean(), 4) : "-",
+                   s.count() > 0 ? fmt_fixed(s.min(), 4) : "-",
+                   s.count() > 0 ? fmt_fixed(s.max(), 4) : "-"});
+  }
+  return table;
+}
+
+void TrialResult::write_csv(std::ostream& os) const {
+  const PrecisionGuard precision(os);
+  os << "replication,seed";
+  for (const std::string& metric : metrics_) os << ',' << metric;
+  os << '\n';
+  for (std::size_t r = 0; r < samples_.size(); ++r) {
+    os << r << ','
+       << derive_seed(options_.base_seed, options_.stream, r);
+    for (const double value : samples_[r]) {
+      os << ',';
+      if (!std::isnan(value)) os << value;
+    }
+    os << '\n';
+  }
+}
+
+void TrialResult::write_json(std::ostream& os) const {
+  const PrecisionGuard precision(os);
+  os << "{\"replications\":" << samples_.size()
+     << ",\"threads\":" << threads_used_
+     << ",\"base_seed\":" << options_.base_seed
+     << ",\"stream\":" << options_.stream
+     << ",\"wall_seconds\":" << wall_seconds_ << ",\"metrics\":{";
+  for (std::size_t m = 0; m < metrics_.size(); ++m) {
+    if (m > 0) os << ',';
+    const OnlineStats& s = stats_[m];
+    os << '"' << metrics_[m] << "\":{\"count\":" << s.count() << ",\"mean\":";
+    write_json_number(os, s.count() > 0 ? s.mean() : std::nan(""));
+    os << ",\"stddev\":";
+    write_json_number(os, s.count() > 1 ? s.stddev() : std::nan(""));
+    os << ",\"min\":";
+    write_json_number(os, s.count() > 0 ? s.min() : std::nan(""));
+    os << ",\"max\":";
+    write_json_number(os, s.count() > 0 ? s.max() : std::nan(""));
+    os << '}';
+  }
+  os << "},\"samples\":[";
+  for (std::size_t r = 0; r < samples_.size(); ++r) {
+    if (r > 0) os << ',';
+    os << '[';
+    for (std::size_t m = 0; m < samples_[r].size(); ++m) {
+      if (m > 0) os << ',';
+      write_json_number(os, samples_[r][m]);
+    }
+    os << ']';
+  }
+  os << "]}";
+}
+
+TrialRunner::TrialRunner(TrialRunnerOptions options) : options_(options) {
+  CHURNET_EXPECTS(options_.replications > 0);
+}
+
+TrialResult TrialRunner::run(std::vector<std::string> metrics,
+                             const Body& body) const {
+  CHURNET_EXPECTS(!metrics.empty());
+  const std::uint64_t replications = options_.replications;
+  const unsigned threads = resolve_threads(options_.threads, replications);
+
+  std::vector<std::vector<double>> samples(replications);
+  std::atomic<std::uint64_t> next{0};
+  std::exception_ptr first_error;
+  std::mutex error_mutex;
+
+  auto worker = [&] {
+    for (;;) {
+      const std::uint64_t rep = next.fetch_add(1, std::memory_order_relaxed);
+      if (rep >= replications) return;
+      TrialContext ctx;
+      ctx.replication = rep;
+      ctx.seed = derive_seed(options_.base_seed, options_.stream, rep);
+      try {
+        std::vector<double> row = body(ctx);
+        CHURNET_ASSERT(row.size() == metrics.size());
+        samples[rep] = std::move(row);
+      } catch (...) {
+        const std::lock_guard<std::mutex> lock(error_mutex);
+        if (!first_error) first_error = std::current_exception();
+        next.store(replications, std::memory_order_relaxed);  // drain
+        return;
+      }
+    }
+  };
+
+  const auto start = std::chrono::steady_clock::now();
+  if (threads == 1) {
+    worker();  // inline: no pool overhead for the serial case
+  } else {
+    std::vector<std::thread> pool;
+    pool.reserve(threads);
+    for (unsigned t = 0; t < threads; ++t) pool.emplace_back(worker);
+    for (std::thread& thread : pool) thread.join();
+  }
+  const auto stop = std::chrono::steady_clock::now();
+  if (first_error) std::rethrow_exception(first_error);
+
+  const double wall =
+      std::chrono::duration<double>(stop - start).count();
+  return TrialResult(options_, std::move(metrics), std::move(samples), wall,
+                     threads);
+}
+
+TrialResult TrialRunner::run(const std::string& metric,
+                             const ScalarBody& body) const {
+  return run(std::vector<std::string>{metric},
+             [&body](const TrialContext& ctx) {
+               return std::vector<double>{body(ctx)};
+             });
+}
+
+}  // namespace churnet

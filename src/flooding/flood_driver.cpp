@@ -1,0 +1,16 @@
+#include "flooding/flood_driver.hpp"
+
+namespace churnet {
+
+std::uint64_t FloodTrace::step_reaching_fraction(double fraction) const {
+  CHURNET_EXPECTS(fraction >= 0.0 && fraction <= 1.0);
+  for (std::size_t t = 0; t < informed_per_step.size(); ++t) {
+    const double alive = static_cast<double>(alive_per_step[t]);
+    if (static_cast<double>(informed_per_step[t]) >= fraction * alive) {
+      return t;
+    }
+  }
+  return kNever;
+}
+
+}  // namespace churnet

@@ -1,0 +1,395 @@
+// Generic incremental flooding driver over any dynamic network model.
+//
+// One frontier algorithm serves every model (DESIGN.md, decision 6): a node
+// can only become informed through (a) an edge incident to a node informed
+// at the previous step, or (b) an edge created since the previous step with
+// an informed endpoint. Edges never appear between two long-lived nodes
+// except by regeneration, and never disappear except by endpoint death, so
+// examining frontier edges plus freshly created edges covers the full
+// boundary ∂out(I_t) at every step. This makes an Ω(n)-step completion run
+// cost O(E + total churn) instead of O(n·E).
+//
+// What differs between the paper's flooding processes is captured by a small
+// semantics type (`Net::flood_semantics`):
+//
+//   * StreamingFloodSemantics (paper Def. 3.3): one flooding step is one
+//     churn round; a boundary node is informed at step t iff it is still
+//     alive at t (the sender's death within the round does not cancel the
+//     message); the round's newborn is exempt from the completion test.
+//   * DiscretizedFloodSemantics (paper Def. 4.3): one flooding step is one
+//     unit of continuous time; a boundary node is informed at T+1 iff BOTH
+//     endpoints of the carrying edge survive the whole interval (T, T+1];
+//     completion means every alive node is informed.
+//   * StaticFloodSemantics: synchronous flooding on a churn-free network
+//     (BFS rounds); the source is drawn uniformly since nobody is born.
+//
+// The driver installs its own network hooks for the duration of the call and
+// clears them on return; callers must not rely on hooks across a flood.
+//
+// All per-run state lives in a caller-supplied FloodScratch whose buffers
+// are epoch-stamped: repeated trials reuse the same allocations, so a
+// replication loop does zero per-trial allocation once warmed.
+#pragma once
+
+#include <algorithm>
+#include <cstdint>
+#include <utility>
+#include <vector>
+
+#include "common/assertx.hpp"
+#include "graph/dynamic_graph.hpp"
+#include "graph/node_id.hpp"
+#include "models/edge_policy.hpp"
+
+namespace churnet {
+
+struct FloodOptions {
+  /// Hard cap on flooding steps (rounds in streaming, unit intervals in the
+  /// discretized Poisson process).
+  std::uint64_t max_steps = 1'000'000;
+  /// Stop once informed >= stop_at_fraction * alive (1.0 = only on
+  /// completion per the paper's definitions).
+  double stop_at_fraction = 1.0;
+  /// Stop when the informed set dies out entirely.
+  bool stop_on_die_out = true;
+  /// Record per-step |I_t| and |N_t| series (cheap; on by default).
+  bool record_series = true;
+};
+
+/// Outcome of one flooding run.
+struct FloodTrace {
+  static constexpr std::uint64_t kNever = ~std::uint64_t{0};
+
+  /// |I_t| after flooding step t (index 0 = the source round, value 1).
+  std::vector<std::uint64_t> informed_per_step;
+  /// |N_t| at the same instants.
+  std::vector<std::uint64_t> alive_per_step;
+
+  std::uint64_t steps = 0;
+  /// Completion per the paper: every node alive at both ends of a step is
+  /// informed (streaming Def. 3.3) / all alive nodes informed (Def. 4.3).
+  bool completed = false;
+  std::uint64_t completion_step = kNever;
+  /// The informed set became empty (every informed node died).
+  bool died_out = false;
+  std::uint64_t die_out_step = kNever;
+  std::uint64_t peak_informed = 0;
+  /// informed/alive when the run stopped.
+  double final_fraction = 0.0;
+
+  /// First step with informed >= fraction * alive; kNever if never reached.
+  /// Requires record_series.
+  std::uint64_t step_reaching_fraction(double fraction) const;
+};
+
+/// An out-edge created while the driver was watching (via hooks).
+struct CreatedEdge {
+  NodeId owner;
+  NodeId target;
+};
+
+/// Reusable per-run state for the generic driver. Membership sets are dense
+/// slot-indexed stamp arrays: clearing is an epoch bump, not a memset, so a
+/// replication loop over same-sized networks allocates nothing after the
+/// first trial.
+class FloodScratch {
+ public:
+  /// Prepares for a new flood over a graph whose slots are < slot_bound.
+  void begin_trial(std::uint32_t slot_bound) {
+    ensure(slot_bound);
+    ++informed_epoch_;
+    informed_count_ = 0;
+    frontier.clear();
+    created.clear();
+    candidates.clear();
+    deaths_.clear();
+    ++death_epoch_;
+  }
+
+  // ---- informed set ----------------------------------------------------
+
+  bool is_informed(NodeId node) const {
+    return node.slot < informed_stamp_.size() &&
+           informed_stamp_[node.slot] == informed_epoch_;
+  }
+  /// Marks `node` informed; returns true if it was not already.
+  bool mark_informed(NodeId node) {
+    ensure(node.slot + 1);
+    if (informed_stamp_[node.slot] == informed_epoch_) return false;
+    informed_stamp_[node.slot] = informed_epoch_;
+    ++informed_count_;
+    return true;
+  }
+  /// Un-marks `node` if informed (death of an informed node).
+  void unmark_informed(NodeId node) {
+    if (!is_informed(node)) return;
+    informed_stamp_[node.slot] = 0;
+    CHURNET_ASSERT(informed_count_ > 0);
+    --informed_count_;
+  }
+  std::uint64_t informed_count() const { return informed_count_; }
+
+  // ---- per-step candidate dedup (streaming semantics) ------------------
+
+  void begin_step() { ++candidate_epoch_; }
+  /// Returns true the first time `node` is proposed this step.
+  bool mark_candidate(NodeId node) {
+    ensure(node.slot + 1);
+    if (candidate_stamp_[node.slot] == candidate_epoch_) return false;
+    candidate_stamp_[node.slot] = candidate_epoch_;
+    return true;
+  }
+
+  // ---- deaths during the current churn interval ------------------------
+
+  void clear_deaths() {
+    deaths_.clear();
+    ++death_epoch_;
+  }
+  void note_death(NodeId node) {
+    ensure(node.slot + 1);
+    death_stamp_[node.slot] = death_epoch_;
+    deaths_.push_back(node);
+  }
+  bool died_this_step(NodeId node) const {
+    return node.slot < death_stamp_.size() &&
+           death_stamp_[node.slot] == death_epoch_;
+  }
+  const std::vector<NodeId>& deaths() const { return deaths_; }
+
+  // ---- plain reusable buffers ------------------------------------------
+
+  std::vector<NodeId> frontier;
+  std::vector<NodeId> neighbors;
+  std::vector<CreatedEdge> created;
+  std::vector<std::pair<NodeId, NodeId>> candidates;  // (sender, receiver)
+
+ private:
+  void ensure(std::uint32_t slot_bound) {
+    if (slot_bound <= informed_stamp_.size()) return;
+    const std::size_t size = std::max<std::size_t>(
+        slot_bound, informed_stamp_.size() + informed_stamp_.size() / 2);
+    informed_stamp_.resize(size, 0);
+    candidate_stamp_.resize(size, 0);
+    death_stamp_.resize(size, 0);
+  }
+
+  // Epoch counters start at 1 and only grow, so a stamp of 0 never matches
+  // and stale stamps from earlier trials/steps are invalid by construction.
+  std::vector<std::uint64_t> informed_stamp_;
+  std::vector<std::uint64_t> candidate_stamp_;
+  std::vector<std::uint64_t> death_stamp_;
+  std::vector<NodeId> deaths_;
+  std::uint64_t informed_epoch_ = 0;
+  std::uint64_t candidate_epoch_ = 0;
+  std::uint64_t death_epoch_ = 0;
+  std::uint64_t informed_count_ = 0;
+};
+
+/// Synchronous flooding on a streaming network (paper Def. 3.3).
+struct StreamingFloodSemantics {
+  /// Only the receiver must survive the round.
+  static constexpr bool kPairCandidates = false;
+  /// The source is the node born at the first advanced round.
+  static constexpr bool kSourceIsNewborn = true;
+  /// Churn keeps creating edges, so an empty frontier can revive.
+  static constexpr bool kChurnFree = false;
+  /// The round's newborn is never informed at the check, so exactly one
+  /// uninformed alive node means I_t ⊇ N_{t-1} ∩ N_t.
+  static bool completed(std::uint64_t informed, std::uint64_t alive) {
+    return informed + 1 >= alive && alive >= 2;
+  }
+  template <typename Net>
+  static void advance(Net& net) {
+    net.step();
+  }
+};
+
+/// Discretized flooding on a continuous-time network (paper Def. 4.3).
+struct DiscretizedFloodSemantics {
+  /// Both endpoints of the carrying edge must survive the interval.
+  static constexpr bool kPairCandidates = true;
+  static constexpr bool kSourceIsNewborn = true;
+  static constexpr bool kChurnFree = false;
+  static bool completed(std::uint64_t informed, std::uint64_t alive) {
+    return informed == alive && alive > 0;
+  }
+  template <typename Net>
+  static void advance(Net& net) {
+    net.run_until(net.now() + 1.0);
+  }
+};
+
+/// Synchronous flooding on a churn-free network: BFS rounds.
+struct StaticFloodSemantics {
+  static constexpr bool kPairCandidates = false;
+  /// Nobody is born, so the source is a uniform random alive node.
+  static constexpr bool kSourceIsNewborn = false;
+  /// No churn: an exhausted frontier is a fixed point (BFS termination).
+  static constexpr bool kChurnFree = true;
+  static bool completed(std::uint64_t informed, std::uint64_t alive) {
+    return informed == alive && alive > 0;
+  }
+  template <typename Net>
+  static void advance(Net& net) {
+    net.step();
+  }
+};
+
+namespace detail_flood {
+
+inline void record_step(FloodTrace& trace, const FloodOptions& options,
+                        std::uint64_t informed, std::uint64_t alive) {
+  if (!options.record_series) return;
+  trace.informed_per_step.push_back(informed);
+  trace.alive_per_step.push_back(alive);
+}
+
+}  // namespace detail_flood
+
+/// Runs one flooding process on `net` under its declared flood semantics
+/// (`Net::flood_semantics`). The network should be warmed up; it is advanced
+/// by one semantic step per flooding step. All allocations are reused across
+/// calls through `scratch`.
+template <typename Net>
+FloodTrace flood_dynamic(Net& net, const FloodOptions& options,
+                         FloodScratch& scratch) {
+  using Semantics = typename Net::flood_semantics;
+  FloodTrace trace;
+  scratch.begin_trial(net.graph().slot_upper_bound());
+
+  NodeId source = kInvalidNode;
+  NetworkHooks hooks;
+  hooks.on_birth = [&source](NodeId node, double) {
+    if (!source.valid()) source = node;
+  };
+  hooks.on_edge_created = [&scratch](NodeId owner, std::uint32_t,
+                                     NodeId target, bool, double) {
+    scratch.created.push_back({owner, target});
+  };
+  hooks.on_death = [&scratch](NodeId node, double) {
+    scratch.note_death(node);
+  };
+  net.set_hooks(std::move(hooks));
+
+  if constexpr (Semantics::kSourceIsNewborn) {
+    // Advance to the next birth: that newborn is the source (the paper's
+    // convention: flooding starts from the node joining at time t0).
+    while (!source.valid()) net.step();
+  } else {
+    CHURNET_EXPECTS(net.graph().alive_count() > 0);
+    source = net.graph().random_alive(net.rng());
+  }
+  // The source's own birth edges are covered by the frontier.
+  scratch.created.clear();
+  scratch.clear_deaths();
+  scratch.mark_informed(source);
+  scratch.frontier.push_back(source);
+
+  trace.peak_informed = 1;
+  detail_flood::record_step(trace, options, 1, net.graph().alive_count());
+
+  for (std::uint64_t step = 1; step <= options.max_steps; ++step) {
+    const DynamicGraph& graph = net.graph();
+
+    // Boundary of I_{t-1} in G_{t-1}, examined incrementally. Under
+    // pair-candidate semantics every (sender, receiver) pair is kept (any
+    // surviving sender suffices); otherwise receivers are deduplicated.
+    scratch.candidates.clear();
+    if constexpr (!Semantics::kPairCandidates) scratch.begin_step();
+    auto consider = [&scratch](NodeId sender, NodeId receiver) {
+      if constexpr (Semantics::kPairCandidates) {
+        scratch.candidates.emplace_back(sender, receiver);
+      } else {
+        if (scratch.mark_candidate(receiver)) {
+          scratch.candidates.emplace_back(sender, receiver);
+        }
+      }
+    };
+    for (const NodeId u : scratch.frontier) {
+      if (!graph.is_alive(u)) continue;  // died in a previous interval
+      scratch.neighbors.clear();
+      graph.append_neighbors(u, scratch.neighbors);
+      for (const NodeId v : scratch.neighbors) {
+        if (!scratch.is_informed(v)) consider(u, v);
+      }
+    }
+    for (const CreatedEdge& edge : scratch.created) {
+      // An edge created in the previous interval counts from now on,
+      // provided it still exists (both endpoints alive).
+      if (!graph.is_alive(edge.owner) || !graph.is_alive(edge.target)) {
+        continue;
+      }
+      const bool owner_informed = scratch.is_informed(edge.owner);
+      const bool target_informed = scratch.is_informed(edge.target);
+      if (owner_informed && !target_informed) {
+        consider(edge.owner, edge.target);
+      } else if (target_informed && !owner_informed) {
+        consider(edge.target, edge.owner);
+      }
+    }
+    scratch.created.clear();
+    scratch.clear_deaths();
+
+    // One semantic step of churn; hooks record deaths and new edges.
+    Semantics::advance(net);
+
+    for (const NodeId dead : scratch.deaths()) {
+      scratch.unmark_informed(dead);
+    }
+
+    // I_t = (I_{t-1} ∪ ∂(I_{t-1})) ∩ N_t.
+    scratch.frontier.clear();
+    for (const auto& [u, v] : scratch.candidates) {
+      if constexpr (Semantics::kPairCandidates) {
+        if (scratch.died_this_step(u) || scratch.died_this_step(v)) continue;
+        CHURNET_ASSERT(net.graph().is_alive(v));
+      } else {
+        if (!net.graph().is_alive(v)) continue;  // the interval's death
+      }
+      if (scratch.mark_informed(v)) scratch.frontier.push_back(v);
+    }
+
+    trace.steps = step;
+    const std::uint64_t informed_count = scratch.informed_count();
+    const std::uint64_t alive_count = net.graph().alive_count();
+    trace.peak_informed = std::max(trace.peak_informed, informed_count);
+    detail_flood::record_step(trace, options, informed_count, alive_count);
+    trace.final_fraction = alive_count == 0
+                               ? 0.0
+                               : static_cast<double>(informed_count) /
+                                     static_cast<double>(alive_count);
+
+    if (Semantics::completed(informed_count, alive_count)) {
+      trace.completed = true;
+      trace.completion_step = step;
+      break;
+    }
+    if (informed_count == 0) {
+      trace.died_out = true;
+      trace.die_out_step = step;
+      if (options.stop_on_die_out) break;
+    }
+    if (options.stop_at_fraction < 1.0 &&
+        trace.final_fraction >= options.stop_at_fraction) {
+      break;
+    }
+    if constexpr (Semantics::kChurnFree) {
+      // No churn can ever create a new boundary edge: an empty frontier is
+      // a fixed point (the graph's reachable set is exhausted, BFS-style).
+      if (scratch.frontier.empty()) break;
+    }
+  }
+
+  net.set_hooks({});
+  return trace;
+}
+
+/// Convenience overload with a private (per-call) scratch.
+template <typename Net>
+FloodTrace flood_dynamic(Net& net, const FloodOptions& options = {}) {
+  FloodScratch scratch;
+  return flood_dynamic(net, options, scratch);
+}
+
+}  // namespace churnet

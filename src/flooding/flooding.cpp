@@ -1,235 +1,27 @@
 #include "flooding/flooding.hpp"
 
-#include <unordered_set>
-#include <utility>
-
-#include "common/assertx.hpp"
-
 namespace churnet {
-namespace {
 
-/// Edge-creation record shared by both drivers.
-struct CreatedEdge {
-  NodeId owner;
-  NodeId target;
-};
-
-void record_step(FloodTrace& trace, const FloodOptions& options,
-                 std::uint64_t informed, std::uint64_t alive) {
-  if (!options.record_series) return;
-  trace.informed_per_step.push_back(informed);
-  trace.alive_per_step.push_back(alive);
+FloodTrace flood_streaming(StreamingNetwork& net, const FloodOptions& options) {
+  FloodScratch scratch;
+  return flood_dynamic(net, options, scratch);
 }
 
-}  // namespace
-
-std::uint64_t FloodTrace::step_reaching_fraction(double fraction) const {
-  CHURNET_EXPECTS(fraction >= 0.0 && fraction <= 1.0);
-  for (std::size_t t = 0; t < informed_per_step.size(); ++t) {
-    const double alive = static_cast<double>(alive_per_step[t]);
-    if (static_cast<double>(informed_per_step[t]) >= fraction * alive) {
-      return t;
-    }
-  }
-  return kNever;
-}
-
-FloodTrace flood_streaming(StreamingNetwork& net,
-                           const FloodOptions& options) {
-  FloodTrace trace;
-  std::vector<CreatedEdge> created;
-  NetworkHooks hooks;
-  hooks.on_edge_created = [&created](NodeId owner, std::uint32_t, NodeId target,
-                                     bool, double) {
-    created.push_back({owner, target});
-  };
-  net.set_hooks(std::move(hooks));
-
-  // Round t0: the source joins the network.
-  const auto source_round = net.step();
-  const NodeId source = source_round.born;
-  std::unordered_set<NodeId> informed{source};
-  std::vector<NodeId> frontier{source};
-  // The source's own birth edges are covered by the frontier.
-  created.clear();
-
-  trace.peak_informed = 1;
-  record_step(trace, options, 1, net.graph().alive_count());
-
-  std::vector<NodeId> newly;
-  std::unordered_set<NodeId> newly_set;
-  std::vector<NodeId> neighbor_scratch;
-  for (std::uint64_t step = 1; step <= options.max_steps; ++step) {
-    const DynamicGraph& graph = net.graph();
-
-    // Boundary of I_{t-1} in G_{t-1}, examined incrementally.
-    newly.clear();
-    newly_set.clear();
-    auto consider = [&](NodeId candidate) {
-      if (informed.contains(candidate)) return;
-      if (newly_set.insert(candidate).second) newly.push_back(candidate);
-    };
-    for (const NodeId u : frontier) {
-      if (!graph.is_alive(u)) continue;  // died in a previous round
-      neighbor_scratch.clear();
-      graph.append_neighbors(u, neighbor_scratch);
-      for (const NodeId v : neighbor_scratch) consider(v);
-    }
-    for (const CreatedEdge& edge : created) {
-      if (!graph.is_alive(edge.owner) || !graph.is_alive(edge.target)) continue;
-      const bool owner_informed = informed.contains(edge.owner);
-      const bool target_informed = informed.contains(edge.target);
-      if (owner_informed && !target_informed) consider(edge.target);
-      if (target_informed && !owner_informed) consider(edge.owner);
-    }
-    created.clear();
-
-    // Churn round t: one death (maybe), regeneration, one birth.
-    const auto report = net.step();
-    if (report.died.has_value()) informed.erase(*report.died);
-
-    // I_t = (I_{t-1} ∪ ∂(I_{t-1})) ∩ N_t.
-    frontier.clear();
-    for (const NodeId v : newly) {
-      if (!net.graph().is_alive(v)) continue;  // the round's death
-      if (informed.insert(v).second) frontier.push_back(v);
-    }
-
-    trace.steps = step;
-    const std::uint64_t informed_count = informed.size();
-    const std::uint64_t alive_count = net.graph().alive_count();
-    trace.peak_informed = std::max(trace.peak_informed, informed_count);
-    record_step(trace, options, informed_count, alive_count);
-    trace.final_fraction = alive_count == 0
-                               ? 0.0
-                               : static_cast<double>(informed_count) /
-                                     static_cast<double>(alive_count);
-
-    // Completion: the newborn is never informed at this point, so exactly
-    // one uninformed alive node means I_t ⊇ N_{t-1} ∩ N_t.
-    if (informed_count + 1 >= alive_count && alive_count >= 2) {
-      trace.completed = true;
-      trace.completion_step = step;
-      break;
-    }
-    if (informed.empty()) {
-      trace.died_out = true;
-      trace.die_out_step = step;
-      if (options.stop_on_die_out) break;
-    }
-    if (options.stop_at_fraction < 1.0 &&
-        trace.final_fraction >= options.stop_at_fraction) {
-      break;
-    }
-  }
-
-  net.set_hooks({});
-  return trace;
+FloodTrace flood_streaming(StreamingNetwork& net, const FloodOptions& options,
+                           FloodScratch& scratch) {
+  return flood_dynamic(net, options, scratch);
 }
 
 FloodTrace flood_poisson_discretized(PoissonNetwork& net,
                                      const FloodOptions& options) {
-  FloodTrace trace;
-  std::vector<CreatedEdge> created;
-  std::unordered_set<NodeId> deaths;
-  NetworkHooks hooks;
-  hooks.on_edge_created = [&created](NodeId owner, std::uint32_t, NodeId target,
-                                     bool, double) {
-    created.push_back({owner, target});
-  };
-  hooks.on_death = [&deaths](NodeId node, double) { deaths.insert(node); };
-  net.set_hooks(std::move(hooks));
+  FloodScratch scratch;
+  return flood_dynamic(net, options, scratch);
+}
 
-  // Advance to the next birth: that newborn is the source (paper: the
-  // flooding starts from the node joining at time t0).
-  NodeId source;
-  for (;;) {
-    const auto event = net.step();
-    if (event.kind == ChurnEvent::Kind::kBirth) {
-      source = event.node;
-      break;
-    }
-  }
-  std::unordered_set<NodeId> informed{source};
-  std::vector<NodeId> frontier{source};
-  created.clear();  // source's own edges are covered by the frontier
-  deaths.clear();
-  double clock = net.now();
-
-  trace.peak_informed = 1;
-  record_step(trace, options, 1, net.graph().alive_count());
-
-  // Candidate pairs (u informed at T, v uninformed): v becomes informed at
-  // T+1 iff neither u nor v dies in (T, T+1].
-  std::vector<std::pair<NodeId, NodeId>> candidates;
-  std::vector<NodeId> neighbor_scratch;
-  for (std::uint64_t step = 1; step <= options.max_steps; ++step) {
-    const DynamicGraph& graph = net.graph();
-    candidates.clear();
-    for (const NodeId u : frontier) {
-      if (!graph.is_alive(u)) continue;
-      neighbor_scratch.clear();
-      graph.append_neighbors(u, neighbor_scratch);
-      for (const NodeId v : neighbor_scratch) {
-        if (!informed.contains(v)) candidates.emplace_back(u, v);
-      }
-    }
-    for (const CreatedEdge& edge : created) {
-      // An edge created in the previous interval counts from time T on,
-      // provided it still exists (both endpoints alive).
-      if (!graph.is_alive(edge.owner) || !graph.is_alive(edge.target)) continue;
-      const bool owner_informed = informed.contains(edge.owner);
-      const bool target_informed = informed.contains(edge.target);
-      if (owner_informed && !target_informed) {
-        candidates.emplace_back(edge.owner, edge.target);
-      } else if (target_informed && !owner_informed) {
-        candidates.emplace_back(edge.target, edge.owner);
-      }
-    }
-    created.clear();
-    deaths.clear();
-
-    // One unit of continuous time: churn events fire, hooks record them.
-    net.run_until(clock + 1.0);
-    clock += 1.0;
-
-    for (const NodeId dead : deaths) informed.erase(dead);
-
-    frontier.clear();
-    for (const auto& [u, v] : candidates) {
-      if (deaths.contains(u) || deaths.contains(v)) continue;
-      CHURNET_ASSERT(net.graph().is_alive(v));
-      if (informed.insert(v).second) frontier.push_back(v);
-    }
-
-    trace.steps = step;
-    const std::uint64_t informed_count = informed.size();
-    const std::uint64_t alive_count = net.graph().alive_count();
-    trace.peak_informed = std::max(trace.peak_informed, informed_count);
-    record_step(trace, options, informed_count, alive_count);
-    trace.final_fraction = alive_count == 0
-                               ? 0.0
-                               : static_cast<double>(informed_count) /
-                                     static_cast<double>(alive_count);
-
-    if (informed_count == alive_count && alive_count > 0) {
-      trace.completed = true;
-      trace.completion_step = step;
-      break;
-    }
-    if (informed.empty()) {
-      trace.died_out = true;
-      trace.die_out_step = step;
-      if (options.stop_on_die_out) break;
-    }
-    if (options.stop_at_fraction < 1.0 &&
-        trace.final_fraction >= options.stop_at_fraction) {
-      break;
-    }
-  }
-
-  net.set_hooks({});
-  return trace;
+FloodTrace flood_poisson_discretized(PoissonNetwork& net,
+                                     const FloodOptions& options,
+                                     FloodScratch& scratch) {
+  return flood_dynamic(net, options, scratch);
 }
 
 }  // namespace churnet

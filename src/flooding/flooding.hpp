@@ -3,71 +3,29 @@
 //   * flood_streaming            -- synchronous flooding, paper Def. 3.3
 //   * flood_poisson_discretized  -- discretized flooding, paper Def. 4.3
 //
-// Both drivers use an incremental frontier algorithm: a node can only
-// become informed through (a) an edge incident to a node informed at the
-// previous step, or (b) an edge created since the previous step with an
-// informed endpoint. Edges never appear between two long-lived nodes except
-// by regeneration, and never disappear except by endpoint death, so
-// examining frontier edges plus freshly created edges covers the full
-// boundary ∂out(I_t) at every step. This makes an Ω(n)-step completion run
-// cost O(E + total churn) instead of O(n·E).
+// Both are thin wrappers over the generic frontier driver in
+// flooding/flood_driver.hpp, instantiated with the model's declared
+// semantics (StreamingFloodSemantics / DiscretizedFloodSemantics). Pass a
+// FloodScratch to amortize allocations across repeated trials; the
+// scratch-free overloads allocate privately per call.
 //
 // The drivers install their own network hooks for the duration of the call
 // and clear them on return; callers must not rely on hooks across a flood.
 #pragma once
 
-#include <cstdint>
-#include <vector>
-
+#include "flooding/flood_driver.hpp"
 #include "models/poisson_network.hpp"
 #include "models/streaming_network.hpp"
 
 namespace churnet {
-
-struct FloodOptions {
-  /// Hard cap on flooding steps (rounds in streaming, unit intervals in the
-  /// discretized Poisson process).
-  std::uint64_t max_steps = 1'000'000;
-  /// Stop once informed >= stop_at_fraction * alive (1.0 = only on
-  /// completion per the paper's definitions).
-  double stop_at_fraction = 1.0;
-  /// Stop when the informed set dies out entirely.
-  bool stop_on_die_out = true;
-  /// Record per-step |I_t| and |N_t| series (cheap; on by default).
-  bool record_series = true;
-};
-
-/// Outcome of one flooding run.
-struct FloodTrace {
-  static constexpr std::uint64_t kNever = ~std::uint64_t{0};
-
-  /// |I_t| after flooding step t (index 0 = the source round, value 1).
-  std::vector<std::uint64_t> informed_per_step;
-  /// |N_t| at the same instants.
-  std::vector<std::uint64_t> alive_per_step;
-
-  std::uint64_t steps = 0;
-  /// Completion per the paper: every node alive at both ends of a step is
-  /// informed (streaming Def. 3.3) / all alive nodes informed (Def. 4.3).
-  bool completed = false;
-  std::uint64_t completion_step = kNever;
-  /// The informed set became empty (every informed node died).
-  bool died_out = false;
-  std::uint64_t die_out_step = kNever;
-  std::uint64_t peak_informed = 0;
-  /// informed/alive when the run stopped.
-  double final_fraction = 0.0;
-
-  /// First step with informed >= fraction * alive; kNever if never reached.
-  /// Requires record_series.
-  std::uint64_t step_reaching_fraction(double fraction) const;
-};
 
 /// Runs synchronous flooding (Def. 3.3) on a streaming network. The source
 /// is the node joining at the next round (the paper's convention). The
 /// network should be warmed up; it is advanced by one round per step.
 FloodTrace flood_streaming(StreamingNetwork& net,
                            const FloodOptions& options = {});
+FloodTrace flood_streaming(StreamingNetwork& net, const FloodOptions& options,
+                           FloodScratch& scratch);
 
 /// Runs discretized flooding (Def. 4.3) on a Poisson network. The source is
 /// the next node to be born; each flooding step advances continuous time by
@@ -76,5 +34,8 @@ FloodTrace flood_streaming(StreamingNetwork& net,
 /// endpoints survived the whole interval (T, T+1].
 FloodTrace flood_poisson_discretized(PoissonNetwork& net,
                                      const FloodOptions& options = {});
+FloodTrace flood_poisson_discretized(PoissonNetwork& net,
+                                     const FloodOptions& options,
+                                     FloodScratch& scratch);
 
 }  // namespace churnet

@@ -18,6 +18,8 @@
 
 namespace churnet {
 
+struct DiscretizedFloodSemantics;  // defined in flooding/flood_driver.hpp
+
 struct PoissonConfig {
   double lambda = 1.0;  // birth rate (paper convention: 1)
   double mu = 1e-3;     // per-node death rate (paper convention: 1/n)
@@ -39,6 +41,9 @@ struct PoissonConfig {
 
 class PoissonNetwork {
  public:
+  /// Flooding semantics under the generic driver (paper Def. 4.3).
+  using flood_semantics = DiscretizedFloodSemantics;
+
   explicit PoissonNetwork(PoissonConfig config);
 
   /// One churn event (paper Definition 4.5: one "round" T_r).

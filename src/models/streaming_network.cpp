@@ -40,6 +40,11 @@ void StreamingNetwork::run_rounds(std::uint64_t rounds) {
   for (std::uint64_t i = 0; i < rounds; ++i) step();
 }
 
+void StreamingNetwork::run_until(double time) {
+  CHURNET_EXPECTS(time >= now());
+  while (now() < time) step();
+}
+
 void StreamingNetwork::warm_up() {
   CHURNET_EXPECTS(churn_.round() == 0);
   run_rounds(2ull * config_.n);

@@ -21,6 +21,8 @@
 
 namespace churnet {
 
+struct StreamingFloodSemantics;  // defined in flooding/flood_driver.hpp
+
 struct StreamingConfig {
   std::uint32_t n = 1000;  // steady-state size == exact lifetime in rounds
   std::uint32_t d = 8;     // requests per node
@@ -34,6 +36,9 @@ struct StreamingConfig {
 
 class StreamingNetwork {
  public:
+  /// Flooding semantics under the generic driver (paper Def. 3.3).
+  using flood_semantics = StreamingFloodSemantics;
+
   explicit StreamingNetwork(StreamingConfig config);
 
   /// What happened in one round.
@@ -48,6 +53,10 @@ class StreamingNetwork {
 
   /// Executes `rounds` rounds.
   void run_rounds(std::uint64_t rounds);
+
+  /// Runs whole rounds until now() >= time (the DynamicNetwork
+  /// run-to-time primitive; streaming time is the integer round count).
+  void run_until(double time);
 
   /// Runs the initial 2n rounds: after n rounds the network reaches its
   /// pinned size n, and after another n rounds every founder that joined a

@@ -1,0 +1,238 @@
+// Tests for the experiment engine: scenario registry coverage and the
+// TrialRunner's seeding, determinism-across-thread-counts, NaN handling and
+// CSV/JSON sinks.
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <set>
+#include <sstream>
+#include <stdexcept>
+
+#include "churnet/churnet.hpp"
+
+namespace churnet {
+namespace {
+
+TEST(ScenarioRegistry, CoversPaperModelsAndBaselines) {
+  const ScenarioRegistry& registry = ScenarioRegistry::paper();
+  EXPECT_EQ(registry.scenarios().size(), 6u);
+  for (const char* name :
+       {"SDG", "SDGR", "PDG", "PDGR", "static-dout", "erdos-renyi"}) {
+    const Scenario* scenario = registry.find(name);
+    ASSERT_NE(scenario, nullptr) << name;
+    EXPECT_EQ(scenario->name(), name);
+  }
+  EXPECT_EQ(registry.find("SDG")->policy(), EdgePolicy::kNone);
+  EXPECT_EQ(registry.find("SDGR")->policy(), EdgePolicy::kRegenerate);
+  EXPECT_EQ(registry.find("PDG")->model(), ModelKind::kPoisson);
+  EXPECT_TRUE(registry.find("PDGR")->has_churn());
+  EXPECT_FALSE(registry.find("static-dout")->has_churn());
+  // Lookup is case-insensitive; unknown names return nullptr.
+  EXPECT_NE(registry.find("sdgr"), nullptr);
+  EXPECT_EQ(registry.find("no-such-model"), nullptr);
+}
+
+TEST(ScenarioRegistry, MakeWarmedProducesExpectedSizes) {
+  ScenarioParams params;
+  params.n = 300;
+  params.d = 6;
+  params.seed = 9;
+
+  AnyNetwork sdg = ScenarioRegistry::paper().at("SDG").make_warmed(params);
+  EXPECT_EQ(sdg.graph().alive_count(), 300u);
+
+  AnyNetwork pdgr = ScenarioRegistry::paper().at("PDGR").make_warmed(params);
+  const double size = pdgr.graph().alive_count();
+  EXPECT_GT(size, 150.0);  // stationary around n = 300
+  EXPECT_LT(size, 600.0);
+
+  AnyNetwork dout =
+      ScenarioRegistry::paper().at("static-dout").make_warmed(params);
+  EXPECT_EQ(dout.graph().alive_count(), 300u);
+  EXPECT_EQ(dout.graph().edge_count(), 300u * 6u);
+
+  AnyNetwork er =
+      ScenarioRegistry::paper().at("erdos-renyi").make_warmed(params);
+  EXPECT_EQ(er.graph().alive_count(), 300u);
+  // ~n*d edges expected (p = 2d/n over n(n-1)/2 pairs); allow wide slack.
+  EXPECT_GT(er.graph().edge_count(), 300u * 3u);
+  EXPECT_LT(er.graph().edge_count(), 300u * 12u);
+}
+
+TEST(ScenarioRegistry, SameSeedSameNetworkThroughAnyNetwork) {
+  ScenarioParams params;
+  params.n = 200;
+  params.d = 8;
+  params.seed = 77;
+  const Scenario& scenario = ScenarioRegistry::paper().at("SDGR");
+
+  AnyNetwork a = scenario.make_warmed(params);
+  AnyNetwork b = scenario.make_warmed(params);
+  const FloodTrace ta = a.flood();
+  const FloodTrace tb = b.flood();
+  EXPECT_EQ(ta.informed_per_step, tb.informed_per_step);
+  EXPECT_EQ(ta.completion_step, tb.completion_step);
+
+  // ... and matches the typed pathway at the same seed.
+  StreamingConfig config;
+  config.n = 200;
+  config.d = 8;
+  config.policy = EdgePolicy::kRegenerate;
+  config.seed = 77;
+  StreamingNetwork typed(config);
+  typed.warm_up();
+  const FloodTrace tt = flood_streaming(typed);
+  EXPECT_EQ(ta.informed_per_step, tt.informed_per_step);
+  EXPECT_EQ(ta.completion_step, tt.completion_step);
+}
+
+TEST(TrialRunner, RoutesSeedsThroughDeriveSeed) {
+  TrialRunnerOptions options;
+  options.replications = 6;
+  options.base_seed = 111;
+  options.stream = 42;
+  std::vector<std::uint64_t> seen_seeds(6, 0);
+  TrialRunner(options).run("seed_lo", [&](const TrialContext& ctx) {
+    seen_seeds[ctx.replication] = ctx.seed;
+    return static_cast<double>(ctx.seed & 0xFFFF);
+  });
+  std::set<std::uint64_t> distinct;
+  for (std::uint64_t rep = 0; rep < 6; ++rep) {
+    EXPECT_EQ(seen_seeds[rep], derive_seed(111, 42, rep)) << rep;
+    distinct.insert(seen_seeds[rep]);
+  }
+  EXPECT_EQ(distinct.size(), 6u);  // base seed never reused across reps
+}
+
+TEST(TrialRunner, DeterministicAcrossThreadCounts) {
+  // A real simulation workload: flooding completion on SDGR, all
+  // randomness derived from ctx.seed.
+  const auto body = [](const TrialContext& ctx) {
+    ScenarioParams params;
+    params.n = 200;
+    params.d = 21;
+    params.seed = ctx.seed;
+    AnyNetwork net =
+        ScenarioRegistry::paper().at("SDGR").make_warmed(params);
+    FloodScratch scratch;
+    const FloodTrace trace = net.flood({}, scratch);
+    return std::vector<double>{
+        trace.completed ? static_cast<double>(trace.completion_step)
+                        : std::nan(""),
+        static_cast<double>(trace.peak_informed)};
+  };
+
+  TrialRunnerOptions serial;
+  serial.replications = 12;
+  serial.threads = 1;
+  serial.base_seed = 2024;
+  serial.stream = 7;
+  TrialRunnerOptions parallel = serial;
+  parallel.threads = 4;
+
+  const TrialResult a =
+      TrialRunner(serial).run({"completion", "peak"}, body);
+  const TrialResult b =
+      TrialRunner(parallel).run({"completion", "peak"}, body);
+
+  ASSERT_EQ(a.samples().size(), b.samples().size());
+  for (std::size_t r = 0; r < a.samples().size(); ++r) {
+    ASSERT_EQ(a.samples()[r].size(), b.samples()[r].size());
+    for (std::size_t m = 0; m < a.samples()[r].size(); ++m) {
+      const double x = a.samples()[r][m];
+      const double y = b.samples()[r][m];
+      if (std::isnan(x)) {
+        EXPECT_TRUE(std::isnan(y));
+      } else {
+        EXPECT_EQ(x, y) << "rep " << r << " metric " << m;
+      }
+    }
+  }
+  for (const char* metric : {"completion", "peak"}) {
+    EXPECT_EQ(a.stats(metric).count(), b.stats(metric).count());
+    EXPECT_DOUBLE_EQ(a.stats(metric).mean(), b.stats(metric).mean());
+    EXPECT_DOUBLE_EQ(a.stats(metric).stddev(), b.stats(metric).stddev());
+  }
+  EXPECT_EQ(b.threads_used(), 4u);
+}
+
+TEST(TrialRunner, NanSamplesAreExcludedFromStatsButKeptInSamples) {
+  TrialRunnerOptions options;
+  options.replications = 10;
+  const TrialResult result =
+      TrialRunner(options).run("even_only", [](const TrialContext& ctx) {
+        return ctx.replication % 2 == 0
+                   ? static_cast<double>(ctx.replication)
+                   : std::nan("");
+      });
+  EXPECT_EQ(result.stats("even_only").count(), 5u);
+  EXPECT_DOUBLE_EQ(result.stats("even_only").mean(), 4.0);  // 0,2,4,6,8
+  EXPECT_EQ(result.samples().size(), 10u);
+  EXPECT_TRUE(std::isnan(result.samples()[1][0]));
+}
+
+TEST(TrialRunner, BodyExceptionsPropagate) {
+  TrialRunnerOptions options;
+  options.replications = 4;
+  options.threads = 2;
+  EXPECT_THROW(
+      TrialRunner(options).run("boom",
+                               [](const TrialContext& ctx) -> double {
+                                 if (ctx.replication == 2) {
+                                   throw std::runtime_error("boom");
+                                 }
+                                 return 0.0;
+                               }),
+      std::runtime_error);
+}
+
+TEST(TrialRunner, CsvAndJsonSinks) {
+  TrialRunnerOptions options;
+  options.replications = 3;
+  options.base_seed = 5;
+  options.stream = 1;
+  const TrialResult result = TrialRunner(options).run(
+      {"x", "y"}, [](const TrialContext& ctx) {
+        return std::vector<double>{static_cast<double>(ctx.replication),
+                                   ctx.replication == 1
+                                       ? std::nan("")
+                                       : 10.0};
+      });
+
+  std::ostringstream csv;
+  result.write_csv(csv);
+  const std::string csv_text = csv.str();
+  EXPECT_NE(csv_text.find("replication,seed,x,y"), std::string::npos);
+  // NaN renders as an empty CSV cell.
+  EXPECT_NE(csv_text.find("1," + std::to_string(derive_seed(5, 1, 1)) +
+                          ",1,"),
+            std::string::npos);
+
+  std::ostringstream json;
+  result.write_json(json);
+  const std::string json_text = json.str();
+  EXPECT_EQ(json_text.front(), '{');
+  EXPECT_EQ(json_text.back(), '}');
+  EXPECT_NE(json_text.find("\"replications\":3"), std::string::npos);
+  EXPECT_NE(json_text.find("\"x\":{\"count\":3"), std::string::npos);
+  EXPECT_NE(json_text.find("\"y\":{\"count\":2"), std::string::npos);
+  EXPECT_NE(json_text.find("null"), std::string::npos);  // the NaN sample
+
+  Table table = result.to_table();
+  EXPECT_EQ(table.row_count(), 2u);
+}
+
+TEST(RunReplicationsParallel, MatchesSerialAggregation) {
+  const auto body = [](std::uint64_t, std::uint64_t seed) {
+    Rng rng(seed);
+    return rng.real01();
+  };
+  const OnlineStats serial = run_replications_parallel(16, 1, 99, 3, body);
+  const OnlineStats parallel = run_replications_parallel(16, 4, 99, 3, body);
+  EXPECT_EQ(serial.count(), parallel.count());
+  EXPECT_DOUBLE_EQ(serial.mean(), parallel.mean());
+  EXPECT_DOUBLE_EQ(serial.stddev(), parallel.stddev());
+}
+
+}  // namespace
+}  // namespace churnet

@@ -1,0 +1,333 @@
+// Equivalence tests for the generic flooding driver (flood_driver.hpp):
+// flood_streaming / flood_poisson_discretized (now thin wrappers over
+// flood_dynamic) must reproduce the seed repo's dedicated drivers
+// bit-for-bit at fixed seeds. The reference implementations below are
+// verbatim copies of those seed drivers (unordered_set bookkeeping, no
+// scratch reuse); the traces — full per-step series included — must match
+// exactly because neither implementation consumes network randomness.
+#include <gtest/gtest.h>
+
+#include <unordered_set>
+#include <utility>
+#include <vector>
+
+#include "churnet/churnet.hpp"
+
+namespace churnet {
+namespace {
+
+struct RefCreatedEdge {
+  NodeId owner;
+  NodeId target;
+};
+
+void ref_record_step(FloodTrace& trace, const FloodOptions& options,
+                     std::uint64_t informed, std::uint64_t alive) {
+  if (!options.record_series) return;
+  trace.informed_per_step.push_back(informed);
+  trace.alive_per_step.push_back(alive);
+}
+
+/// Verbatim copy of the seed repo's flood_streaming.
+FloodTrace seed_flood_streaming(StreamingNetwork& net,
+                                const FloodOptions& options) {
+  FloodTrace trace;
+  std::vector<RefCreatedEdge> created;
+  NetworkHooks hooks;
+  hooks.on_edge_created = [&created](NodeId owner, std::uint32_t, NodeId target,
+                                     bool, double) {
+    created.push_back({owner, target});
+  };
+  net.set_hooks(std::move(hooks));
+
+  const auto source_round = net.step();
+  const NodeId source = source_round.born;
+  std::unordered_set<NodeId> informed{source};
+  std::vector<NodeId> frontier{source};
+  created.clear();
+
+  trace.peak_informed = 1;
+  ref_record_step(trace, options, 1, net.graph().alive_count());
+
+  std::vector<NodeId> newly;
+  std::unordered_set<NodeId> newly_set;
+  std::vector<NodeId> neighbor_scratch;
+  for (std::uint64_t step = 1; step <= options.max_steps; ++step) {
+    const DynamicGraph& graph = net.graph();
+
+    newly.clear();
+    newly_set.clear();
+    auto consider = [&](NodeId candidate) {
+      if (informed.contains(candidate)) return;
+      if (newly_set.insert(candidate).second) newly.push_back(candidate);
+    };
+    for (const NodeId u : frontier) {
+      if (!graph.is_alive(u)) continue;
+      neighbor_scratch.clear();
+      graph.append_neighbors(u, neighbor_scratch);
+      for (const NodeId v : neighbor_scratch) consider(v);
+    }
+    for (const RefCreatedEdge& edge : created) {
+      if (!graph.is_alive(edge.owner) || !graph.is_alive(edge.target)) continue;
+      const bool owner_informed = informed.contains(edge.owner);
+      const bool target_informed = informed.contains(edge.target);
+      if (owner_informed && !target_informed) consider(edge.target);
+      if (target_informed && !owner_informed) consider(edge.owner);
+    }
+    created.clear();
+
+    const auto report = net.step();
+    if (report.died.has_value()) informed.erase(*report.died);
+
+    frontier.clear();
+    for (const NodeId v : newly) {
+      if (!net.graph().is_alive(v)) continue;
+      if (informed.insert(v).second) frontier.push_back(v);
+    }
+
+    trace.steps = step;
+    const std::uint64_t informed_count = informed.size();
+    const std::uint64_t alive_count = net.graph().alive_count();
+    trace.peak_informed = std::max(trace.peak_informed, informed_count);
+    ref_record_step(trace, options, informed_count, alive_count);
+    trace.final_fraction = alive_count == 0
+                               ? 0.0
+                               : static_cast<double>(informed_count) /
+                                     static_cast<double>(alive_count);
+
+    if (informed_count + 1 >= alive_count && alive_count >= 2) {
+      trace.completed = true;
+      trace.completion_step = step;
+      break;
+    }
+    if (informed.empty()) {
+      trace.died_out = true;
+      trace.die_out_step = step;
+      if (options.stop_on_die_out) break;
+    }
+    if (options.stop_at_fraction < 1.0 &&
+        trace.final_fraction >= options.stop_at_fraction) {
+      break;
+    }
+  }
+
+  net.set_hooks({});
+  return trace;
+}
+
+/// Verbatim copy of the seed repo's flood_poisson_discretized.
+FloodTrace seed_flood_poisson_discretized(PoissonNetwork& net,
+                                          const FloodOptions& options) {
+  FloodTrace trace;
+  std::vector<RefCreatedEdge> created;
+  std::unordered_set<NodeId> deaths;
+  NetworkHooks hooks;
+  hooks.on_edge_created = [&created](NodeId owner, std::uint32_t, NodeId target,
+                                     bool, double) {
+    created.push_back({owner, target});
+  };
+  hooks.on_death = [&deaths](NodeId node, double) { deaths.insert(node); };
+  net.set_hooks(std::move(hooks));
+
+  NodeId source;
+  for (;;) {
+    const auto event = net.step();
+    if (event.kind == ChurnEvent::Kind::kBirth) {
+      source = event.node;
+      break;
+    }
+  }
+  std::unordered_set<NodeId> informed{source};
+  std::vector<NodeId> frontier{source};
+  created.clear();
+  deaths.clear();
+  double clock = net.now();
+
+  trace.peak_informed = 1;
+  ref_record_step(trace, options, 1, net.graph().alive_count());
+
+  std::vector<std::pair<NodeId, NodeId>> candidates;
+  std::vector<NodeId> neighbor_scratch;
+  for (std::uint64_t step = 1; step <= options.max_steps; ++step) {
+    const DynamicGraph& graph = net.graph();
+    candidates.clear();
+    for (const NodeId u : frontier) {
+      if (!graph.is_alive(u)) continue;
+      neighbor_scratch.clear();
+      graph.append_neighbors(u, neighbor_scratch);
+      for (const NodeId v : neighbor_scratch) {
+        if (!informed.contains(v)) candidates.emplace_back(u, v);
+      }
+    }
+    for (const RefCreatedEdge& edge : created) {
+      if (!graph.is_alive(edge.owner) || !graph.is_alive(edge.target)) continue;
+      const bool owner_informed = informed.contains(edge.owner);
+      const bool target_informed = informed.contains(edge.target);
+      if (owner_informed && !target_informed) {
+        candidates.emplace_back(edge.owner, edge.target);
+      } else if (target_informed && !owner_informed) {
+        candidates.emplace_back(edge.target, edge.owner);
+      }
+    }
+    created.clear();
+    deaths.clear();
+
+    net.run_until(clock + 1.0);
+    clock += 1.0;
+
+    for (const NodeId dead : deaths) informed.erase(dead);
+
+    frontier.clear();
+    for (const auto& [u, v] : candidates) {
+      if (deaths.contains(u) || deaths.contains(v)) continue;
+      if (informed.insert(v).second) frontier.push_back(v);
+    }
+
+    trace.steps = step;
+    const std::uint64_t informed_count = informed.size();
+    const std::uint64_t alive_count = net.graph().alive_count();
+    trace.peak_informed = std::max(trace.peak_informed, informed_count);
+    ref_record_step(trace, options, informed_count, alive_count);
+    trace.final_fraction = alive_count == 0
+                               ? 0.0
+                               : static_cast<double>(informed_count) /
+                                     static_cast<double>(alive_count);
+
+    if (informed_count == alive_count && alive_count > 0) {
+      trace.completed = true;
+      trace.completion_step = step;
+      break;
+    }
+    if (informed.empty()) {
+      trace.died_out = true;
+      trace.die_out_step = step;
+      if (options.stop_on_die_out) break;
+    }
+    if (options.stop_at_fraction < 1.0 &&
+        trace.final_fraction >= options.stop_at_fraction) {
+      break;
+    }
+  }
+
+  net.set_hooks({});
+  return trace;
+}
+
+void expect_traces_identical(const FloodTrace& a, const FloodTrace& b) {
+  EXPECT_EQ(a.informed_per_step, b.informed_per_step);
+  EXPECT_EQ(a.alive_per_step, b.alive_per_step);
+  EXPECT_EQ(a.steps, b.steps);
+  EXPECT_EQ(a.completed, b.completed);
+  EXPECT_EQ(a.completion_step, b.completion_step);
+  EXPECT_EQ(a.died_out, b.died_out);
+  EXPECT_EQ(a.die_out_step, b.die_out_step);
+  EXPECT_EQ(a.peak_informed, b.peak_informed);
+  EXPECT_DOUBLE_EQ(a.final_fraction, b.final_fraction);
+}
+
+TEST(FloodDriver, MatchesSeedStreamingDriverBitForBit) {
+  for (const EdgePolicy policy : {EdgePolicy::kNone, EdgePolicy::kRegenerate}) {
+    for (const std::uint64_t seed : {7ull, 1234ull, 99991ull}) {
+      StreamingConfig config;
+      config.n = 400;
+      config.d = policy == EdgePolicy::kRegenerate ? 21 : 6;
+      config.policy = policy;
+      config.seed = seed;
+
+      StreamingNetwork reference_net(config);
+      reference_net.warm_up();
+      const FloodTrace expected = seed_flood_streaming(reference_net, {});
+
+      StreamingNetwork net(config);
+      net.warm_up();
+      const FloodTrace actual = flood_streaming(net);
+
+      SCOPED_TRACE(testing::Message()
+                   << "policy=" << static_cast<int>(policy)
+                   << " seed=" << seed);
+      expect_traces_identical(expected, actual);
+    }
+  }
+}
+
+TEST(FloodDriver, MatchesSeedPoissonDriverBitForBit) {
+  for (const EdgePolicy policy : {EdgePolicy::kNone, EdgePolicy::kRegenerate}) {
+    for (const std::uint64_t seed : {7ull, 1234ull, 99991ull}) {
+      const std::uint32_t d = policy == EdgePolicy::kRegenerate ? 35 : 8;
+      const auto config = PoissonConfig::with_n(400, d, policy, seed);
+
+      PoissonNetwork reference_net(config);
+      reference_net.warm_up(5.0);
+      const FloodTrace expected = seed_flood_poisson_discretized(
+          reference_net, {});
+
+      PoissonNetwork net(config);
+      net.warm_up(5.0);
+      const FloodTrace actual = flood_poisson_discretized(net, {});
+
+      SCOPED_TRACE(testing::Message()
+                   << "policy=" << static_cast<int>(policy)
+                   << " seed=" << seed);
+      expect_traces_identical(expected, actual);
+    }
+  }
+}
+
+TEST(FloodDriver, MatchesSeedDriversWithEarlyStopOptions) {
+  FloodOptions options;
+  options.stop_at_fraction = 0.5;
+  options.max_steps = 200;
+
+  StreamingConfig sconfig;
+  sconfig.n = 500;
+  sconfig.d = 8;
+  sconfig.policy = EdgePolicy::kRegenerate;
+  sconfig.seed = 42;
+  StreamingNetwork sref(sconfig);
+  sref.warm_up();
+  StreamingNetwork snet(sconfig);
+  snet.warm_up();
+  expect_traces_identical(seed_flood_streaming(sref, options),
+                          flood_streaming(snet, options));
+
+  const auto pconfig =
+      PoissonConfig::with_n(500, 12, EdgePolicy::kRegenerate, 42);
+  PoissonNetwork pref(pconfig);
+  pref.warm_up(5.0);
+  PoissonNetwork pnet(pconfig);
+  pnet.warm_up(5.0);
+  expect_traces_identical(seed_flood_poisson_discretized(pref, options),
+                          flood_poisson_discretized(pnet, options));
+}
+
+TEST(FloodDriver, ScratchReuseAcrossTrialsDoesNotChangeTraces) {
+  FloodScratch scratch;
+  for (int trial = 0; trial < 3; ++trial) {
+    StreamingConfig config;
+    config.n = 300;
+    config.d = 21;
+    config.policy = EdgePolicy::kRegenerate;
+    config.seed = 100 + static_cast<std::uint64_t>(trial);
+
+    StreamingNetwork fresh(config);
+    fresh.warm_up();
+    const FloodTrace expected = flood_streaming(fresh, {});
+
+    StreamingNetwork reused(config);
+    reused.warm_up();
+    const FloodTrace actual = flood_streaming(reused, {}, scratch);
+    expect_traces_identical(expected, actual);
+  }
+  // Mixing models through the same scratch is fine too.
+  PoissonNetwork pnet(PoissonConfig::with_n(300, 35, EdgePolicy::kRegenerate,
+                                            5));
+  pnet.warm_up(5.0);
+  PoissonNetwork pref(PoissonConfig::with_n(300, 35, EdgePolicy::kRegenerate,
+                                            5));
+  pref.warm_up(5.0);
+  expect_traces_identical(flood_poisson_discretized(pref, {}),
+                          flood_poisson_discretized(pnet, {}, scratch));
+}
+
+}  // namespace
+}  // namespace churnet
