@@ -82,6 +82,9 @@ int main(int argc, char** argv) {
             }
             return net.flood(flood_options, scratch).final_fraction;
           });
+      record_trial(std::string("coverage-") + name + "-d" +
+                       std::to_string(d),
+                   result);
       std::vector<double> coverages;
       std::uint64_t hits = 0;
       for (const auto& row : result.samples()) {
@@ -131,6 +134,7 @@ int main(int argc, char** argv) {
           return when != FloodTrace::kNever ? static_cast<double>(when)
                                             : std::nan("");
         });
+    record_trial("steps-to-90-SDG-n" + std::to_string(size), result);
     const OnlineStats& steps = result.stats("steps_to_90");
     if (steps.count() > 0) {
       sweep2.add_row({"SDG", fmt_int(size), fmt_fixed(steps.mean(), 2),

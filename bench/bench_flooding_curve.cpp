@@ -119,6 +119,7 @@ int main(int argc, char** argv) {
           curve.resize(steps + 1, curve.back());  // pad early stops
           return curve;
         });
+    record_trial(std::string("flood-curve-") + model_names[model], result);
     curves.assign(result.samples().begin(), result.samples().end());
     medians[static_cast<std::size_t>(model)] = median_curve(curves);
   }

@@ -126,6 +126,7 @@ int main(int argc, char** argv) {
               completions};
         });
 
+    record_trial("flooding-time-n" + std::to_string(size), result);
     const OnlineStats& sdgr_rounds = result.stats("sdgr_rounds");
     const OnlineStats& pdgr_steps = result.stats("pdgr_steps");
     const OnlineStats& async_times = result.stats("pdgr_async_time");

@@ -191,6 +191,7 @@ int main(int argc, char** argv) {
                               : std::nan(""),
               trace.completed ? 1.0 : 0.0};
         });
+    record_trial(std::string("flood-replication-") + name, result);
     floods.add_row(
         {name, fmt_int(d),
          fmt_fixed(static_cast<double>(reps) / result.wall_seconds(), 2),

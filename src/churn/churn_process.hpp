@@ -1,0 +1,86 @@
+// The pluggable churn layer: one interface every churn regime implements.
+//
+// A ChurnProcess is an event stream: `next(alive)` samples the next birth or
+// death given the current network size, and the consuming network realizes
+// it (creates the node and wires its requests, or removes the victim and
+// regenerates orphans). The split keeps demography (who is born/dies, when)
+// separate from topology (which edges exist) — the paper's two processes
+// (streaming Definition 3.2, Poisson Definition 4.1) and every extended
+// regime (heavy-tailed lifetimes, bursty on/off phases, growth/decline
+// schedules) are implementations of this one interface, and both
+// StreamingNetwork and PoissonNetwork drive their churn only through it.
+//
+// Contract:
+//   * `next(alive)` is called with the number of currently alive nodes and
+//     returns the next event in non-decreasing time order.
+//   * After a birth event is realized, the network calls `on_birth(id, t)`
+//     with the newborn's id before sampling the next event — processes that
+//     schedule per-node deaths (streaming FIFO, lifetime heaps) depend on
+//     this notification.
+//   * After a death event is realized the network calls `on_death(id, t)`.
+//   * A death event names its victim rule: `kUniform` lets the network pick
+//     a uniform random alive node from its own RNG stream (the paper's
+//     Poisson models), `kScheduled` pins the exact node chosen by the
+//     process (streaming oldest-first, lifetime expiry).
+//   * All of a process's randomness comes from its own seed; processes never
+//     touch the network's RNG, so churn and wiring streams stay decoupled.
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+#include "graph/node_id.hpp"
+
+namespace churnet {
+
+class ChurnProcess {
+ public:
+  /// How a death event selects its victim.
+  enum class Victim : std::uint8_t {
+    kUniform,    // network draws a uniform random alive node
+    kScheduled,  // the process names the exact node (victim_id)
+  };
+
+  /// One churn event: a birth, or the death of a node.
+  struct Step {
+    double time = 0.0;
+    bool is_birth = true;
+    Victim victim = Victim::kUniform;
+    NodeId victim_id = kInvalidNode;  // valid iff victim == kScheduled
+  };
+
+  virtual ~ChurnProcess() = default;
+
+  /// Samples the next event given the current number of alive nodes and
+  /// advances the process clock to it.
+  virtual Step next(std::uint64_t alive) = 0;
+
+  /// Notification that a birth event was realized as node `id` at `time`.
+  virtual void on_birth(NodeId id, double time) {
+    (void)id;
+    (void)time;
+  }
+
+  /// Notification that `id` died at `time` (any victim rule).
+  virtual void on_death(NodeId id, double time) {
+    (void)id;
+    (void)time;
+  }
+
+  /// Canonical spec name of the regime ("poisson", "pareto(2.5)", ...).
+  virtual std::string name() const = 0;
+
+  /// Expected node lifetime (the paper's n); sets warm-up horizons and
+  /// normalizes regimes against each other.
+  virtual double mean_lifetime() const = 0;
+
+  /// Warm-up horizon for `multiple` expected lifetimes. The default is
+  /// multiple * mean_lifetime(); regimes override it when a different
+  /// arithmetic must be preserved exactly (the paper's jump chain) or when
+  /// a schedule pins the stationary phase (drift).
+  virtual double warm_up_time(double multiple) const {
+    return multiple * mean_lifetime();
+  }
+};
+
+}  // namespace churnet

@@ -1,0 +1,79 @@
+// Textual churn-regime specs: the grammar scenarios and sweeps use to name
+// a churn process, and the factory that instantiates one.
+//
+// Grammar (case-insensitive, optional whitespace):
+//
+//   spec    := name | name '(' args ')'
+//   name    := "stream" | "poisson" | "pareto" | "weibull" | "bursty"
+//              | "drift"
+//   args    := number (',' number)*
+//
+//   stream          the paper's streaming round schedule (Def. 3.2);
+//                   streaming models only
+//   poisson         the paper's jump chain (Def. 4.1 / Lemma 4.6)
+//   pareto(a)       Pareto(tail index a > 1) session lengths, mean 1/mu
+//   weibull(k)      Weibull(shape k > 0) session lengths, mean 1/mu
+//   bursty(b,p)     on/off death rates mu*b / mu/b (b > 1), phase length
+//                   p > 0 expected lifetimes
+//   drift(g)        stationary through warm-up, then birth rate g*lambda
+//
+// Omitted arguments take the documented defaults. Malformed specs are
+// rejected with a one-line reason (unknown name, wrong arity, parameter
+// out of range), surfaced verbatim by the scenario registry and the sweep
+// config loader.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <optional>
+#include <string>
+#include <string_view>
+
+#include "churn/churn_process.hpp"
+
+namespace churnet {
+
+struct ChurnSpec {
+  enum class Kind : std::uint8_t {
+    kStream,
+    kJumpChain,
+    kPareto,
+    kWeibull,
+    kBursty,
+    kDrift,
+  };
+
+  Kind kind = Kind::kJumpChain;
+  /// First parameter: pareto alpha / weibull shape / bursty boost /
+  /// drift growth factor. Unused for stream and poisson.
+  double a = 0.0;
+  /// Second parameter: bursty phase length in expected lifetimes.
+  double b = 0.0;
+
+  /// True for every regime the continuous-time simulator can run (all but
+  /// the streaming round schedule).
+  bool continuous() const { return kind != Kind::kStream; }
+
+  /// The spec in canonical text form ("pareto(2.50)", "poisson", ...);
+  /// matches ChurnProcess::name() of the instantiated process.
+  std::string canonical() const;
+
+  /// Parses `text`; on failure returns nullopt and, when `error` is
+  /// non-null, stores a one-line reason.
+  static std::optional<ChurnSpec> parse(std::string_view text,
+                                        std::string* error = nullptr);
+
+  friend bool operator==(const ChurnSpec&, const ChurnSpec&) = default;
+};
+
+/// Instantiates the continuous-time process a spec names, with base rates
+/// (lambda, mu) — the paper convention is lambda = 1, mu = 1/n. The
+/// process seed is derived from the owning network's seed exactly as the
+/// pre-refactor simulators did (Rng(seed).next_u64()), preserving
+/// bit-identical paper models. Returns nullptr for Kind::kStream (the
+/// streaming schedule is size-coupled and built by StreamingNetwork).
+std::unique_ptr<ChurnProcess> make_churn_process(const ChurnSpec& spec,
+                                                 double lambda, double mu,
+                                                 std::uint64_t network_seed);
+
+}  // namespace churnet

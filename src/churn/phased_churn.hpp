@@ -1,0 +1,79 @@
+// Piecewise-constant-rate churn schedules: bursty on/off phases and
+// growth/decline drifts.
+//
+// The regime is the paper's jump chain (Lemma 4.6) with birth rate lambda
+// and per-node death rate mu that are constant within a phase and switch at
+// phase boundaries. Sampling stays exact: within a phase the waiting time
+// to the next event is Exp(lambda + N*mu); if the sampled time crosses the
+// phase boundary, the clock advances to the boundary and the draw restarts
+// under the new rates — valid with no correction because exponential clocks
+// are memoryless. Deaths are kUniform (every alive node carries the same
+// death rate inside a phase).
+//
+// Two built-in schedules:
+//   * bursty(boost, phase): cycling on/off death rates mu*boost / mu/boost
+//     with phase length `phase` expected lifetimes — massive correlated
+//     departures followed by calm recovery windows;
+//   * drift(g): a stationary phase at (lambda, mu) covering exactly the
+//     standard 10-lifetime warm-up, then birth rate g*lambda forever after,
+//     so the measured network is drifting toward g times its warmed size
+//     (growth g > 1, decline g < 1) instead of sitting at a steady state.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "churn/churn_process.hpp"
+#include "common/rng.hpp"
+
+namespace churnet {
+
+/// One constant-rate segment of a schedule.
+struct ChurnPhase {
+  double duration = 0.0;  // time units; the last phase of a non-cycling
+                          // schedule is unbounded (duration ignored)
+  double lambda = 1.0;    // birth rate during the phase
+  double mu = 1e-3;       // per-node death rate during the phase
+};
+
+class PhasedChurn final : public ChurnProcess {
+ public:
+  /// `cycle`: phases repeat forever; otherwise the last phase never ends.
+  /// `mean_lifetime` is the reporting/warm-up normalization (the base 1/mu).
+  PhasedChurn(std::string name, std::vector<ChurnPhase> phases, bool cycle,
+              double mean_lifetime, std::uint64_t seed);
+
+  Step next(std::uint64_t alive) override;
+
+  std::string name() const override { return name_; }
+  double mean_lifetime() const override { return mean_lifetime_; }
+
+  /// Rates in force at the current clock (exposed for tests).
+  const ChurnPhase& current_phase() const { return phases_[phase_]; }
+
+ private:
+  /// End time of the current phase (+inf for a terminal phase).
+  double phase_end() const;
+
+  std::string name_;
+  std::vector<ChurnPhase> phases_;
+  bool cycle_;
+  double mean_lifetime_;
+  std::size_t phase_ = 0;
+  double phase_start_ = 0.0;
+  double now_ = 0.0;
+  Rng rng_;
+};
+
+/// bursty(boost, phase): cycling high/low death-rate phases around base
+/// rates (lambda, mu); phase length is `phase` expected lifetimes.
+PhasedChurn make_bursty_churn(double boost, double phase_lifetimes,
+                              double lambda, double mu, std::uint64_t seed);
+
+/// drift(g): stationary (lambda, mu) for the 10-lifetime warm-up horizon,
+/// then birth rate g*lambda (stationary size drifts to g*lambda/mu).
+PhasedChurn make_drift_churn(double growth, double lambda, double mu,
+                             std::uint64_t seed);
+
+}  // namespace churnet

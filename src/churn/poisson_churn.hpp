@@ -12,6 +12,7 @@
 
 #include <cstdint>
 
+#include "churn/churn_process.hpp"
 #include "common/rng.hpp"
 
 namespace churnet {
@@ -52,6 +53,40 @@ class PoissonChurn {
   double now_ = 0.0;
   std::uint64_t events_ = 0;
   Rng rng_;
+};
+
+/// The paper's Poisson churn as a pluggable ChurnProcess: births are
+/// kBirth events, deaths are kUniform-victim events (the network picks the
+/// victim from its own RNG, preserving the exactness argument of Lemma
+/// 4.6). This is the jump-chain skeleton every continuous regime shares;
+/// it wraps PoissonChurn without changing a single draw, so PDG/PDGR built
+/// through the ChurnProcess layer are bit-identical to the direct
+/// simulators.
+class PoissonJumpChurn final : public ChurnProcess {
+ public:
+  PoissonJumpChurn(double lambda, double mu, std::uint64_t seed)
+      : chain_(lambda, mu, seed) {}
+
+  Step next(std::uint64_t alive) override {
+    const ChurnEvent event = chain_.next(alive);
+    Step step;
+    step.time = event.time;
+    step.is_birth = event.kind == ChurnEvent::Kind::kBirth;
+    step.victim = Victim::kUniform;
+    return step;
+  }
+
+  std::string name() const override { return "poisson"; }
+  double mean_lifetime() const override { return 1.0 / chain_.mu(); }
+  /// Preserves the exact pre-refactor arithmetic (multiple / mu).
+  double warm_up_time(double multiple) const override {
+    return multiple / chain_.mu();
+  }
+
+  const PoissonChurn& chain() const { return chain_; }
+
+ private:
+  PoissonChurn chain_;
 };
 
 }  // namespace churnet

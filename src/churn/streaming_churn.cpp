@@ -4,20 +4,32 @@
 
 namespace churnet {
 
-StreamingChurn::StreamingChurn(std::uint32_t n) : n_(n) {
+StreamingChurn::StreamingChurn(std::uint32_t n) : n_(n), ring_(n) {
   CHURNET_EXPECTS(n >= 1);
+}
+
+NodeId StreamingChurn::pop_oldest() {
+  CHURNET_ASSERT(size_ > 0);
+  const NodeId oldest = ring_[head_];
+  head_ = head_ + 1 == n_ ? 0 : head_ + 1;
+  --size_;
+  return oldest;
+}
+
+void StreamingChurn::push_newest(NodeId id) {
+  CHURNET_ASSERT(size_ < n_);
+  std::uint32_t tail = head_ + size_;
+  if (tail >= n_) tail -= n_;
+  ring_[tail] = id;
+  ++size_;
 }
 
 std::optional<NodeId> StreamingChurn::begin_round() {
   CHURNET_EXPECTS(!birth_pending_);
   ++round_;
   birth_pending_ = true;
-  if (fifo_.size() == n_) {
-    const NodeId victim = fifo_.front();
-    fifo_.pop_front();
-    return victim;
-  }
-  CHURNET_ASSERT(fifo_.size() < n_);
+  if (size_ == n_) return pop_oldest();
+  CHURNET_ASSERT(size_ < n_);
   return std::nullopt;
 }
 
@@ -25,7 +37,33 @@ void StreamingChurn::record_birth(NodeId id) {
   CHURNET_EXPECTS(birth_pending_);
   CHURNET_EXPECTS(id.valid());
   birth_pending_ = false;
-  fifo_.push_back(id);
+  push_newest(id);
+}
+
+ChurnProcess::Step StreamingChurn::next(std::uint64_t alive) {
+  (void)alive;  // the schedule is the authority on the population
+  Step step;
+  if (!birth_pending_) {
+    // Round boundary: begin the next round; a full network emits the death
+    // of the FIFO head first, otherwise the round is birth-only.
+    const std::optional<NodeId> victim = begin_round();
+    if (victim.has_value()) {
+      step.time = static_cast<double>(round_);
+      step.is_birth = false;
+      step.victim = Victim::kScheduled;
+      step.victim_id = *victim;
+      return step;
+    }
+  }
+  // The round's birth; realized by on_birth().
+  step.time = static_cast<double>(round_);
+  step.is_birth = true;
+  return step;
+}
+
+void StreamingChurn::on_birth(NodeId id, double time) {
+  (void)time;
+  record_birth(id);
 }
 
 }  // namespace churnet

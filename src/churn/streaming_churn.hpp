@@ -4,20 +4,34 @@
 // n rounds, so from round n+1 on, every round kills the unique node of age
 // n-1 and the network size is pinned at n. Deaths are processed before the
 // round's birth (the newborn "stays up to round t+n-1").
+//
+// The age order lives in a fixed-capacity ring buffer (capacity n, the hard
+// upper bound on the alive count): push/pop are index arithmetic on one
+// allocation made at construction, so the per-round hot path of the
+// streaming simulators never touches the allocator.
+//
+// StreamingChurn is also a ChurnProcess (churn/churn_process.hpp): a round
+// becomes one kScheduled death event (the FIFO head, only when the network
+// is full) followed by one birth event, both stamped with the round number.
+// The original round-structured API (begin_round/record_birth) remains for
+// direct consumers and is what the event adapter drives internally.
 #pragma once
 
 #include <cstdint>
-#include <deque>
 #include <optional>
+#include <vector>
 
+#include "churn/churn_process.hpp"
 #include "graph/node_id.hpp"
 
 namespace churnet {
 
-class StreamingChurn {
+class StreamingChurn final : public ChurnProcess {
  public:
   /// `n` is both the steady-state size and the exact node lifetime.
   explicit StreamingChurn(std::uint32_t n);
+
+  // ---- round-structured API --------------------------------------------
 
   /// Starts round `round()+1`. Returns the node that dies this round (the
   /// oldest alive node) or nullopt during the initial fill (rounds 1..n).
@@ -27,6 +41,24 @@ class StreamingChurn {
   /// after begin_round().
   void record_birth(NodeId id);
 
+  // ---- ChurnProcess ----------------------------------------------------
+
+  /// Event view of the same schedule: the death event (if the network is
+  /// full) then the birth event of round `round()+1`. `alive` is ignored —
+  /// the schedule tracks its own population. The birth event must be
+  /// acknowledged through on_birth() before the next round begins.
+  Step next(std::uint64_t alive) override;
+
+  /// Realizes the pending birth event (same contract as record_birth).
+  void on_birth(NodeId id, double time) override;
+
+  std::string name() const override { return "stream"; }
+
+  /// Every lifetime is exactly n rounds.
+  double mean_lifetime() const override { return static_cast<double>(n_); }
+
+  // ---- observers -------------------------------------------------------
+
   /// Rounds completed (== births recorded).
   std::uint64_t round() const { return round_; }
 
@@ -34,13 +66,21 @@ class StreamingChurn {
   std::uint32_t n() const { return n_; }
 
   /// Number of currently alive nodes tracked by the schedule.
-  std::uint32_t alive() const { return static_cast<std::uint32_t>(fifo_.size()); }
+  std::uint32_t alive() const { return size_; }
 
  private:
+  NodeId pop_oldest();
+  void push_newest(NodeId id);
+
   std::uint32_t n_;
   std::uint64_t round_ = 0;
   bool birth_pending_ = false;
-  std::deque<NodeId> fifo_;  // front = oldest
+  // Fixed-capacity ring buffer of alive nodes in age order; head_ indexes
+  // the oldest. Capacity is exactly n: begin_round() pops before
+  // record_birth() pushes, so size_ never exceeds n.
+  std::vector<NodeId> ring_;
+  std::uint32_t head_ = 0;
+  std::uint32_t size_ = 0;
 };
 
 }  // namespace churnet

@@ -15,15 +15,21 @@
 #include "baselines/static_dout.hpp"       // IWYU pragma: export
 #include "baselines/walk_overlay.hpp"      // IWYU pragma: export
 #include "benchutil/experiment.hpp"        // IWYU pragma: export
+#include "churn/churn_process.hpp"         // IWYU pragma: export
+#include "churn/churn_spec.hpp"            // IWYU pragma: export
+#include "churn/lifetime_churn.hpp"        // IWYU pragma: export
+#include "churn/phased_churn.hpp"          // IWYU pragma: export
 #include "churn/poisson_churn.hpp"         // IWYU pragma: export
 #include "churn/streaming_churn.hpp"       // IWYU pragma: export
 #include "common/cli.hpp"                  // IWYU pragma: export
 #include "common/histogram.hpp"            // IWYU pragma: export
+#include "common/json.hpp"                 // IWYU pragma: export
 #include "common/mathx.hpp"                // IWYU pragma: export
 #include "common/rng.hpp"                  // IWYU pragma: export
 #include "common/stats.hpp"                // IWYU pragma: export
 #include "common/table.hpp"                // IWYU pragma: export
 #include "engine/scenario.hpp"             // IWYU pragma: export
+#include "engine/sweep_runner.hpp"         // IWYU pragma: export
 #include "engine/trial_runner.hpp"         // IWYU pragma: export
 #include "expansion/expansion.hpp"         // IWYU pragma: export
 #include "expansion/isolated.hpp"          // IWYU pragma: export

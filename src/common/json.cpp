@@ -1,0 +1,304 @@
+#include "common/json.hpp"
+
+#include <cctype>
+#include <cstdlib>
+
+#include "common/assertx.hpp"
+
+namespace churnet {
+namespace {
+
+constexpr int kMaxDepth = 64;
+
+struct Parser {
+  std::string_view text;
+  std::size_t pos = 0;
+  std::string error;
+
+  bool fail(std::string message) {
+    if (error.empty()) {
+      error = std::move(message) + " at offset " + std::to_string(pos);
+    }
+    return false;
+  }
+
+  void skip_whitespace() {
+    while (pos < text.size() &&
+           std::isspace(static_cast<unsigned char>(text[pos]))) {
+      ++pos;
+    }
+  }
+
+  bool consume(char expected) {
+    if (pos < text.size() && text[pos] == expected) {
+      ++pos;
+      return true;
+    }
+    return fail(std::string("expected '") + expected + "'");
+  }
+
+  bool literal(std::string_view word) {
+    if (text.substr(pos, word.size()) == word) {
+      pos += word.size();
+      return true;
+    }
+    return fail("invalid literal");
+  }
+
+  bool parse_string(std::string* out) {
+    if (!consume('"')) return false;
+    out->clear();
+    while (pos < text.size()) {
+      const char c = text[pos];
+      if (c == '"') {
+        ++pos;
+        return true;
+      }
+      if (static_cast<unsigned char>(c) < 0x20) {
+        return fail("unescaped control character in string");
+      }
+      if (c != '\\') {
+        out->push_back(c);
+        ++pos;
+        continue;
+      }
+      ++pos;
+      if (pos >= text.size()) return fail("unterminated escape");
+      const char escape = text[pos++];
+      switch (escape) {
+        case '"': out->push_back('"'); break;
+        case '\\': out->push_back('\\'); break;
+        case '/': out->push_back('/'); break;
+        case 'b': out->push_back('\b'); break;
+        case 'f': out->push_back('\f'); break;
+        case 'n': out->push_back('\n'); break;
+        case 'r': out->push_back('\r'); break;
+        case 't': out->push_back('\t'); break;
+        case 'u': {
+          if (pos + 4 > text.size()) return fail("truncated \\u escape");
+          unsigned code = 0;
+          for (int i = 0; i < 4; ++i) {
+            const char h = text[pos++];
+            code <<= 4;
+            if (h >= '0' && h <= '9') code |= static_cast<unsigned>(h - '0');
+            else if (h >= 'a' && h <= 'f') code |= static_cast<unsigned>(h - 'a' + 10);
+            else if (h >= 'A' && h <= 'F') code |= static_cast<unsigned>(h - 'A' + 10);
+            else return fail("bad hex digit in \\u escape");
+          }
+          // UTF-8 encode the BMP code point (surrogate pairs are passed
+          // through as-is — config files are ASCII in practice).
+          if (code < 0x80) {
+            out->push_back(static_cast<char>(code));
+          } else if (code < 0x800) {
+            out->push_back(static_cast<char>(0xC0 | (code >> 6)));
+            out->push_back(static_cast<char>(0x80 | (code & 0x3F)));
+          } else {
+            out->push_back(static_cast<char>(0xE0 | (code >> 12)));
+            out->push_back(static_cast<char>(0x80 | ((code >> 6) & 0x3F)));
+            out->push_back(static_cast<char>(0x80 | (code & 0x3F)));
+          }
+          break;
+        }
+        default:
+          return fail("unknown escape");
+      }
+    }
+    return fail("unterminated string");
+  }
+
+  bool parse_number(double* out) {
+    const std::size_t start = pos;
+    if (pos < text.size() && text[pos] == '-') ++pos;
+    while (pos < text.size() &&
+           (std::isdigit(static_cast<unsigned char>(text[pos])) ||
+            text[pos] == '.' || text[pos] == 'e' || text[pos] == 'E' ||
+            text[pos] == '+' || text[pos] == '-')) {
+      ++pos;
+    }
+    const std::string number(text.substr(start, pos - start));
+    if (number.empty()) return fail("expected number");
+    char* end = nullptr;
+    *out = std::strtod(number.c_str(), &end);
+    if (end != number.c_str() + number.size()) {
+      pos = start;
+      return fail("malformed number '" + number + "'");
+    }
+    return true;
+  }
+
+  bool parse_value(JsonValue* out, int depth) {
+    if (depth > kMaxDepth) return fail("nesting too deep");
+    skip_whitespace();
+    if (pos >= text.size()) return fail("unexpected end of input");
+    const char c = text[pos];
+    if (c == 'n') {
+      if (!literal("null")) return false;
+      *out = JsonValue::make_null();
+      return true;
+    }
+    if (c == 't') {
+      if (!literal("true")) return false;
+      *out = JsonValue::make_bool(true);
+      return true;
+    }
+    if (c == 'f') {
+      if (!literal("false")) return false;
+      *out = JsonValue::make_bool(false);
+      return true;
+    }
+    if (c == '"') {
+      std::string value;
+      if (!parse_string(&value)) return false;
+      *out = JsonValue::make_string(std::move(value));
+      return true;
+    }
+    if (c == '[') {
+      ++pos;
+      std::vector<JsonValue> items;
+      skip_whitespace();
+      if (pos < text.size() && text[pos] == ']') {
+        ++pos;
+      } else {
+        for (;;) {
+          JsonValue item;
+          if (!parse_value(&item, depth + 1)) return false;
+          items.push_back(std::move(item));
+          skip_whitespace();
+          if (pos < text.size() && text[pos] == ',') {
+            ++pos;
+            continue;
+          }
+          if (!consume(']')) return false;
+          break;
+        }
+      }
+      *out = JsonValue::make_array(std::move(items));
+      return true;
+    }
+    if (c == '{') {
+      ++pos;
+      std::vector<JsonValue::Member> members;
+      skip_whitespace();
+      if (pos < text.size() && text[pos] == '}') {
+        ++pos;
+      } else {
+        for (;;) {
+          skip_whitespace();
+          std::string key;
+          if (!parse_string(&key)) return false;
+          skip_whitespace();
+          if (!consume(':')) return false;
+          JsonValue value;
+          if (!parse_value(&value, depth + 1)) return false;
+          members.emplace_back(std::move(key), std::move(value));
+          skip_whitespace();
+          if (pos < text.size() && text[pos] == ',') {
+            ++pos;
+            continue;
+          }
+          if (!consume('}')) return false;
+          break;
+        }
+      }
+      *out = JsonValue::make_object(std::move(members));
+      return true;
+    }
+    if (c == '-' || std::isdigit(static_cast<unsigned char>(c))) {
+      double number = 0.0;
+      if (!parse_number(&number)) return false;
+      *out = JsonValue::make_number(number);
+      return true;
+    }
+    return fail("unexpected character");
+  }
+};
+
+}  // namespace
+
+bool JsonValue::as_bool() const {
+  CHURNET_EXPECTS(is_bool());
+  return bool_;
+}
+
+double JsonValue::as_number() const {
+  CHURNET_EXPECTS(is_number());
+  return number_;
+}
+
+const std::string& JsonValue::as_string() const {
+  CHURNET_EXPECTS(is_string());
+  return string_;
+}
+
+const std::vector<JsonValue>& JsonValue::items() const {
+  CHURNET_EXPECTS(is_array());
+  return items_;
+}
+
+const std::vector<JsonValue::Member>& JsonValue::members() const {
+  CHURNET_EXPECTS(is_object());
+  return members_;
+}
+
+const JsonValue* JsonValue::find(std::string_view key) const {
+  if (!is_object()) return nullptr;
+  for (const Member& member : members_) {
+    if (member.first == key) return &member.second;
+  }
+  return nullptr;
+}
+
+std::optional<JsonValue> JsonValue::parse(std::string_view text,
+                                          std::string* error) {
+  Parser parser{text, 0, {}};
+  JsonValue value;
+  if (!parser.parse_value(&value, 0)) {
+    if (error != nullptr) *error = parser.error;
+    return std::nullopt;
+  }
+  parser.skip_whitespace();
+  if (parser.pos != text.size()) {
+    if (error != nullptr) {
+      *error = "trailing garbage at offset " + std::to_string(parser.pos);
+    }
+    return std::nullopt;
+  }
+  return value;
+}
+
+JsonValue JsonValue::make_bool(bool value) {
+  JsonValue v;
+  v.type_ = Type::kBool;
+  v.bool_ = value;
+  return v;
+}
+
+JsonValue JsonValue::make_number(double value) {
+  JsonValue v;
+  v.type_ = Type::kNumber;
+  v.number_ = value;
+  return v;
+}
+
+JsonValue JsonValue::make_string(std::string value) {
+  JsonValue v;
+  v.type_ = Type::kString;
+  v.string_ = std::move(value);
+  return v;
+}
+
+JsonValue JsonValue::make_array(std::vector<JsonValue> items) {
+  JsonValue v;
+  v.type_ = Type::kArray;
+  v.items_ = std::move(items);
+  return v;
+}
+
+JsonValue JsonValue::make_object(std::vector<Member> members) {
+  JsonValue v;
+  v.type_ = Type::kObject;
+  v.members_ = std::move(members);
+  return v;
+}
+
+}  // namespace churnet

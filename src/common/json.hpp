@@ -1,0 +1,82 @@
+// Minimal JSON reader for declarative config files (the sweep grid specs).
+//
+// Full JSON value model — null, bool, number (double), string, array,
+// object — parsed by recursive descent with offset-annotated error
+// messages. Objects preserve insertion order and are looked up linearly
+// (configs are tiny). No dependencies, no exceptions: parse() returns
+// nullopt and a reason string, matching the CLI error style elsewhere.
+//
+// This is a reader for trusted local config files, not a streaming parser
+// for untrusted network input: the depth limit guards the stack and
+// malformed documents fail with a position, but there is no incremental
+// API and numbers are always doubles (53-bit integer precision — plenty
+// for seeds and grid sizes written by hand).
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <string_view>
+#include <utility>
+#include <vector>
+
+namespace churnet {
+
+class JsonValue {
+ public:
+  enum class Type : std::uint8_t {
+    kNull,
+    kBool,
+    kNumber,
+    kString,
+    kArray,
+    kObject,
+  };
+
+  using Member = std::pair<std::string, JsonValue>;
+
+  JsonValue() = default;  // null
+
+  Type type() const { return type_; }
+  bool is_null() const { return type_ == Type::kNull; }
+  bool is_bool() const { return type_ == Type::kBool; }
+  bool is_number() const { return type_ == Type::kNumber; }
+  bool is_string() const { return type_ == Type::kString; }
+  bool is_array() const { return type_ == Type::kArray; }
+  bool is_object() const { return type_ == Type::kObject; }
+
+  /// Typed accessors; aborting on a type mismatch (callers check first).
+  bool as_bool() const;
+  double as_number() const;
+  const std::string& as_string() const;
+  const std::vector<JsonValue>& items() const;     // array elements
+  const std::vector<Member>& members() const;      // object members
+
+  /// Object member lookup (exact key); nullptr when absent or not an
+  /// object.
+  const JsonValue* find(std::string_view key) const;
+
+  /// Parses a complete JSON document (trailing garbage is an error). On
+  /// failure returns nullopt and, when `error` is non-null, a one-line
+  /// reason with the byte offset.
+  static std::optional<JsonValue> parse(std::string_view text,
+                                        std::string* error = nullptr);
+
+  // Construction helpers (used by the parser and tests).
+  static JsonValue make_null() { return JsonValue(); }
+  static JsonValue make_bool(bool value);
+  static JsonValue make_number(double value);
+  static JsonValue make_string(std::string value);
+  static JsonValue make_array(std::vector<JsonValue> items);
+  static JsonValue make_object(std::vector<Member> members);
+
+ private:
+  Type type_ = Type::kNull;
+  bool bool_ = false;
+  double number_ = 0.0;
+  std::string string_;
+  std::vector<JsonValue> items_;
+  std::vector<Member> members_;
+};
+
+}  // namespace churnet

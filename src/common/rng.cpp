@@ -97,6 +97,21 @@ double Rng::exponential(double rate) {
   return -std::log1p(-real01()) / rate;
 }
 
+double Rng::pareto(double alpha, double xmin) {
+  CHURNET_EXPECTS(alpha > 0.0);
+  CHURNET_EXPECTS(xmin > 0.0);
+  // Inversion: X = xmin * U^{-1/alpha} with U in (0, 1]; real01() < 1
+  // strictly, so 1 - real01() > 0 and the power is finite.
+  return xmin * std::pow(1.0 - real01(), -1.0 / alpha);
+}
+
+double Rng::weibull(double shape, double scale) {
+  CHURNET_EXPECTS(shape > 0.0);
+  CHURNET_EXPECTS(scale > 0.0);
+  // Inversion: X = scale * (-ln U)^{1/shape} with U in (0, 1].
+  return scale * std::pow(-std::log1p(-real01()), 1.0 / shape);
+}
+
 std::uint64_t Rng::poisson(double mean) {
   CHURNET_EXPECTS(mean >= 0.0);
   if (mean == 0.0) return 0;

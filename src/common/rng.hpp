@@ -47,6 +47,16 @@ class Rng {
   /// Exponential variate with the given rate (mean 1/rate). Requires rate > 0.
   double exponential(double rate);
 
+  /// Pareto variate with tail index alpha and minimum xmin (both > 0):
+  /// P(X > x) = (xmin/x)^alpha for x >= xmin. Mean alpha*xmin/(alpha-1)
+  /// when alpha > 1, infinite otherwise.
+  double pareto(double alpha, double xmin);
+
+  /// Weibull variate with the given shape and scale (both > 0). Mean is
+  /// scale * Gamma(1 + 1/shape); shape < 1 gives a heavy (subexponential)
+  /// tail, shape == 1 is Exp(1/scale).
+  double weibull(double shape, double scale);
+
   /// Poisson variate with the given mean (>= 0). Exact inversion for small
   /// means, PTRS transformed rejection for large means.
   std::uint64_t poisson(double mean);

@@ -24,22 +24,91 @@ bool iequals(std::string_view a, std::string_view b) {
   return true;
 }
 
+ChurnSpec default_churn(ModelKind model) {
+  ChurnSpec spec;
+  spec.kind = model == ModelKind::kStreaming ? ChurnSpec::Kind::kStream
+                                             : ChurnSpec::Kind::kJumpChain;
+  return spec;
+}
+
+[[noreturn]] void abort_scenario(const std::string& message) {
+  std::fprintf(stderr, "%s\n", message.c_str());
+  std::abort();
+}
+
+/// Aborts unless `spec` can drive `model` (the registry's CLI semantics).
+void require_compatible(const std::string& name, ModelKind model,
+                        const ChurnSpec& spec) {
+  switch (model) {
+    case ModelKind::kStreaming:
+      if (spec.kind != ChurnSpec::Kind::kStream) {
+        abort_scenario("scenario '" + name + "': streaming models take only "
+                       "the 'stream' churn spec (got '" + spec.canonical() +
+                       "'); continuous regimes run on Poisson-family bases "
+                       "(PDG/PDGR)");
+      }
+      return;
+    case ModelKind::kPoisson:
+      if (!spec.continuous()) {
+        abort_scenario("scenario '" + name + "': Poisson-family models need "
+                       "a continuous churn spec (got '" + spec.canonical() +
+                       "')");
+      }
+      return;
+    case ModelKind::kStaticDOut:
+    case ModelKind::kErdosRenyi:
+      abort_scenario("scenario '" + name +
+                     "': static baselines take no churn spec");
+  }
+  CHURNET_ASSERT(false);
+}
+
 }  // namespace
 
 Scenario::Scenario(std::string name, ModelKind model, EdgePolicy policy,
                    std::string description)
+    : Scenario(std::move(name), model, policy, default_churn(model),
+               std::move(description)) {}
+
+Scenario::Scenario(std::string name, ModelKind model, EdgePolicy policy,
+                   ChurnSpec churn, std::string description)
     : name_(std::move(name)),
       model_(model),
       policy_(policy),
+      churn_(churn),
       description_(std::move(description)) {}
 
 bool Scenario::has_churn() const {
   return model_ == ModelKind::kStreaming || model_ == ModelKind::kPoisson;
 }
 
+Scenario Scenario::with_churn(const ChurnSpec& churn) const {
+  require_compatible(name_, model_, churn);
+  return Scenario(name_ + "+" + churn.canonical(), model_, policy_, churn,
+                  description_ + ", churn " + churn.canonical());
+}
+
+ChurnSpec Scenario::effective_churn(const ScenarioParams& params) const {
+  if (params.churn.empty()) {
+    // Validate the scenario's own spec too: a Scenario constructed
+    // directly with an incompatible (model, spec) pair must abort at
+    // build time, not silently run the wrong churn under a wrong name.
+    require_compatible(name_, model_, churn_);
+    return churn_;
+  }
+  std::string error;
+  const std::optional<ChurnSpec> spec = ChurnSpec::parse(params.churn, &error);
+  if (!spec.has_value()) {
+    abort_scenario("scenario '" + name_ + "': " + error);
+  }
+  require_compatible(name_, model_, *spec);
+  return *spec;
+}
+
 AnyNetwork Scenario::make(const ScenarioParams& params) const {
   switch (model_) {
     case ModelKind::kStreaming: {
+      effective_churn(params);  // validates; streaming has one schedule
       StreamingConfig config;
       config.n = params.n;
       config.d = params.d;
@@ -52,9 +121,14 @@ AnyNetwork Scenario::make(const ScenarioParams& params) const {
       PoissonConfig config =
           PoissonConfig::with_n(params.n, params.d, policy_, params.seed);
       config.max_in_degree = params.max_in_degree;
-      return AnyNetwork(PoissonNetwork(config));
+      config.churn = effective_churn(params);
+      return AnyNetwork(PoissonNetwork(std::move(config)));
     }
     case ModelKind::kStaticDOut: {
+      if (!params.churn.empty()) {
+        abort_scenario("scenario '" + name_ +
+                       "': static baselines take no churn spec");
+      }
       StaticConfig config;
       config.n = params.n;
       config.d = params.d;
@@ -63,6 +137,10 @@ AnyNetwork Scenario::make(const ScenarioParams& params) const {
       return AnyNetwork(StaticNetwork(config));
     }
     case ModelKind::kErdosRenyi: {
+      if (!params.churn.empty()) {
+        abort_scenario("scenario '" + name_ +
+                       "': static baselines take no churn spec");
+      }
       StaticConfig config;
       config.n = params.n;
       config.d = params.d;  // p defaults to 2d/n inside StaticNetwork
@@ -101,6 +179,29 @@ const ScenarioRegistry& ScenarioRegistry::paper() {
   return registry;
 }
 
+const ScenarioRegistry& ScenarioRegistry::extended() {
+  static const ScenarioRegistry registry = [] {
+    ScenarioRegistry r = paper();
+    const Scenario& pdg = paper().at("PDG");
+    const Scenario& pdgr = paper().at("PDGR");
+    const auto spec = [](std::string_view text) {
+      const std::optional<ChurnSpec> parsed = ChurnSpec::parse(text);
+      CHURNET_ASSERT(parsed.has_value());
+      return *parsed;
+    };
+    // The headline extended regimes: heavy-tailed session lengths (the
+    // empirical P2P shape), bursty mass departures, and drifting size.
+    r.add(pdgr.with_churn(spec("pareto(2.5)")));
+    r.add(pdgr.with_churn(spec("weibull(0.7)")));
+    r.add(pdgr.with_churn(spec("bursty(4,0.5)")));
+    r.add(pdgr.with_churn(spec("drift(2)")));
+    r.add(pdgr.with_churn(spec("drift(0.5)")));
+    r.add(pdg.with_churn(spec("pareto(2.5)")));
+    return r;
+  }();
+  return registry;
+}
+
 void ScenarioRegistry::add(Scenario scenario) {
   for (Scenario& existing : scenarios_) {
     if (iequals(existing.name(), scenario.name())) {
@@ -128,6 +229,24 @@ const Scenario& ScenarioRegistry::at(std::string_view name) const {
   }
   std::fprintf(stderr, "\n");
   std::abort();
+}
+
+Scenario ScenarioRegistry::resolve(std::string_view name) const {
+  // Registered names win outright, so pre-registered composites (and any
+  // user scenario that happens to contain '+') stay addressable.
+  if (const Scenario* registered = find(name)) return *registered;
+  const std::size_t plus = name.find('+');
+  if (plus == std::string_view::npos) return at(name);  // aborts: unknown
+  const Scenario& base = at(name.substr(0, plus));
+  std::string error;
+  const std::optional<ChurnSpec> spec =
+      ChurnSpec::parse(name.substr(plus + 1), &error);
+  if (!spec.has_value()) {
+    std::fprintf(stderr, "scenario '%.*s': %s\n",
+                 static_cast<int>(name.size()), name.data(), error.c_str());
+    std::abort();
+  }
+  return base.with_churn(*spec);
 }
 
 std::vector<std::string> ScenarioRegistry::names() const {

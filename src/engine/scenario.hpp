@@ -12,8 +12,13 @@
 //   PDGR  Poisson,    regeneration      (Definition 4.14)
 //
 // plus the two static baselines (static d-out, Lemma B.1; Erdős–Rényi with
-// matching mean degree). Custom registries can add more scenarios (e.g.
-// bounded-degree variants via ScenarioParams::max_in_degree).
+// matching mean degree). Every scenario carries a churn spec
+// (churn/churn_spec.hpp): the paper models keep their exact processes
+// ("stream", "poisson"), and composite names like "PDGR+pareto(2.5)" attach
+// any continuous regime to a Poisson-family base — resolve() parses them on
+// the fly, and ScenarioRegistry::extended() pre-registers the headline
+// regimes. Custom registries can add more scenarios (e.g. bounded-degree
+// variants via ScenarioParams::max_in_degree).
 #pragma once
 
 #include <cstdint>
@@ -21,15 +26,17 @@
 #include <string_view>
 #include <vector>
 
+#include "churn/churn_spec.hpp"
 #include "models/edge_policy.hpp"
 #include "models/network.hpp"
 
 namespace churnet {
 
 /// Uniform parameterization across scenarios. Model-specific mapping:
-/// streaming uses n as both size and lifetime; Poisson uses the paper's
-/// lambda = 1, mu = 1/n; the baselines sample one static topology of ~n
-/// mean-degree-matched nodes.
+/// streaming uses n as both size and lifetime; Poisson-family regimes use
+/// the paper's lambda = 1, mu = 1/n (mean lifetime n, stationary size n);
+/// the baselines sample one static topology of ~n mean-degree-matched
+/// nodes.
 struct ScenarioParams {
   std::uint32_t n = 1000;
   std::uint32_t d = 8;
@@ -37,6 +44,10 @@ struct ScenarioParams {
   /// Bounded-degree extension cap; 0 = the paper's unbounded models.
   /// Ignored by the static baselines.
   std::uint32_t max_in_degree = 0;
+  /// Optional churn-spec override ("pareto(2.5)", ...); empty keeps the
+  /// scenario's own spec. Malformed or model-incompatible specs abort with
+  /// the reason (CLI semantics, like ScenarioRegistry::at).
+  std::string churn;
 };
 
 /// Which simulator a scenario instantiates.
@@ -50,27 +61,43 @@ enum class ModelKind : std::uint8_t {
 /// A named, constructible model configuration.
 class Scenario {
  public:
+  /// Default churn: "stream" for streaming models, "poisson" for
+  /// Poisson-family models (the paper's processes).
   Scenario(std::string name, ModelKind model, EdgePolicy policy,
            std::string description);
+  Scenario(std::string name, ModelKind model, EdgePolicy policy,
+           ChurnSpec churn, std::string description);
 
   const std::string& name() const { return name_; }
   ModelKind model() const { return model_; }
   EdgePolicy policy() const { return policy_; }
+  const ChurnSpec& churn() const { return churn_; }
   const std::string& description() const { return description_; }
-  /// True for the four paper models (false for the static baselines).
+  /// True for the dynamic models (false for the static baselines).
   bool has_churn() const;
+
+  /// A copy of this scenario running under `churn` instead (name gains a
+  /// "+spec" suffix). Aborts with the reason when the spec cannot drive
+  /// this model (streaming models take only "stream"; Poisson-family
+  /// models take any continuous regime; baselines take none).
+  Scenario with_churn(const ChurnSpec& churn) const;
 
   /// Builds a fresh, seeded, NOT-warmed-up network.
   AnyNetwork make(const ScenarioParams& params) const;
 
-  /// Builds and warms up (streaming: 2n rounds; Poisson: 10 expected
-  /// lifetimes; baselines: born stationary).
+  /// Builds and warms up (streaming: 2n rounds; Poisson-family: 10
+  /// expected lifetimes; baselines: born stationary).
   AnyNetwork make_warmed(const ScenarioParams& params) const;
 
  private:
+  /// The spec this build uses: params.churn (parsed; aborts on errors) or
+  /// the scenario's own. Validates model compatibility.
+  ChurnSpec effective_churn(const ScenarioParams& params) const;
+
   std::string name_;
   ModelKind model_;
   EdgePolicy policy_;
+  ChurnSpec churn_;
   std::string description_;
 };
 
@@ -79,6 +106,10 @@ class ScenarioRegistry {
  public:
   /// The built-in registry: SDG, SDGR, PDG, PDGR, static-dout, erdos-renyi.
   static const ScenarioRegistry& paper();
+
+  /// paper() plus the pre-registered extended churn regimes
+  /// (PDGR+pareto/weibull/bursty/drift and a PDG heavy-tail variant).
+  static const ScenarioRegistry& extended();
 
   ScenarioRegistry() = default;
 
@@ -90,6 +121,13 @@ class ScenarioRegistry {
 
   /// Lookup that aborts with the known names when absent (for CLI paths).
   const Scenario& at(std::string_view name) const;
+
+  /// Like at(), but also accepts composite "BASE+churnspec" names (e.g.
+  /// "PDGR+pareto(2.5)"): the base is looked up, the suffix parsed as a
+  /// ChurnSpec, and the combined scenario returned by value. Aborts with
+  /// the reason on unknown bases, malformed specs, or incompatible
+  /// model/spec pairs.
+  Scenario resolve(std::string_view name) const;
 
   const std::vector<Scenario>& scenarios() const { return scenarios_; }
   std::vector<std::string> names() const;

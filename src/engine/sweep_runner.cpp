@@ -1,0 +1,480 @@
+#include "engine/sweep_runner.hpp"
+
+#include <cmath>
+#include <cstdio>
+#include <cstdlib>
+#include <limits>
+#include <ostream>
+#include <utility>
+
+#include "common/assertx.hpp"
+#include "common/json.hpp"
+#include "common/rng.hpp"
+#include "common/sinks.hpp"
+#include "engine/trial_runner.hpp"
+#include "graph/algorithms.hpp"
+
+namespace churnet {
+namespace {
+
+struct MetricInfo {
+  const char* name;
+  SweepMetric id;
+  bool needs_snapshot;
+  bool needs_flood;
+};
+
+constexpr MetricInfo kCatalog[] = {
+    {"alive", SweepMetric::kAlive, false, false},
+    {"mean_degree", SweepMetric::kMeanDegree, true, false},
+    {"max_degree", SweepMetric::kMaxDegree, true, false},
+    {"isolated", SweepMetric::kIsolated, true, false},
+    {"largest_component_frac", SweepMetric::kLargestComponentFrac, true,
+     false},
+    {"completion_step", SweepMetric::kCompletionStep, false, true},
+    {"final_fraction", SweepMetric::kFinalFraction, false, true},
+    {"peak_informed", SweepMetric::kPeakInformed, false, true},
+    {"flood_steps", SweepMetric::kFloodSteps, false, true},
+};
+
+const MetricInfo* find_metric(std::string_view name) {
+  for (const MetricInfo& info : kCatalog) {
+    if (name == info.name) return &info;
+  }
+  return nullptr;
+}
+
+/// Accepts only exact integers in [lo, hi]; fractional, out-of-range and
+/// non-numeric values are config errors, never silent truncation (a
+/// static_cast from an out-of-range double is undefined behavior).
+bool read_integer(const JsonValue& value, const char* key, double lo,
+                  double hi, double* out, std::string* error) {
+  const bool ok = value.is_number() && value.as_number() >= lo &&
+                  value.as_number() <= hi &&
+                  std::floor(value.as_number()) == value.as_number();
+  if (!ok) {
+    if (error != nullptr) {
+      *error = std::string(key) + " must be an integer in [" +
+               std::to_string(static_cast<long long>(lo)) + ", " +
+               std::to_string(static_cast<unsigned long long>(hi)) + "]";
+    }
+    return false;
+  }
+  *out = value.as_number();
+  return true;
+}
+
+bool read_u32_list(const JsonValue& value, const char* key,
+                   std::vector<std::uint32_t>* out, std::string* error) {
+  if (!value.is_array()) {
+    if (error != nullptr) *error = std::string(key) + " must be an array";
+    return false;
+  }
+  out->clear();
+  for (const JsonValue& item : value.items()) {
+    double number = 0.0;
+    if (!read_integer(item, key, 1.0,
+                      static_cast<double>(
+                          std::numeric_limits<std::uint32_t>::max()),
+                      &number, error)) {
+      return false;
+    }
+    out->push_back(static_cast<std::uint32_t>(number));
+  }
+  return true;
+}
+
+bool read_string_list(const JsonValue& value, const char* key,
+                      std::vector<std::string>* out, std::string* error) {
+  if (!value.is_array()) {
+    if (error != nullptr) *error = std::string(key) + " must be an array";
+    return false;
+  }
+  out->clear();
+  for (const JsonValue& item : value.items()) {
+    if (!item.is_string()) {
+      if (error != nullptr) {
+        *error = std::string(key) + " entries must be strings";
+      }
+      return false;
+    }
+    out->push_back(item.as_string());
+  }
+  return true;
+}
+
+}  // namespace
+
+std::vector<std::string> SweepSpec::known_metrics() {
+  std::vector<std::string> names;
+  for (const MetricInfo& info : kCatalog) names.emplace_back(info.name);
+  return names;
+}
+
+std::vector<std::string> SweepSpec::default_metrics() {
+  return {"alive", "mean_degree", "isolated", "completion_step",
+          "final_fraction"};
+}
+
+std::optional<SweepSpec> SweepSpec::from_json(const JsonValue& json,
+                                              std::string* error) {
+  if (!json.is_object()) {
+    if (error != nullptr) *error = "sweep spec must be a JSON object";
+    return std::nullopt;
+  }
+  SweepSpec spec;
+  for (const JsonValue::Member& member : json.members()) {
+    const std::string& key = member.first;
+    const JsonValue& value = member.second;
+    if (key == "scenarios") {
+      if (!read_string_list(value, "scenarios", &spec.scenarios, error)) {
+        return std::nullopt;
+      }
+    } else if (key == "n") {
+      if (!read_u32_list(value, "n", &spec.n_values, error)) {
+        return std::nullopt;
+      }
+    } else if (key == "d") {
+      if (!read_u32_list(value, "d", &spec.d_values, error)) {
+        return std::nullopt;
+      }
+    } else if (key == "metrics") {
+      if (!read_string_list(value, "metrics", &spec.metrics, error)) {
+        return std::nullopt;
+      }
+    } else if (key == "replications") {
+      double number = 0.0;
+      if (!read_integer(value, "replications", 1.0, 1e15, &number, error)) {
+        return std::nullopt;
+      }
+      spec.replications = static_cast<std::uint64_t>(number);
+    } else if (key == "seed") {
+      // Doubles hold integers exactly up to 2^53; larger seeds belong in
+      // the CLI flag, not a JSON config.
+      double number = 0.0;
+      if (!read_integer(value, "seed", 0.0, 9007199254740992.0, &number,
+                        error)) {
+        return std::nullopt;
+      }
+      spec.base_seed = static_cast<std::uint64_t>(number);
+    } else if (key == "max_in_degree") {
+      double number = 0.0;
+      if (!read_integer(value, "max_in_degree", 0.0,
+                        static_cast<double>(
+                            std::numeric_limits<std::uint32_t>::max()),
+                        &number, error)) {
+        return std::nullopt;
+      }
+      spec.max_in_degree = static_cast<std::uint32_t>(number);
+    } else {
+      if (error != nullptr) {
+        *error = "unknown sweep key '" + key +
+                 "'; known: scenarios, n, d, metrics, replications, seed, "
+                 "max_in_degree";
+      }
+      return std::nullopt;
+    }
+  }
+  if (const std::optional<std::string> reason = spec.validate()) {
+    if (error != nullptr) *error = *reason;
+    return std::nullopt;
+  }
+  return spec;
+}
+
+std::optional<SweepSpec> SweepSpec::from_json_text(std::string_view text,
+                                                   std::string* error) {
+  const std::optional<JsonValue> json = JsonValue::parse(text, error);
+  if (!json.has_value()) return std::nullopt;
+  return from_json(*json, error);
+}
+
+std::optional<std::string> SweepSpec::validate() const {
+  if (scenarios.empty()) return "sweep needs at least one scenario";
+  if (n_values.empty()) return "sweep needs at least one n";
+  if (d_values.empty()) return "sweep needs at least one d";
+  if (metrics.empty()) return "sweep needs at least one metric";
+  if (replications == 0) return "replications must be >= 1";
+  for (const std::string& metric : metrics) {
+    if (find_metric(metric) == nullptr) {
+      std::string known;
+      for (const MetricInfo& info : kCatalog) {
+        known += known.empty() ? info.name : std::string(", ") + info.name;
+      }
+      return "unknown metric '" + metric + "'; known: " + known;
+    }
+  }
+  return std::nullopt;
+}
+
+SweepResult::SweepResult(
+    SweepSpec spec, std::vector<SweepCellKey> cells,
+    std::vector<std::vector<std::vector<double>>> samples,
+    double wall_seconds, unsigned threads_used)
+    : spec_(std::move(spec)),
+      cells_(std::move(cells)),
+      samples_(std::move(samples)),
+      wall_seconds_(wall_seconds),
+      threads_used_(threads_used) {
+  CHURNET_ASSERT(samples_.size() == cells_.size());
+  stats_.resize(cells_.size());
+  for (std::size_t c = 0; c < cells_.size(); ++c) {
+    stats_[c].resize(spec_.metrics.size());
+    for (const std::vector<double>& row : samples_[c]) {
+      CHURNET_ASSERT(row.size() == spec_.metrics.size());
+      for (std::size_t m = 0; m < row.size(); ++m) {
+        if (!std::isnan(row[m])) stats_[c][m].add(row[m]);
+      }
+    }
+  }
+}
+
+const OnlineStats& SweepResult::stats(std::size_t cell,
+                                      std::size_t metric) const {
+  CHURNET_EXPECTS(cell < stats_.size());
+  CHURNET_EXPECTS(metric < stats_[cell].size());
+  return stats_[cell][metric];
+}
+
+TrialResult SweepResult::cell_trial(std::size_t cell) const {
+  CHURNET_EXPECTS(cell < cells_.size());
+  TrialRunnerOptions options;
+  options.replications = spec_.replications;
+  options.threads = threads_used_;
+  options.base_seed = spec_.base_seed;
+  options.stream = cell;
+  return TrialResult(options, spec_.metrics, samples_[cell], wall_seconds_,
+                     threads_used_);
+}
+
+Table SweepResult::to_table() const {
+  std::vector<std::string> header{"scenario", "churn", "n", "d"};
+  for (const std::string& metric : spec_.metrics) header.push_back(metric);
+  Table table(header);
+  for (std::size_t c = 0; c < cells_.size(); ++c) {
+    const SweepCellKey& cell = cells_[c];
+    std::vector<std::string> row{
+        cell.scenario, cell.churn,
+        fmt_int(static_cast<std::int64_t>(cell.n)),
+        fmt_int(static_cast<std::int64_t>(cell.d))};
+    for (std::size_t m = 0; m < spec_.metrics.size(); ++m) {
+      const OnlineStats& s = stats_[c][m];
+      row.push_back(s.count() > 0 ? fmt_fixed(s.mean(), 3) : "-");
+    }
+    table.add_row(row);
+  }
+  return table;
+}
+
+void SweepResult::write_csv(std::ostream& os) const {
+  const PrecisionGuard precision(os);
+  os << "scenario,churn,n,d,replication,seed,metric,value\n";
+  for (std::size_t c = 0; c < cells_.size(); ++c) {
+    const SweepCellKey& cell = cells_[c];
+    // Scenario/churn names can contain commas ("bursty(4,0.5)"): RFC-4180
+    // quoting keeps every row at exactly 8 columns.
+    const std::string scenario_field = csv_field(cell.scenario);
+    const std::string churn_field = csv_field(cell.churn);
+    for (std::size_t r = 0; r < samples_[c].size(); ++r) {
+      const std::uint64_t seed = derive_seed(spec_.base_seed, c, r);
+      for (std::size_t m = 0; m < spec_.metrics.size(); ++m) {
+        os << scenario_field << ',' << churn_field << ',' << cell.n << ','
+           << cell.d << ',' << r << ',' << seed << ','
+           << csv_field(spec_.metrics[m]) << ',';
+        const double value = samples_[c][r][m];
+        if (!std::isnan(value)) os << value;
+        os << '\n';
+      }
+    }
+  }
+}
+
+void SweepResult::write_json(std::ostream& os) const {
+  const PrecisionGuard precision(os);
+  os << "{\"replications\":" << spec_.replications
+     << ",\"base_seed\":" << spec_.base_seed
+     << ",\"threads\":" << threads_used_
+     << ",\"wall_seconds\":" << wall_seconds_ << ",\"cells\":[";
+  for (std::size_t c = 0; c < cells_.size(); ++c) {
+    if (c > 0) os << ',';
+    const SweepCellKey& cell = cells_[c];
+    os << "{\"scenario\":";
+    write_json_string(os, cell.scenario);
+    os << ",\"churn\":";
+    write_json_string(os, cell.churn);
+    os << ",\"n\":" << cell.n << ",\"d\":" << cell.d << ",\"metrics\":{";
+    for (std::size_t m = 0; m < spec_.metrics.size(); ++m) {
+      if (m > 0) os << ',';
+      const OnlineStats& s = stats_[c][m];
+      write_json_string(os, spec_.metrics[m]);
+      os << ":{\"count\":" << s.count() << ",\"mean\":";
+      write_json_number(os, s.count() > 0 ? s.mean() : std::nan(""));
+      os << ",\"stddev\":";
+      write_json_number(os, s.count() > 1 ? s.stddev() : std::nan(""));
+      os << ",\"min\":";
+      write_json_number(os, s.count() > 0 ? s.min() : std::nan(""));
+      os << ",\"max\":";
+      write_json_number(os, s.count() > 0 ? s.max() : std::nan(""));
+      os << '}';
+    }
+    os << "},\"samples\":[";
+    for (std::size_t r = 0; r < samples_[c].size(); ++r) {
+      if (r > 0) os << ',';
+      os << '[';
+      for (std::size_t m = 0; m < samples_[c][r].size(); ++m) {
+        if (m > 0) os << ',';
+        write_json_number(os, samples_[c][r][m]);
+      }
+      os << ']';
+    }
+    os << "]}";
+  }
+  os << "]}";
+}
+
+SweepRunner::SweepRunner(SweepSpec spec) : spec_(std::move(spec)) {
+  if (const std::optional<std::string> reason = spec_.validate()) {
+    std::fprintf(stderr, "invalid sweep spec: %s\n", reason->c_str());
+    std::abort();
+  }
+}
+
+SweepResult SweepRunner::run(unsigned threads,
+                             const ScenarioRegistry& registry) const {
+  // Resolve every scenario once (aborts with the known names on typos),
+  // then expand the grid scenario-major.
+  std::vector<Scenario> resolved;
+  resolved.reserve(spec_.scenarios.size());
+  for (const std::string& name : spec_.scenarios) {
+    resolved.push_back(registry.resolve(name));
+  }
+
+  struct Cell {
+    const Scenario* scenario;
+    std::uint32_t n;
+    std::uint32_t d;
+  };
+  std::vector<Cell> cells;
+  std::vector<SweepCellKey> keys;
+  cells.reserve(spec_.cell_count());
+  for (const Scenario& scenario : resolved) {
+    for (const std::uint32_t n : spec_.n_values) {
+      for (const std::uint32_t d : spec_.d_values) {
+        cells.push_back(Cell{&scenario, n, d});
+        keys.push_back(SweepCellKey{
+            scenario.name(),
+            scenario.has_churn() ? scenario.churn().canonical() : "none", n,
+            d});
+      }
+    }
+  }
+
+  std::vector<const MetricInfo*> metrics;
+  bool needs_snapshot = false;
+  bool needs_flood = false;
+  for (const std::string& name : spec_.metrics) {
+    const MetricInfo* info = find_metric(name);
+    CHURNET_ASSERT(info != nullptr);  // validate() already checked
+    metrics.push_back(info);
+    needs_snapshot |= info->needs_snapshot;
+    needs_flood |= info->needs_flood;
+  }
+
+  // Flatten to (cell, replication) jobs on the engine's pool. Job seeds
+  // are derive_seed(base, cell, rep) — ctx.seed (stream 0) is ignored so
+  // every cell is its own seed stream, stable under grid reshapes.
+  const std::uint64_t reps = spec_.replications;
+  const std::uint64_t jobs = cells.size() * reps;
+  TrialRunnerOptions options;
+  options.replications = jobs;
+  options.threads = threads;
+  options.base_seed = spec_.base_seed;
+  options.stream = 0;
+
+  const std::uint64_t base_seed = spec_.base_seed;
+  const std::uint32_t max_in_degree = spec_.max_in_degree;
+  const TrialResult flat = TrialRunner(options).run(
+      spec_.metrics,
+      [&cells, &metrics, needs_snapshot, needs_flood, reps, base_seed,
+       max_in_degree](const TrialContext& ctx) {
+        const std::uint64_t cell_index = ctx.replication / reps;
+        const std::uint64_t replication = ctx.replication % reps;
+        const Cell& cell = cells[cell_index];
+
+        ScenarioParams params;
+        params.n = cell.n;
+        params.d = cell.d;
+        params.seed = derive_seed(base_seed, cell_index, replication);
+        params.max_in_degree = max_in_degree;
+        AnyNetwork net = cell.scenario->make_warmed(params);
+
+        const double alive =
+            static_cast<double>(net.graph().alive_count());
+        DegreeStats degrees;
+        Components components;
+        if (needs_snapshot) {
+          const Snapshot snap = net.snapshot();
+          degrees = degree_stats(snap);
+          components = connected_components(snap);
+        }
+        FloodTrace trace;
+        if (needs_flood) {
+          thread_local FloodScratch scratch;
+          trace = net.flood({}, scratch);
+        }
+
+        std::vector<double> values;
+        values.reserve(metrics.size());
+        for (const MetricInfo* info : metrics) {
+          switch (info->id) {
+            case SweepMetric::kAlive:
+              values.push_back(alive);
+              break;
+            case SweepMetric::kMeanDegree:
+              values.push_back(degrees.mean);
+              break;
+            case SweepMetric::kMaxDegree:
+              values.push_back(static_cast<double>(degrees.max));
+              break;
+            case SweepMetric::kIsolated:
+              values.push_back(static_cast<double>(degrees.isolated));
+              break;
+            case SweepMetric::kLargestComponentFrac:
+              values.push_back(
+                  alive > 0.0
+                      ? static_cast<double>(components.largest_size) / alive
+                      : std::nan(""));
+              break;
+            case SweepMetric::kCompletionStep:
+              values.push_back(trace.completed
+                                   ? static_cast<double>(
+                                         trace.completion_step)
+                                   : std::nan(""));
+              break;
+            case SweepMetric::kFinalFraction:
+              values.push_back(trace.final_fraction);
+              break;
+            case SweepMetric::kPeakInformed:
+              values.push_back(static_cast<double>(trace.peak_informed));
+              break;
+            case SweepMetric::kFloodSteps:
+              values.push_back(static_cast<double>(trace.steps));
+              break;
+          }
+        }
+        return values;
+      });
+
+  // Regroup the flat job samples per cell (job order == fold order, so the
+  // regrouping is deterministic too).
+  std::vector<std::vector<std::vector<double>>> samples(cells.size());
+  for (std::size_t c = 0; c < cells.size(); ++c) {
+    samples[c].assign(flat.samples().begin() + static_cast<std::ptrdiff_t>(c * reps),
+                      flat.samples().begin() +
+                          static_cast<std::ptrdiff_t>((c + 1) * reps));
+  }
+  return SweepResult(spec_, std::move(keys), std::move(samples),
+                     flat.wall_seconds(), flat.threads_used());
+}
+
+}  // namespace churnet

@@ -1,0 +1,166 @@
+// Grid sweeps over the scenario space: a declarative layer on top of
+// TrialRunner.
+//
+// A SweepSpec names a grid — scenario list (any resolve()-able name,
+// including "PDGR+pareto(2.5)" composites) × n list × d list — plus the
+// metrics to measure and the replication budget. SweepRunner expands the
+// grid into cells, fans every (cell, replication) job across the engine's
+// one thread pool, and collects a SweepResult: per-cell statistics, the
+// full sample matrix, a tidy long-format CSV (one row per observation:
+// scenario, churn, n, d, replication, seed, metric, value) and a JSON
+// summary.
+//
+// Seeding and determinism follow the engine's invariants (DESIGN.md,
+// decision 8): the replication seed of cell c is derive_seed(base_seed, c,
+// replication) — each cell is its own stream, so no two cells in any sweep
+// share randomness — and samples are folded in job order after the pool
+// joins, so every statistic and both sinks are bit-identical at any thread
+// count.
+#pragma once
+
+#include <cstdint>
+#include <iosfwd>
+#include <optional>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "common/stats.hpp"
+#include "common/table.hpp"
+#include "engine/scenario.hpp"
+#include "engine/trial_runner.hpp"
+
+namespace churnet {
+
+class JsonValue;
+
+/// One metric the sweep can measure per replication. All metrics are
+/// evaluated on a freshly built, warmed network; flood metrics run one
+/// flood under the model's own semantics.
+enum class SweepMetric : std::uint8_t {
+  kAlive,                 // |N| after warm-up
+  kMeanDegree,            // snapshot mean degree
+  kMaxDegree,             // snapshot max degree
+  kIsolated,              // snapshot isolated-node count
+  kLargestComponentFrac,  // largest component / alive
+  kCompletionStep,        // flood completion step (NaN if not completed)
+  kFinalFraction,         // informed/alive when the flood stopped
+  kPeakInformed,          // max |I_t| over the flood
+  kFloodSteps,            // steps the flood ran
+};
+
+/// Declarative sweep grid. Build programmatically or load from JSON:
+///
+///   {
+///     "scenarios": ["PDGR", "PDGR+pareto(2.5)"],
+///     "n": [500, 1000],
+///     "d": [4, 8],
+///     "metrics": ["alive", "completion_step"],   // optional
+///     "replications": 8,                          // optional
+///     "seed": 12345,                              // optional
+///     "max_in_degree": 0                          // optional
+///   }
+struct SweepSpec {
+  std::vector<std::string> scenarios;
+  std::vector<std::uint32_t> n_values;
+  std::vector<std::uint32_t> d_values;
+  std::vector<std::string> metrics = default_metrics();
+  std::uint64_t replications = 8;
+  std::uint64_t base_seed = 12345;
+  std::uint32_t max_in_degree = 0;
+
+  std::size_t cell_count() const {
+    return scenarios.size() * n_values.size() * d_values.size();
+  }
+
+  /// The metric catalog ("alive", "mean_degree", ..., "flood_steps").
+  static std::vector<std::string> known_metrics();
+  /// alive, mean_degree, isolated, completion_step, final_fraction.
+  static std::vector<std::string> default_metrics();
+
+  /// Loads a spec from parsed JSON / raw text. Unknown keys, wrong types,
+  /// empty lists and unknown metrics are errors (reason via `error`).
+  static std::optional<SweepSpec> from_json(const JsonValue& json,
+                                            std::string* error = nullptr);
+  static std::optional<SweepSpec> from_json_text(std::string_view text,
+                                                 std::string* error = nullptr);
+
+  /// Structural validation (non-empty grid, known metrics, replications
+  /// >= 1); scenario names are resolved later by run(). Returns an error
+  /// reason, or nullopt when valid.
+  std::optional<std::string> validate() const;
+};
+
+/// One grid cell's identity in results and sinks.
+struct SweepCellKey {
+  std::string scenario;  // resolved name ("PDGR+pareto(2.50)")
+  std::string churn;     // canonical churn spec; "none" for baselines
+  std::uint32_t n = 0;
+  std::uint32_t d = 0;
+};
+
+/// Everything a sweep produced: per-cell aggregates + the sample matrix.
+class SweepResult {
+ public:
+  SweepResult(SweepSpec spec, std::vector<SweepCellKey> cells,
+              std::vector<std::vector<std::vector<double>>> samples,
+              double wall_seconds, unsigned threads_used);
+
+  const SweepSpec& spec() const { return spec_; }
+  const std::vector<SweepCellKey>& cells() const { return cells_; }
+  const std::vector<std::string>& metrics() const { return spec_.metrics; }
+  /// samples()[c][r][m]: metric m of replication r in cell c (NaN =
+  /// missing observation).
+  const std::vector<std::vector<std::vector<double>>>& samples() const {
+    return samples_;
+  }
+  /// Aggregate over non-NaN samples (cell-major, metric-minor).
+  const OnlineStats& stats(std::size_t cell, std::size_t metric) const;
+  double wall_seconds() const { return wall_seconds_; }
+  unsigned threads_used() const { return threads_used_; }
+
+  /// One cell's samples repackaged as a TrialResult whose seeding options
+  /// (base_seed, stream = cell index) reproduce the sweep's actual
+  /// derive_seed routing — e.g. for benchutil's --csv/--json result log.
+  /// The wall-clock is the whole sweep's (cells share one pool).
+  TrialResult cell_trial(std::size_t cell) const;
+
+  /// One row per cell: scenario | churn | n | d | <metric means>.
+  Table to_table() const;
+
+  /// Tidy long format, one row per observation:
+  /// scenario,churn,n,d,replication,seed,metric,value
+  void write_csv(std::ostream& os) const;
+
+  /// Machine-readable summary + samples as one JSON object.
+  void write_json(std::ostream& os) const;
+
+ private:
+  SweepSpec spec_;
+  std::vector<SweepCellKey> cells_;
+  std::vector<std::vector<std::vector<double>>> samples_;
+  std::vector<std::vector<OnlineStats>> stats_;  // [cell][metric]
+  double wall_seconds_ = 0.0;
+  unsigned threads_used_ = 1;
+};
+
+/// Expands a SweepSpec and runs it on the engine's thread pool.
+class SweepRunner {
+ public:
+  /// Aborts (CLI semantics) when the spec fails validate().
+  explicit SweepRunner(SweepSpec spec);
+
+  const SweepSpec& spec() const { return spec_; }
+
+  /// Runs the whole grid with `threads` workers (0 = all cores). Scenario
+  /// names resolve against `registry`; unknown names abort with the known
+  /// list. Results are identical for every thread count.
+  SweepResult run(unsigned threads = 1,
+                  const ScenarioRegistry& registry =
+                      ScenarioRegistry::extended()) const;
+
+ private:
+  SweepSpec spec_;
+};
+
+}  // namespace churnet

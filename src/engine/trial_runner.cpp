@@ -12,6 +12,7 @@
 
 #include "common/assertx.hpp"
 #include "common/rng.hpp"
+#include "common/sinks.hpp"
 
 namespace churnet {
 namespace {
@@ -27,30 +28,6 @@ unsigned resolve_threads(unsigned requested, std::uint64_t replications) {
   }
   return threads == 0 ? 1u : threads;
 }
-
-void write_json_number(std::ostream& os, double value) {
-  // NaN and infinities have no JSON representation; emit null so the
-  // output always parses.
-  if (!std::isfinite(value)) {
-    os << "null";
-  } else {
-    os << value;
-  }
-}
-
-/// Round-trip double precision for the sink streams, restored on scope
-/// exit: the emitted samples must reproduce the in-memory values exactly.
-class PrecisionGuard {
- public:
-  explicit PrecisionGuard(std::ostream& os)
-      : os_(os),
-        previous_(os.precision(std::numeric_limits<double>::max_digits10)) {}
-  ~PrecisionGuard() { os_.precision(previous_); }
-
- private:
-  std::ostream& os_;
-  std::streamsize previous_;
-};
 
 }  // namespace
 
@@ -99,7 +76,7 @@ Table TrialResult::to_table() const {
 void TrialResult::write_csv(std::ostream& os) const {
   const PrecisionGuard precision(os);
   os << "replication,seed";
-  for (const std::string& metric : metrics_) os << ',' << metric;
+  for (const std::string& metric : metrics_) os << ',' << csv_field(metric);
   os << '\n';
   for (std::size_t r = 0; r < samples_.size(); ++r) {
     os << r << ','
@@ -122,7 +99,8 @@ void TrialResult::write_json(std::ostream& os) const {
   for (std::size_t m = 0; m < metrics_.size(); ++m) {
     if (m > 0) os << ',';
     const OnlineStats& s = stats_[m];
-    os << '"' << metrics_[m] << "\":{\"count\":" << s.count() << ",\"mean\":";
+    write_json_string(os, metrics_[m]);
+    os << ":{\"count\":" << s.count() << ",\"mean\":";
     write_json_number(os, s.count() > 0 ? s.mean() : std::nan(""));
     os << ",\"stddev\":";
     write_json_number(os, s.count() > 1 ? s.stddev() : std::nan(""));

@@ -18,46 +18,63 @@ PoissonConfig PoissonConfig::with_n(std::uint32_t n, std::uint32_t d,
 
 PoissonNetwork::PoissonNetwork(PoissonConfig config)
     : config_(config),
-      churn_(config.lambda, config.mu, Rng(config.seed).next_u64()),
-      rng_(config.seed + 0x51ED270B9F9B42A5ULL) {}
-
-PoissonNetwork::EventReport PoissonNetwork::step() {
-  ChurnEvent event;
-  if (pending_valid_) {
-    event = pending_;
-    pending_valid_ = false;
-  } else {
-    event = churn_.next(graph_.alive_count());
-  }
-  return apply(event);
+      churn_(make_churn_process(config.churn, config.lambda, config.mu,
+                                config.seed)),
+      rng_(config.seed + 0x51ED270B9F9B42A5ULL) {
+  CHURNET_EXPECTS(config.lambda > 0.0);
+  CHURNET_EXPECTS(config.mu > 0.0);
+  // A streaming spec names the size-coupled round schedule, which only
+  // StreamingNetwork can drive.
+  CHURNET_EXPECTS(churn_ != nullptr &&
+                  "continuous churn spec required (not 'stream')");
 }
 
-PoissonNetwork::EventReport PoissonNetwork::apply(const ChurnEvent& event) {
+void PoissonNetwork::sample_pending() {
+  pending_ = churn_->next(graph_.alive_count());
+  pending_valid_ = true;
+  ++events_;
+}
+
+PoissonNetwork::EventReport PoissonNetwork::step() {
+  if (!pending_valid_) sample_pending();
+  pending_valid_ = false;
+  return apply(pending_);
+}
+
+PoissonNetwork::EventReport PoissonNetwork::apply(
+    const ChurnProcess::Step& event) {
   now_ = event.time;
   EventReport report;
-  report.kind = event.kind;
+  report.kind =
+      event.is_birth ? ChurnEvent::Kind::kBirth : ChurnEvent::Kind::kDeath;
   report.time = event.time;
 
   const WiringLimits limits{config_.max_in_degree, 8};
-  if (event.kind == ChurnEvent::Kind::kBirth) {
+  if (event.is_birth) {
     const NodeId born = graph_.add_node(config_.d, event.time);
     detail::issue_initial_requests(graph_, rng_, born, hooks_, event.time,
                                    limits);
+    churn_->on_birth(born, event.time);
     if (hooks_.on_birth) hooks_.on_birth(born, event.time);
     report.node = born;
     return report;
   }
 
-  // Death: the jump chain guarantees alive_count() > 0 here (the death rate
-  // is N*mu, which is zero for an empty network).
+  // Death: memoryless regimes emit kUniform (every alive node is equally
+  // likely, rate N*mu, zero on an empty network); lifetime regimes schedule
+  // the exact victim at its birth.
   CHURNET_ASSERT(graph_.alive_count() > 0);
-  const NodeId victim = graph_.random_alive(rng_);
+  const NodeId victim = event.victim == ChurnProcess::Victim::kScheduled
+                            ? event.victim_id
+                            : graph_.random_alive(rng_);
+  CHURNET_ASSERT(graph_.is_alive(victim));
   if (hooks_.on_death) hooks_.on_death(victim, event.time);
   const std::vector<OutSlotRef> orphans = graph_.remove_node(victim);
   if (config_.policy == EdgePolicy::kRegenerate) {
     detail::regenerate_requests(graph_, rng_, orphans, hooks_, event.time,
                                 limits);
   }
+  churn_->on_death(victim, event.time);
   report.node = victim;
   return report;
 }
@@ -67,20 +84,14 @@ void PoissonNetwork::run_events(std::uint64_t events) {
 }
 
 double PoissonNetwork::peek_next_event_time() {
-  if (!pending_valid_) {
-    pending_ = churn_.next(graph_.alive_count());
-    pending_valid_ = true;
-  }
+  if (!pending_valid_) sample_pending();
   return pending_.time;
 }
 
 void PoissonNetwork::run_until(double time) {
   CHURNET_EXPECTS(time >= now_);
   for (;;) {
-    if (!pending_valid_) {
-      pending_ = churn_.next(graph_.alive_count());
-      pending_valid_ = true;
-    }
+    if (!pending_valid_) sample_pending();
     if (pending_.time > time) break;
     pending_valid_ = false;
     apply(pending_);
@@ -90,7 +101,7 @@ void PoissonNetwork::run_until(double time) {
 
 void PoissonNetwork::warm_up(double multiple) {
   CHURNET_EXPECTS(multiple > 0.0);
-  run_until(now_ + multiple / config_.mu);
+  run_until(now_ + churn_->warm_up_time(multiple));
 }
 
 double PoissonNetwork::age(NodeId node) const {

@@ -1,15 +1,24 @@
-// Poisson dynamic graphs: PDG (paper Definition 4.9) and PDGR
-// (Definition 4.14), selected by EdgePolicy.
+// Continuous-time dynamic graphs: PDG (paper Definition 4.9) and PDGR
+// (Definition 4.14), selected by EdgePolicy — plus every continuous churn
+// regime of the pluggable churn layer (heavy-tailed lifetimes, bursty
+// on/off phases, growth/decline drifts).
 //
-// Node churn follows the exact jump chain of Lemma 4.6 (see
-// churn/poisson_churn.hpp). On a birth the newborn issues d requests to
-// uniform random existing nodes; on a death the victim is uniform among the
-// alive nodes and, under EdgePolicy::kRegenerate, every surviving node that
-// lost an out-edge instantly redraws it.
+// Demography is a ChurnProcess (churn/churn_process.hpp) named by the
+// config's ChurnSpec; the default "poisson" spec is the exact jump chain of
+// Lemma 4.6 (see churn/poisson_churn.hpp) and reproduces the paper's models
+// bit-for-bit. On a birth the newborn issues d requests to uniform random
+// existing nodes; on a death the victim is either drawn uniformly among the
+// alive nodes (kUniform events — the memoryless regimes) or named by the
+// process (kScheduled events — lifetime-expiry regimes), and, under
+// EdgePolicy::kRegenerate, every surviving node that lost an out-edge
+// instantly redraws it.
 #pragma once
 
 #include <cstdint>
+#include <memory>
 
+#include "churn/churn_process.hpp"
+#include "churn/churn_spec.hpp"
 #include "churn/poisson_churn.hpp"
 #include "common/rng.hpp"
 #include "graph/dynamic_graph.hpp"
@@ -30,6 +39,10 @@ struct PoissonConfig {
   /// in-degrees, enforced by redrawing requests. 0 = unlimited (the paper's
   /// models). See WiringLimits in models/wiring.hpp.
   std::uint32_t max_in_degree = 0;
+  /// Which continuous churn regime drives demography; the default
+  /// (Kind::kJumpChain, spec "poisson") is the paper's exact process.
+  /// lambda and mu parameterize whichever regime is named.
+  ChurnSpec churn{};
 
   /// Paper parameterization: lambda = 1, mu = 1/n.
   static PoissonConfig with_n(std::uint32_t n, std::uint32_t d,
@@ -80,23 +93,29 @@ class PoissonNetwork {
   /// Current clock: time of the last executed event, or the `run_until`
   /// barrier if that is later.
   double now() const { return now_; }
-  std::uint64_t event_count() const { return churn_.event_count(); }
+  /// Churn events sampled so far (paper: "rounds" T_r, Definition 4.5).
+  std::uint64_t event_count() const { return events_; }
   const PoissonConfig& config() const { return config_; }
+  /// The demography driving this network.
+  const ChurnProcess& churn() const { return *churn_; }
   Rng& rng() { return rng_; }
 
   void set_hooks(NetworkHooks hooks) { hooks_ = std::move(hooks); }
 
  private:
-  EventReport apply(const ChurnEvent& event);
+  EventReport apply(const ChurnProcess::Step& event);
+  /// Samples (and counts) the next event into pending_.
+  void sample_pending();
 
   PoissonConfig config_;
-  PoissonChurn churn_;
+  std::unique_ptr<ChurnProcess> churn_;
   DynamicGraph graph_;
   Rng rng_;
   NetworkHooks hooks_;
   double now_ = 0.0;
+  std::uint64_t events_ = 0;
   bool pending_valid_ = false;
-  ChurnEvent pending_{};  // sampled but not yet executed (run_until overshoot)
+  ChurnProcess::Step pending_{};  // sampled but not yet executed
 };
 
 }  // namespace churnet

@@ -10,26 +10,35 @@ StreamingNetwork::StreamingNetwork(StreamingConfig config)
 }
 
 StreamingNetwork::RoundReport StreamingNetwork::step() {
+  // One round = the churn layer's event stream up to and including the
+  // round's birth: an optional kScheduled death (the FIFO head, once the
+  // network is full), then the birth. All churn decisions come through the
+  // ChurnProcess interface; this function only realizes them on the graph.
   RoundReport report;
-  const std::optional<NodeId> victim = churn_.begin_round();
-  const double time_of_round = static_cast<double>(churn_.round());
-
+  ChurnProcess& churn = churn_;
   const WiringLimits limits{config_.max_in_degree, 8};
-  if (victim.has_value()) {
-    report.died = victim;
-    if (hooks_.on_death) hooks_.on_death(*victim, time_of_round);
-    const std::vector<OutSlotRef> orphans = graph_.remove_node(*victim);
-    if (config_.policy == EdgePolicy::kRegenerate) {
-      detail::regenerate_requests(graph_, rng_, orphans, hooks_,
-                                  time_of_round, limits);
-    }
-  }
 
-  const NodeId born = graph_.add_node(config_.d, time_of_round);
-  detail::issue_initial_requests(graph_, rng_, born, hooks_, time_of_round,
+  ChurnProcess::Step event = churn.next(graph_.alive_count());
+  if (!event.is_birth) {
+    CHURNET_ASSERT(event.victim == ChurnProcess::Victim::kScheduled);
+    const NodeId victim = event.victim_id;
+    report.died = victim;
+    if (hooks_.on_death) hooks_.on_death(victim, event.time);
+    const std::vector<OutSlotRef> orphans = graph_.remove_node(victim);
+    if (config_.policy == EdgePolicy::kRegenerate) {
+      detail::regenerate_requests(graph_, rng_, orphans, hooks_, event.time,
+                                  limits);
+    }
+    churn.on_death(victim, event.time);
+    event = churn.next(graph_.alive_count());
+  }
+  CHURNET_ASSERT(event.is_birth);
+
+  const NodeId born = graph_.add_node(config_.d, event.time);
+  detail::issue_initial_requests(graph_, rng_, born, hooks_, event.time,
                                  limits);
-  churn_.record_birth(born);
-  if (hooks_.on_birth) hooks_.on_birth(born, time_of_round);
+  churn.on_birth(born, event.time);
+  if (hooks_.on_birth) hooks_.on_birth(born, event.time);
 
   report.round = churn_.round();
   report.born = born;

@@ -8,6 +8,11 @@
 //      out-edge redraws it uniformly among the current nodes;
 //   3. one node is born and issues d requests, each to a uniform random
 //      node already in the network.
+//
+// Demography comes from the churn layer: the round schedule is a
+// StreamingChurn driven exclusively through the ChurnProcess interface
+// (churn/churn_process.hpp); this class only realizes births and deaths on
+// the graph and owns the wiring RNG.
 #pragma once
 
 #include <cstdint>

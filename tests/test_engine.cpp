@@ -86,6 +86,120 @@ TEST(ScenarioRegistry, SameSeedSameNetworkThroughAnyNetwork) {
   EXPECT_EQ(ta.completion_step, tt.completion_step);
 }
 
+TEST(ScenarioRegistry, FindIsCaseInsensitiveOnEveryName) {
+  const ScenarioRegistry& registry = ScenarioRegistry::paper();
+  for (const char* name :
+       {"sdg", "SdGr", "pdg", "pdgr", "STATIC-DOUT", "Erdos-Renyi"}) {
+    EXPECT_NE(registry.find(name), nullptr) << name;
+  }
+  EXPECT_EQ(registry.find("sdg x"), nullptr);  // length must match too
+}
+
+TEST(ScenarioRegistry, AddReplacesOnReAddCaseInsensitively) {
+  ScenarioRegistry registry;
+  registry.add(Scenario("demo", ModelKind::kStreaming, EdgePolicy::kNone,
+                        "first"));
+  registry.add(Scenario("extra", ModelKind::kPoisson, EdgePolicy::kNone,
+                        "other"));
+  ASSERT_EQ(registry.scenarios().size(), 2u);
+  // Re-adding under a different case replaces in place, preserving order.
+  registry.add(Scenario("DEMO", ModelKind::kPoisson,
+                        EdgePolicy::kRegenerate, "second"));
+  ASSERT_EQ(registry.scenarios().size(), 2u);
+  EXPECT_EQ(registry.scenarios()[0].name(), "DEMO");
+  EXPECT_EQ(registry.scenarios()[0].description(), "second");
+  EXPECT_EQ(registry.find("demo")->model(), ModelKind::kPoisson);
+  EXPECT_EQ(registry.find("demo")->policy(), EdgePolicy::kRegenerate);
+}
+
+TEST(ScenarioRegistryDeathTest, AtAbortsListingKnownNames) {
+  // at() is the CLI lookup: unknown names must die and name every known
+  // scenario so typos in sweeps are self-diagnosing.
+  EXPECT_DEATH(ScenarioRegistry::paper().at("no-such-model"),
+               "unknown scenario 'no-such-model'.*SDG.*SDGR.*PDG.*PDGR"
+               ".*static-dout.*erdos-renyi");
+}
+
+TEST(ScenarioRegistryDeathTest, MalformedChurnSpecsDieWithReasons) {
+  EXPECT_DEATH(ScenarioRegistry::paper().resolve("PDGR+zipf(1.1)"),
+               "unknown churn regime 'zipf'");
+  EXPECT_DEATH(ScenarioRegistry::paper().resolve("PDGR+pareto(1.0)"),
+               "must be > 1");
+  // Streaming bases take only the stream schedule.
+  EXPECT_DEATH(ScenarioRegistry::paper().resolve("SDGR+pareto(2.5)"),
+               "streaming models take only");
+  // Static baselines take no churn spec at all.
+  EXPECT_DEATH(ScenarioRegistry::paper().resolve("static-dout+poisson"),
+               "no churn spec");
+  // Params-level overrides go through the same validation.
+  ScenarioParams params;
+  params.n = 50;
+  params.churn = "pareto(0.5)";
+  EXPECT_DEATH(ScenarioRegistry::paper().at("PDGR").make(params),
+               "must be > 1");
+  // A scenario constructed directly with an incompatible (model, spec)
+  // pair dies at build time instead of silently running the wrong churn.
+  const Scenario mislabeled("bad", ModelKind::kStreaming, EdgePolicy::kNone,
+                            *ChurnSpec::parse("pareto(2.5)"), "mislabeled");
+  ScenarioParams plain;
+  plain.n = 50;
+  EXPECT_DEATH(mislabeled.make(plain), "streaming models take only");
+}
+
+TEST(ScenarioRegistry, ResolveBuildsChurnComposites) {
+  const Scenario composite =
+      ScenarioRegistry::paper().resolve("PDGR+pareto(2.5)");
+  EXPECT_EQ(composite.name(), "PDGR+pareto(2.50)");
+  EXPECT_EQ(composite.model(), ModelKind::kPoisson);
+  EXPECT_EQ(composite.policy(), EdgePolicy::kRegenerate);
+  EXPECT_EQ(composite.churn().kind, ChurnSpec::Kind::kPareto);
+  // Plain names resolve to the registered scenario unchanged.
+  EXPECT_EQ(ScenarioRegistry::paper().resolve("sdgr").name(), "SDGR");
+
+  ScenarioParams params;
+  params.n = 200;
+  params.d = 4;
+  params.seed = 5;
+  AnyNetwork net = composite.make_warmed(params);
+  EXPECT_GT(net.graph().alive_count(), 100u);
+}
+
+TEST(ScenarioRegistry, ChurnOverrideInParamsMatchesComposite) {
+  // params.churn = "X" on base PDGR must behave exactly like "PDGR+X".
+  ScenarioParams base;
+  base.n = 150;
+  base.d = 6;
+  base.seed = 41;
+  ScenarioParams overridden = base;
+  overridden.churn = "weibull(0.7)";
+
+  AnyNetwork via_params =
+      ScenarioRegistry::paper().at("PDGR").make_warmed(overridden);
+  AnyNetwork via_name =
+      ScenarioRegistry::paper().resolve("PDGR+weibull(0.7)").make_warmed(
+          base);
+  const FloodTrace a = via_params.flood();
+  const FloodTrace b = via_name.flood();
+  EXPECT_EQ(a.informed_per_step, b.informed_per_step);
+  EXPECT_EQ(a.completion_step, b.completion_step);
+}
+
+TEST(ScenarioRegistry, ExtendedRegistryRegistersNewRegimes) {
+  const ScenarioRegistry& extended = ScenarioRegistry::extended();
+  // Everything in paper() is still there, untouched.
+  EXPECT_GE(extended.scenarios().size(),
+            ScenarioRegistry::paper().scenarios().size() + 3u);
+  for (const char* name :
+       {"PDGR+pareto(2.50)", "PDGR+weibull(0.70)", "PDGR+bursty(4.00,0.50)",
+        "PDGR+drift(2.00)", "PDGR+drift(0.50)"}) {
+    const Scenario* scenario = extended.find(name);
+    ASSERT_NE(scenario, nullptr) << name;
+    EXPECT_EQ(scenario->model(), ModelKind::kPoisson);
+  }
+  // paper() itself stays pristine: exactly the six seed scenarios.
+  EXPECT_EQ(ScenarioRegistry::paper().scenarios().size(), 6u);
+}
+
 TEST(TrialRunner, RoutesSeedsThroughDeriveSeed) {
   TrialRunnerOptions options;
   options.replications = 6;

@@ -1,0 +1,83 @@
+// Tests for common/json.hpp: the minimal JSON reader behind the sweep
+// config files.
+#include "common/json.hpp"
+
+#include <gtest/gtest.h>
+
+namespace churnet {
+namespace {
+
+TEST(Json, ParsesScalars) {
+  EXPECT_TRUE(JsonValue::parse("null")->is_null());
+  EXPECT_TRUE(JsonValue::parse("true")->as_bool());
+  EXPECT_FALSE(JsonValue::parse("false")->as_bool());
+  EXPECT_DOUBLE_EQ(JsonValue::parse("42")->as_number(), 42.0);
+  EXPECT_DOUBLE_EQ(JsonValue::parse("-2.5e3")->as_number(), -2500.0);
+  EXPECT_EQ(JsonValue::parse("\"hello\"")->as_string(), "hello");
+}
+
+TEST(Json, ParsesStringEscapes) {
+  EXPECT_EQ(JsonValue::parse(R"("a\"b\\c\/d")")->as_string(), "a\"b\\c/d");
+  EXPECT_EQ(JsonValue::parse(R"("line\nbreak\ttab")")->as_string(),
+            "line\nbreak\ttab");
+  EXPECT_EQ(JsonValue::parse(R"("Aé")")->as_string(),
+            "A\xC3\xA9");
+}
+
+TEST(Json, ParsesNestedStructures) {
+  const auto value = JsonValue::parse(
+      R"({"scenarios": ["PDGR", "SDG"], "n": [500, 1000],
+          "nested": {"x": 1, "y": [true, null]}})");
+  ASSERT_TRUE(value.has_value());
+  ASSERT_TRUE(value->is_object());
+  EXPECT_EQ(value->members().size(), 3u);
+  // Members preserve insertion order.
+  EXPECT_EQ(value->members()[0].first, "scenarios");
+  EXPECT_EQ(value->members()[2].first, "nested");
+
+  const JsonValue* scenarios = value->find("scenarios");
+  ASSERT_NE(scenarios, nullptr);
+  ASSERT_EQ(scenarios->items().size(), 2u);
+  EXPECT_EQ(scenarios->items()[0].as_string(), "PDGR");
+
+  const JsonValue* nested = value->find("nested");
+  ASSERT_NE(nested, nullptr);
+  EXPECT_DOUBLE_EQ(nested->find("x")->as_number(), 1.0);
+  EXPECT_TRUE(nested->find("y")->items()[1].is_null());
+  EXPECT_EQ(value->find("absent"), nullptr);
+}
+
+TEST(Json, ParsesEmptyContainersAndWhitespace) {
+  EXPECT_TRUE(JsonValue::parse("  [ ]  ")->items().empty());
+  EXPECT_TRUE(JsonValue::parse("\n{\t}\n")->members().empty());
+}
+
+TEST(Json, RejectsMalformedDocumentsWithOffsets) {
+  const auto error_of = [](std::string_view text) {
+    std::string error;
+    EXPECT_FALSE(JsonValue::parse(text, &error).has_value()) << text;
+    EXPECT_FALSE(error.empty()) << text;
+    return error;
+  };
+  EXPECT_NE(error_of("{\"a\": }").find("offset"), std::string::npos);
+  EXPECT_NE(error_of("[1, 2").find("expected ']'"), std::string::npos);
+  EXPECT_NE(error_of("\"unterminated").find("unterminated"),
+            std::string::npos);
+  EXPECT_NE(error_of("nul").find("invalid literal"), std::string::npos);
+  EXPECT_NE(error_of("{} trailing").find("trailing garbage"),
+            std::string::npos);
+  EXPECT_NE(error_of("{1: 2}").find("expected '\"'"), std::string::npos);
+  error_of("");
+  error_of("{\"a\" 1}");
+}
+
+TEST(Json, DepthLimitGuardsTheStack) {
+  std::string deep(100, '[');
+  deep += std::string(100, ']');
+  std::string error;
+  EXPECT_FALSE(JsonValue::parse(deep, &error).has_value());
+  EXPECT_NE(error.find("nesting too deep"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace churnet

@@ -142,6 +142,48 @@ TEST(Rng, ExponentialMemorylessTail) {
   EXPECT_NEAR(static_cast<double>(tail) / kDraws, std::exp(-2.0), 0.004);
 }
 
+TEST(Rng, ParetoSupportMeanAndTail) {
+  Rng rng(53);
+  constexpr double kAlpha = 2.5;
+  constexpr double kXmin = 3.0;
+  constexpr int kDraws = 200000;
+  double sum = 0.0;
+  int tail = 0;
+  for (int i = 0; i < kDraws; ++i) {
+    const double x = rng.pareto(kAlpha, kXmin);
+    EXPECT_GE(x, kXmin);
+    sum += x;
+    tail += x > 2.0 * kXmin ? 1 : 0;
+  }
+  // Mean alpha*xmin/(alpha-1) = 5; tail P(X > 2*xmin) = 2^-alpha.
+  EXPECT_NEAR(sum / kDraws, 5.0, 0.15);
+  EXPECT_NEAR(static_cast<double>(tail) / kDraws, std::pow(2.0, -kAlpha),
+              0.005);
+}
+
+TEST(Rng, WeibullMeanAndShapeOneIsExponential) {
+  Rng rng(59);
+  constexpr int kDraws = 200000;
+  // Shape 1 degenerates to Exp(1/scale).
+  double sum = 0.0;
+  int tail = 0;
+  for (int i = 0; i < kDraws; ++i) {
+    const double x = rng.weibull(1.0, 2.0);
+    EXPECT_GE(x, 0.0);
+    sum += x;
+    tail += x > 4.0 ? 1 : 0;
+  }
+  EXPECT_NEAR(sum / kDraws, 2.0, 0.05);
+  EXPECT_NEAR(static_cast<double>(tail) / kDraws, std::exp(-2.0), 0.005);
+  // General shape: mean = scale * Gamma(1 + 1/k).
+  constexpr double kShape = 0.7;
+  constexpr double kScale = 5.0;
+  sum = 0.0;
+  for (int i = 0; i < kDraws; ++i) sum += rng.weibull(kShape, kScale);
+  EXPECT_NEAR(sum / kDraws, kScale * std::tgamma(1.0 + 1.0 / kShape),
+              0.2);
+}
+
 class PoissonMeanTest : public ::testing::TestWithParam<double> {};
 
 TEST_P(PoissonMeanTest, MeanAndVarianceMatch) {

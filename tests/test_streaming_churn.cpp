@@ -83,5 +83,60 @@ TEST(StreamingChurn, RoundCounterMatchesBirths) {
   EXPECT_EQ(churn.round(), 1u);
 }
 
+TEST(StreamingChurn, RingBufferSurvivesLongWraparound) {
+  // The FIFO is a fixed-capacity ring; exercise thousands of wraparounds
+  // at a small capacity and check exact oldest-first order throughout.
+  constexpr std::uint32_t kN = 3;
+  StreamingChurn churn(kN);
+  for (std::uint32_t t = 1; t <= 10000; ++t) {
+    const auto victim = churn.begin_round();
+    if (t <= kN) {
+      EXPECT_FALSE(victim.has_value());
+    } else {
+      ASSERT_TRUE(victim.has_value());
+      ASSERT_EQ(victim->slot, t - kN) << "round " << t;
+    }
+    churn.record_birth(make_id(t));
+    EXPECT_EQ(churn.alive(), std::min(t, kN));
+  }
+}
+
+TEST(StreamingChurn, ChurnProcessEventViewMatchesRoundApi) {
+  // Drive one instance through the event API and a twin through the
+  // round-structured API; the schedules must match exactly.
+  constexpr std::uint32_t kN = 4;
+  StreamingChurn events(kN);
+  StreamingChurn rounds(kN);
+  ChurnProcess& process = events;
+  std::uint32_t alive = 0;
+  for (std::uint32_t t = 1; t <= 50; ++t) {
+    const auto expected_victim = rounds.begin_round();
+    ChurnProcess::Step step = process.next(alive);
+    EXPECT_DOUBLE_EQ(step.time, static_cast<double>(t));
+    if (expected_victim.has_value()) {
+      ASSERT_FALSE(step.is_birth) << "round " << t;
+      ASSERT_EQ(step.victim, ChurnProcess::Victim::kScheduled);
+      EXPECT_EQ(step.victim_id, *expected_victim);
+      --alive;
+      process.on_death(step.victim_id, step.time);
+      step = process.next(alive);
+      EXPECT_DOUBLE_EQ(step.time, static_cast<double>(t));
+    }
+    ASSERT_TRUE(step.is_birth) << "round " << t;
+    process.on_birth(make_id(t), step.time);
+    rounds.record_birth(make_id(t));
+    ++alive;
+    EXPECT_EQ(events.alive(), rounds.alive());
+    EXPECT_EQ(events.round(), rounds.round());
+  }
+}
+
+TEST(StreamingChurn, ReportsChurnProcessMetadata) {
+  StreamingChurn churn(7);
+  EXPECT_EQ(churn.name(), "stream");
+  EXPECT_DOUBLE_EQ(churn.mean_lifetime(), 7.0);
+  EXPECT_DOUBLE_EQ(churn.warm_up_time(10.0), 70.0);
+}
+
 }  // namespace
 }  // namespace churnet

@@ -1,0 +1,236 @@
+// Tests for engine/sweep_runner.hpp: spec loading/validation, grid
+// expansion, derive_seed-routed cell streams, determinism across thread
+// counts, and the long-format CSV / JSON sinks.
+#include "engine/sweep_runner.hpp"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cmath>
+#include <sstream>
+
+#include "common/json.hpp"
+#include "common/rng.hpp"
+
+namespace churnet {
+namespace {
+
+SweepSpec small_spec() {
+  SweepSpec spec;
+  spec.scenarios = {"SDGR", "PDGR+pareto(2.5)"};
+  spec.n_values = {100, 200};
+  spec.d_values = {4};
+  spec.metrics = {"alive", "completion_step"};
+  spec.replications = 3;
+  spec.base_seed = 777;
+  return spec;
+}
+
+TEST(SweepSpec, FromJsonTextLoadsEveryKey) {
+  std::string error;
+  const auto spec = SweepSpec::from_json_text(
+      R"({"scenarios": ["PDGR", "SDG"], "n": [300], "d": [4, 8],
+          "metrics": ["alive"], "replications": 5, "seed": 99,
+          "max_in_degree": 16})",
+      &error);
+  ASSERT_TRUE(spec.has_value()) << error;
+  EXPECT_EQ(spec->scenarios, (std::vector<std::string>{"PDGR", "SDG"}));
+  EXPECT_EQ(spec->n_values, (std::vector<std::uint32_t>{300}));
+  EXPECT_EQ(spec->d_values, (std::vector<std::uint32_t>{4, 8}));
+  EXPECT_EQ(spec->metrics, (std::vector<std::string>{"alive"}));
+  EXPECT_EQ(spec->replications, 5u);
+  EXPECT_EQ(spec->base_seed, 99u);
+  EXPECT_EQ(spec->max_in_degree, 16u);
+  EXPECT_EQ(spec->cell_count(), 4u);
+}
+
+TEST(SweepSpec, OmittedMetricsKeepDefaults) {
+  std::string error;
+  const auto spec = SweepSpec::from_json_text(
+      R"({"scenarios": ["PDGR"], "n": [300], "d": [4]})", &error);
+  ASSERT_TRUE(spec.has_value()) << error;
+  EXPECT_EQ(spec->metrics, SweepSpec::default_metrics());
+  EXPECT_EQ(spec->replications, 8u);
+}
+
+TEST(SweepSpec, RejectsBadConfigsWithReasons) {
+  const auto error_of = [](std::string_view text) {
+    std::string error;
+    EXPECT_FALSE(SweepSpec::from_json_text(text, &error).has_value())
+        << text;
+    return error;
+  };
+  EXPECT_NE(error_of("[1,2]").find("must be a JSON object"),
+            std::string::npos);
+  EXPECT_NE(error_of(R"({"scenario": ["PDGR"]})").find("unknown sweep key"),
+            std::string::npos);
+  EXPECT_NE(error_of(R"({"scenarios": ["PDGR"], "n": [300]})")
+                .find("at least one d"),
+            std::string::npos);
+  EXPECT_NE(error_of(R"({"scenarios": [], "n": [300], "d": [4]})")
+                .find("at least one scenario"),
+            std::string::npos);
+  EXPECT_NE(error_of(R"({"scenarios": ["PDGR"], "n": [0], "d": [4]})")
+                .find("integer in [1"),
+            std::string::npos);
+  EXPECT_NE(error_of(R"({"scenarios": ["PDGR"], "n": [300], "d": [4],
+                         "metrics": ["bogus"]})")
+                .find("unknown metric 'bogus'"),
+            std::string::npos);
+  EXPECT_NE(error_of("{\"scenarios\": [\"PDGR\"], \"n\": [300], \"d\": [4]")
+                .find("offset"),
+            std::string::npos);  // malformed JSON surfaces the parser error
+  // Fractional and out-of-range numbers are errors, never silently
+  // truncated (the casts would be lossy or undefined).
+  EXPECT_NE(error_of(R"({"scenarios": ["PDGR"], "n": [2.5], "d": [4]})")
+                .find("integer"),
+            std::string::npos);
+  EXPECT_NE(error_of(R"({"scenarios": ["PDGR"], "n": [5e9], "d": [4]})")
+                .find("integer"),
+            std::string::npos);
+  EXPECT_NE(error_of(R"({"scenarios": ["PDGR"], "n": [300], "d": [4],
+                         "replications": 2.5})")
+                .find("integer"),
+            std::string::npos);
+  EXPECT_NE(error_of(R"({"scenarios": ["PDGR"], "n": [300], "d": [4],
+                         "seed": -1})")
+                .find("integer"),
+            std::string::npos);
+}
+
+TEST(SweepSpec, KnownMetricsCoverTheCatalog) {
+  const std::vector<std::string> known = SweepSpec::known_metrics();
+  EXPECT_GE(known.size(), 9u);
+  for (const std::string& metric : SweepSpec::default_metrics()) {
+    EXPECT_NE(std::find(known.begin(), known.end(), metric), known.end())
+        << metric;
+  }
+}
+
+TEST(SweepRunner, ExpandsGridScenarioMajorWithChurnColumn) {
+  const SweepResult result = SweepRunner(small_spec()).run(1);
+  ASSERT_EQ(result.cells().size(), 4u);
+  EXPECT_EQ(result.cells()[0].scenario, "SDGR");
+  EXPECT_EQ(result.cells()[0].churn, "stream");
+  EXPECT_EQ(result.cells()[0].n, 100u);
+  EXPECT_EQ(result.cells()[1].n, 200u);
+  EXPECT_EQ(result.cells()[2].scenario, "PDGR+pareto(2.50)");
+  EXPECT_EQ(result.cells()[2].churn, "pareto(2.50)");
+  // Streaming cells hold exactly n alive nodes after warm-up.
+  EXPECT_DOUBLE_EQ(result.stats(0, 0).mean(), 100.0);
+  EXPECT_DOUBLE_EQ(result.stats(1, 0).mean(), 200.0);
+  EXPECT_EQ(result.stats(0, 0).count(), 3u);
+}
+
+TEST(SweepRunner, DeterministicAcrossThreadCounts) {
+  const SweepSpec spec = small_spec();
+  const SweepResult serial = SweepRunner(spec).run(1);
+  const SweepResult parallel = SweepRunner(spec).run(4);
+  ASSERT_EQ(serial.cells().size(), parallel.cells().size());
+  for (std::size_t c = 0; c < serial.cells().size(); ++c) {
+    for (std::size_t r = 0; r < spec.replications; ++r) {
+      for (std::size_t m = 0; m < spec.metrics.size(); ++m) {
+        const double a = serial.samples()[c][r][m];
+        const double b = parallel.samples()[c][r][m];
+        if (std::isnan(a)) {
+          EXPECT_TRUE(std::isnan(b));
+        } else {
+          EXPECT_EQ(a, b) << "cell " << c << " rep " << r << " metric " << m;
+        }
+      }
+    }
+  }
+  std::ostringstream csv_serial, csv_parallel;
+  serial.write_csv(csv_serial);
+  parallel.write_csv(csv_parallel);
+  EXPECT_EQ(csv_serial.str(), csv_parallel.str());
+}
+
+TEST(SweepRunner, CsvIsTidyLongFormatWithCellStreamSeeds) {
+  const SweepSpec spec = small_spec();
+  const SweepResult result = SweepRunner(spec).run(2);
+  std::ostringstream os;
+  result.write_csv(os);
+  const std::string csv = os.str();
+
+  EXPECT_EQ(csv.find("scenario,churn,n,d,replication,seed,metric,value"),
+            0u);
+  // One row per (cell, replication, metric) plus the header.
+  std::size_t rows = 0;
+  for (const char c : csv) rows += c == '\n' ? 1 : 0;
+  EXPECT_EQ(rows, 1u + 4u * 3u * 2u);
+  // Cell c, replication r runs under derive_seed(base, c, r): cell 2 is
+  // the pareto scenario at n=100.
+  const std::string expected_row =
+      "PDGR+pareto(2.50),pareto(2.50),100,4,1," +
+      std::to_string(derive_seed(777, 2, 1)) + ",alive,";
+  EXPECT_NE(csv.find(expected_row), std::string::npos) << csv;
+}
+
+TEST(SweepRunner, JsonSinkParsesBackAndSummarizes) {
+  const SweepResult result = SweepRunner(small_spec()).run(2);
+  std::ostringstream os;
+  result.write_json(os);
+
+  std::string error;
+  const auto json = JsonValue::parse(os.str(), &error);
+  ASSERT_TRUE(json.has_value()) << error;
+  EXPECT_DOUBLE_EQ(json->find("replications")->as_number(), 3.0);
+  EXPECT_DOUBLE_EQ(json->find("base_seed")->as_number(), 777.0);
+  const JsonValue* cells = json->find("cells");
+  ASSERT_NE(cells, nullptr);
+  ASSERT_EQ(cells->items().size(), 4u);
+  const JsonValue& first = cells->items()[0];
+  EXPECT_EQ(first.find("scenario")->as_string(), "SDGR");
+  EXPECT_EQ(first.find("churn")->as_string(), "stream");
+  const JsonValue* alive = first.find("metrics")->find("alive");
+  ASSERT_NE(alive, nullptr);
+  EXPECT_DOUBLE_EQ(alive->find("mean")->as_number(), 100.0);
+  EXPECT_EQ(first.find("samples")->items().size(), 3u);
+}
+
+TEST(SweepRunner, CommaBearingChurnSpecsStayOneCsvColumn) {
+  // "bursty(4,0.5)" contains commas: the scenario and churn fields must be
+  // RFC-4180 quoted so every data row keeps exactly 8 columns.
+  SweepSpec spec;
+  spec.scenarios = {"PDGR+bursty(4,0.5)"};
+  spec.n_values = {100};
+  spec.d_values = {4};
+  spec.metrics = {"alive"};
+  spec.replications = 2;
+  const SweepResult result = SweepRunner(spec).run(1);
+  std::ostringstream os;
+  result.write_csv(os);
+  const std::string csv = os.str();
+  EXPECT_NE(csv.find("\"PDGR+bursty(4.00,0.50)\",\"bursty(4.00,0.50)\","),
+            std::string::npos)
+      << csv;
+  // Count unquoted commas per data line: exactly 7 separators.
+  std::size_t line_start = csv.find('\n') + 1;
+  while (line_start < csv.size()) {
+    const std::size_t line_end = csv.find('\n', line_start);
+    ASSERT_NE(line_end, std::string::npos);
+    int separators = 0;
+    bool in_quotes = false;
+    for (std::size_t i = line_start; i < line_end; ++i) {
+      if (csv[i] == '"') in_quotes = !in_quotes;
+      if (csv[i] == ',' && !in_quotes) ++separators;
+    }
+    EXPECT_EQ(separators, 7) << csv.substr(line_start, line_end - line_start);
+    line_start = line_end + 1;
+  }
+  // The cell repackages as a TrialResult with the sweep's seed routing.
+  const TrialResult trial = result.cell_trial(0);
+  EXPECT_EQ(trial.options().stream, 0u);
+  EXPECT_EQ(trial.options().base_seed, spec.base_seed);
+  EXPECT_EQ(trial.replications(), 2u);
+  EXPECT_DOUBLE_EQ(trial.stats("alive").mean(), result.stats(0, 0).mean());
+}
+
+TEST(SweepRunner, TableHasOneRowPerCell) {
+  const SweepResult result = SweepRunner(small_spec()).run(1);
+  EXPECT_EQ(result.to_table().row_count(), 4u);
+}
+
+}  // namespace
+}  // namespace churnet
