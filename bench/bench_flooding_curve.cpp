@@ -24,33 +24,6 @@ namespace {
 
 using namespace churnet;
 
-/// Median per-step fraction curve over replications (ragged tails padded
-/// with the final value).
-std::vector<double> median_curve(
-    const std::vector<std::vector<double>>& curves) {
-  std::size_t longest = 0;
-  for (const auto& curve : curves) longest = std::max(longest, curve.size());
-  std::vector<double> result;
-  std::vector<double> column;
-  for (std::size_t t = 0; t < longest; ++t) {
-    column.clear();
-    for (const auto& curve : curves) {
-      column.push_back(t < curve.size() ? curve[t] : curve.back());
-    }
-    result.push_back(median(column));
-  }
-  return result;
-}
-
-std::vector<double> fractions(const FloodTrace& trace) {
-  std::vector<double> result;
-  for (std::size_t t = 0; t < trace.informed_per_step.size(); ++t) {
-    result.push_back(static_cast<double>(trace.informed_per_step[t]) /
-                     static_cast<double>(trace.alive_per_step[t]));
-  }
-  return result;
-}
-
 }  // namespace
 
 int main(int argc, char** argv) {
@@ -92,12 +65,9 @@ int main(int argc, char** argv) {
   std::vector<std::vector<double>> curves;
   Table table({"step", "SDG", "SDGR", "PDG", "PDGR"});
   std::vector<std::vector<double>> medians(4);
-  // Fixed-length metric vector per replication: the fraction after each
-  // flooding step, padded with the final value when the flood stops early.
-  std::vector<std::string> metrics;
-  for (std::uint64_t t = 0; t <= steps; ++t) {
-    metrics.push_back("frac_step_" + std::to_string(t));
-  }
+  // The shared per-round observer: fixed-length coverage metrics per
+  // replication, padded with the final value when the flood stops early.
+  const CoverageCurveRecorder recorder(steps);
   for (int model = 0; model < 4; ++model) {
     const Scenario& scenario = registry.at(model_names[model]);
     TrialRunnerOptions runner_options;
@@ -106,22 +76,20 @@ int main(int argc, char** argv) {
     runner_options.base_seed = seed;
     runner_options.stream = static_cast<std::uint64_t>(model);
     const TrialResult result = TrialRunner(runner_options)
-        .run(metrics, [&scenario, n, d, steps,
-                       &options](const TrialContext& ctx) {
+        .run(recorder.metric_names(),
+             [&scenario, n, d, &recorder, &options](const TrialContext& ctx) {
           thread_local FloodScratch scratch;
           ScenarioParams params;
           params.n = n;
           params.d = d;
           params.seed = ctx.seed;
           AnyNetwork net = scenario.make_warmed(params);
-          std::vector<double> curve =
-              fractions(net.flood(options, scratch));
-          curve.resize(steps + 1, curve.back());  // pad early stops
-          return curve;
+          return recorder.curve_of(net.flood(options, scratch));
         });
     record_trial(std::string("flood-curve-") + model_names[model], result);
     curves.assign(result.samples().begin(), result.samples().end());
-    medians[static_cast<std::size_t>(model)] = median_curve(curves);
+    medians[static_cast<std::size_t>(model)] =
+        CoverageCurveRecorder::median_curve(curves);
   }
   for (std::uint64_t t = 0; t <= steps; ++t) {
     auto cell = [&](int model) {

@@ -1,0 +1,57 @@
+#include "benchutil/coverage_curve.hpp"
+
+#include <algorithm>
+
+#include "common/assertx.hpp"
+#include "common/stats.hpp"
+
+namespace churnet {
+
+CoverageCurveRecorder::CoverageCurveRecorder(std::uint64_t steps)
+    : steps_(steps) {
+  names_.reserve(steps + 1);
+  for (std::uint64_t t = 0; t <= steps; ++t) {
+    names_.push_back("frac_step_" + std::to_string(t));
+  }
+}
+
+std::vector<double> CoverageCurveRecorder::curve_of(
+    const FloodTrace& trace) const {
+  std::vector<double> curve = coverage_fractions(trace);
+  CHURNET_EXPECTS(!curve.empty());  // needs FloodOptions::record_series
+  curve.resize(steps_ + 1, curve.back());  // pad early stops
+  return curve;
+}
+
+std::vector<double> CoverageCurveRecorder::median_curve(
+    const std::vector<std::vector<double>>& curves) {
+  std::size_t longest = 0;
+  for (const auto& curve : curves) longest = std::max(longest, curve.size());
+  std::vector<double> result;
+  result.reserve(longest);
+  std::vector<double> column;
+  for (std::size_t t = 0; t < longest; ++t) {
+    column.clear();
+    for (const auto& curve : curves) {
+      if (curve.empty()) continue;
+      column.push_back(t < curve.size() ? curve[t] : curve.back());
+    }
+    result.push_back(median(column));
+  }
+  return result;
+}
+
+std::vector<double> coverage_fractions(const FloodTrace& trace) {
+  std::vector<double> result;
+  result.reserve(trace.informed_per_step.size());
+  for (std::size_t t = 0; t < trace.informed_per_step.size(); ++t) {
+    const double alive = static_cast<double>(trace.alive_per_step[t]);
+    result.push_back(alive == 0.0 ? 0.0
+                                  : static_cast<double>(
+                                        trace.informed_per_step[t]) /
+                                        alive);
+  }
+  return result;
+}
+
+}  // namespace churnet

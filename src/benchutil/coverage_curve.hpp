@@ -1,0 +1,51 @@
+// Shared per-round informed-coverage observer for flood/protocol traces.
+//
+// Every bench that plots an S-curve needs the same three steps: turn a
+// trace's per-step (|I_t|, |N_t|) series into coverage fractions, pad the
+// ragged tail to a fixed metric length so the TrialRunner can treat each
+// round as a metric column, and take the per-round median across
+// replications. This was duplicated between the flood-driver callers and
+// bench_flooding_curve; it lives here once now, and works unchanged for
+// dissemination-protocol traces (ProtocolResult::trace).
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "flooding/flood_driver.hpp"
+
+namespace churnet {
+
+/// Records fixed-length per-round coverage curves suitable for use as
+/// TrialRunner metric vectors ("frac_step_0" ... "frac_step_<steps>").
+class CoverageCurveRecorder {
+ public:
+  /// Observes rounds 0..steps (inclusive): steps+1 metric columns.
+  explicit CoverageCurveRecorder(std::uint64_t steps);
+
+  std::uint64_t steps() const { return steps_; }
+
+  /// The per-round metric names, one per observed round.
+  const std::vector<std::string>& metric_names() const { return names_; }
+
+  /// The trace's per-round coverage fractions |I_t| / |N_t|, padded with
+  /// the final value to exactly steps()+1 entries (early stops hold their
+  /// last coverage). Requires a trace recorded with record_series.
+  std::vector<double> curve_of(const FloodTrace& trace) const;
+
+  /// Per-round median across replications; ragged inputs are padded with
+  /// their own final value, so early completions keep counting.
+  static std::vector<double> median_curve(
+      const std::vector<std::vector<double>>& curves);
+
+ private:
+  std::uint64_t steps_;
+  std::vector<std::string> names_;
+};
+
+/// The raw (unpadded) coverage fractions of a trace, one per recorded
+/// step.
+std::vector<double> coverage_fractions(const FloodTrace& trace);
+
+}  // namespace churnet

@@ -1,7 +1,5 @@
 #include "churn/churn_spec.hpp"
 
-#include <cctype>
-#include <cstdlib>
 #include <vector>
 
 #include "churn/lifetime_churn.hpp"
@@ -10,6 +8,7 @@
 #include "churn/streaming_churn.hpp"
 #include "common/assertx.hpp"
 #include "common/rng.hpp"
+#include "common/specgram.hpp"
 #include "common/table.hpp"
 
 namespace churnet {
@@ -22,72 +21,38 @@ constexpr double kDefaultBurstyBoost = 4.0;
 constexpr double kDefaultBurstyPhase = 0.5;
 constexpr double kDefaultDriftGrowth = 2.0;
 
-std::string_view trim(std::string_view text) {
-  while (!text.empty() &&
-         std::isspace(static_cast<unsigned char>(text.front()))) {
-    text.remove_prefix(1);
-  }
-  while (!text.empty() &&
-         std::isspace(static_cast<unsigned char>(text.back()))) {
-    text.remove_suffix(1);
-  }
-  return text;
-}
+// The one name -> kind table: parse() dispatches through it and
+// is_known_name() scans it, so a regime added here is automatically
+// routable by ScenarioRegistry::resolve's segment dispatch.
+struct KnownRegime {
+  const char* name;
+  ChurnSpec::Kind kind;
+};
+constexpr KnownRegime kKnownRegimes[] = {
+    {"stream", ChurnSpec::Kind::kStream},
+    {"poisson", ChurnSpec::Kind::kJumpChain},
+    {"pareto", ChurnSpec::Kind::kPareto},
+    {"weibull", ChurnSpec::Kind::kWeibull},
+    {"bursty", ChurnSpec::Kind::kBursty},
+    {"drift", ChurnSpec::Kind::kDrift},
+};
 
-std::string lowercase(std::string_view text) {
-  std::string result(text);
-  for (char& c : result) {
-    c = static_cast<char>(std::tolower(static_cast<unsigned char>(c)));
+const KnownRegime* find_regime(std::string_view name) {
+  for (const KnownRegime& regime : kKnownRegimes) {
+    if (name == regime.name) return &regime;
   }
-  return result;
+  return nullptr;
 }
 
 bool fail(std::string* error, std::string message) {
-  if (error != nullptr) *error = std::move(message);
-  return false;
-}
-
-/// Splits "name(a,b)" into name and numeric args; false on syntax errors.
-bool split_spec(std::string_view text, std::string* name,
-                std::vector<double>* args, std::string* error) {
-  text = trim(text);
-  if (text.empty()) return fail(error, "empty churn spec");
-  const std::size_t open = text.find('(');
-  if (open == std::string_view::npos) {
-    *name = lowercase(text);
-    return true;
-  }
-  if (text.back() != ')') {
-    return fail(error, "churn spec '" + std::string(text) +
-                           "': missing closing ')'");
-  }
-  *name = lowercase(trim(text.substr(0, open)));
-  std::string_view body = text.substr(open + 1, text.size() - open - 2);
-  body = trim(body);
-  if (body.empty()) return true;  // "name()" == "name"
-  while (!body.empty()) {
-    const std::size_t comma = body.find(',');
-    const std::string_view piece =
-        trim(comma == std::string_view::npos ? body : body.substr(0, comma));
-    if (piece.empty()) {
-      return fail(error, "churn spec '" + std::string(text) +
-                             "': empty argument");
-    }
-    const std::string number(piece);
-    char* end = nullptr;
-    const double value = std::strtod(number.c_str(), &end);
-    if (end != number.c_str() + number.size()) {
-      return fail(error, "churn spec '" + std::string(text) +
-                             "': bad number '" + number + "'");
-    }
-    args->push_back(value);
-    if (comma == std::string_view::npos) break;
-    body = body.substr(comma + 1);
-  }
-  return true;
+  return spec_fail(error, std::move(message));
 }
 
 }  // namespace
+
+bool ChurnSpec::is_known_name(std::string_view name) {
+  return find_regime(lowercase_spec(name)) != nullptr;
+}
 
 std::string ChurnSpec::canonical() const {
   switch (kind) {
@@ -110,81 +75,78 @@ std::string ChurnSpec::canonical() const {
 
 std::optional<ChurnSpec> ChurnSpec::parse(std::string_view text,
                                           std::string* error) {
-  std::string name;
-  std::vector<double> args;
-  if (!split_spec(text, &name, &args, error)) return std::nullopt;
+  SpecCall call;
+  if (!split_spec_call(text, "churn spec", &call, error)) return std::nullopt;
+  const std::string& name = call.name;
+  const std::vector<double>& args = call.args;
 
   const auto arity = [&](std::size_t max_args) {
     if (args.size() <= max_args) return true;
-    fail(error, "churn spec '" + std::string(trim(text)) + "': at most " +
-                    std::to_string(max_args) + " argument(s) allowed");
+    fail(error, "churn spec '" + std::string(trim_spec(text)) +
+                    "': at most " + std::to_string(max_args) +
+                    " argument(s) allowed");
     return false;
   };
 
+  const KnownRegime* regime = find_regime(name);
+  if (regime == nullptr) {
+    fail(error, "unknown churn regime '" + name +
+                    "'; known: stream, poisson, pareto(a), weibull(k), "
+                    "bursty(b,p), drift(g)");
+    return std::nullopt;
+  }
   ChurnSpec spec;
-  if (name == "stream") {
-    if (!arity(0)) return std::nullopt;
-    spec.kind = Kind::kStream;
-    return spec;
+  spec.kind = regime->kind;
+  switch (regime->kind) {
+    case Kind::kStream:
+    case Kind::kJumpChain:
+      if (!arity(0)) return std::nullopt;
+      return spec;
+    case Kind::kPareto:
+      if (!arity(1)) return std::nullopt;
+      spec.a = args.empty() ? kDefaultParetoAlpha : args[0];
+      if (!(spec.a > 1.0)) {  // negated: also rejects NaN
+        fail(error, "pareto tail index must be > 1 (got " +
+                        fmt_fixed(spec.a, 3) +
+                        "); the mean lifetime is infinite otherwise");
+        return std::nullopt;
+      }
+      return spec;
+    case Kind::kWeibull:
+      if (!arity(1)) return std::nullopt;
+      spec.a = args.empty() ? kDefaultWeibullShape : args[0];
+      if (!(spec.a > 0.0)) {
+        fail(error, "weibull shape must be > 0 (got " + fmt_fixed(spec.a, 3) +
+                        ")");
+        return std::nullopt;
+      }
+      return spec;
+    case Kind::kBursty:
+      if (!arity(2)) return std::nullopt;
+      spec.a = args.empty() ? kDefaultBurstyBoost : args[0];
+      spec.b = args.size() < 2 ? kDefaultBurstyPhase : args[1];
+      if (!(spec.a > 1.0)) {
+        fail(error, "bursty boost must be > 1 (got " + fmt_fixed(spec.a, 3) +
+                        ")");
+        return std::nullopt;
+      }
+      if (!(spec.b > 0.0)) {
+        fail(error, "bursty phase length must be > 0 lifetimes (got " +
+                        fmt_fixed(spec.b, 3) + ")");
+        return std::nullopt;
+      }
+      return spec;
+    case Kind::kDrift:
+      if (!arity(1)) return std::nullopt;
+      spec.a = args.empty() ? kDefaultDriftGrowth : args[0];
+      if (!(spec.a > 0.0)) {
+        fail(error, "drift growth factor must be > 0 (got " +
+                        fmt_fixed(spec.a, 3) + ")");
+        return std::nullopt;
+      }
+      return spec;
   }
-  if (name == "poisson") {
-    if (!arity(0)) return std::nullopt;
-    spec.kind = Kind::kJumpChain;
-    return spec;
-  }
-  if (name == "pareto") {
-    if (!arity(1)) return std::nullopt;
-    spec.kind = Kind::kPareto;
-    spec.a = args.empty() ? kDefaultParetoAlpha : args[0];
-    if (spec.a <= 1.0) {
-      fail(error, "pareto tail index must be > 1 (got " + fmt_fixed(spec.a, 3) +
-                      "); the mean lifetime is infinite otherwise");
-      return std::nullopt;
-    }
-    return spec;
-  }
-  if (name == "weibull") {
-    if (!arity(1)) return std::nullopt;
-    spec.kind = Kind::kWeibull;
-    spec.a = args.empty() ? kDefaultWeibullShape : args[0];
-    if (spec.a <= 0.0) {
-      fail(error, "weibull shape must be > 0 (got " + fmt_fixed(spec.a, 3) +
-                      ")");
-      return std::nullopt;
-    }
-    return spec;
-  }
-  if (name == "bursty") {
-    if (!arity(2)) return std::nullopt;
-    spec.kind = Kind::kBursty;
-    spec.a = args.empty() ? kDefaultBurstyBoost : args[0];
-    spec.b = args.size() < 2 ? kDefaultBurstyPhase : args[1];
-    if (spec.a <= 1.0) {
-      fail(error, "bursty boost must be > 1 (got " + fmt_fixed(spec.a, 3) +
-                      ")");
-      return std::nullopt;
-    }
-    if (spec.b <= 0.0) {
-      fail(error, "bursty phase length must be > 0 lifetimes (got " +
-                      fmt_fixed(spec.b, 3) + ")");
-      return std::nullopt;
-    }
-    return spec;
-  }
-  if (name == "drift") {
-    if (!arity(1)) return std::nullopt;
-    spec.kind = Kind::kDrift;
-    spec.a = args.empty() ? kDefaultDriftGrowth : args[0];
-    if (spec.a <= 0.0) {
-      fail(error, "drift growth factor must be > 0 (got " +
-                      fmt_fixed(spec.a, 3) + ")");
-      return std::nullopt;
-    }
-    return spec;
-  }
-  fail(error, "unknown churn regime '" + name +
-                  "'; known: stream, poisson, pareto(a), weibull(k), "
-                  "bursty(b,p), drift(g)");
+  CHURNET_ASSERT(false);
   return std::nullopt;
 }
 

@@ -63,6 +63,11 @@ struct ChurnSpec {
   static std::optional<ChurnSpec> parse(std::string_view text,
                                         std::string* error = nullptr);
 
+  /// True when `name` ("pareto" — the call name alone, no arguments) names
+  /// a churn regime; used to dispatch composite-scenario segments between
+  /// the churn and protocol spec families before a full parse.
+  static bool is_known_name(std::string_view name);
+
   friend bool operator==(const ChurnSpec&, const ChurnSpec&) = default;
 };
 

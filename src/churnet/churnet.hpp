@@ -14,6 +14,7 @@
 #include "baselines/erdos_renyi.hpp"       // IWYU pragma: export
 #include "baselines/static_dout.hpp"       // IWYU pragma: export
 #include "baselines/walk_overlay.hpp"      // IWYU pragma: export
+#include "benchutil/coverage_curve.hpp"    // IWYU pragma: export
 #include "benchutil/experiment.hpp"        // IWYU pragma: export
 #include "churn/churn_process.hpp"         // IWYU pragma: export
 #include "churn/churn_spec.hpp"            // IWYU pragma: export
@@ -26,6 +27,7 @@
 #include "common/json.hpp"                 // IWYU pragma: export
 #include "common/mathx.hpp"                // IWYU pragma: export
 #include "common/rng.hpp"                  // IWYU pragma: export
+#include "common/specgram.hpp"             // IWYU pragma: export
 #include "common/stats.hpp"                // IWYU pragma: export
 #include "common/table.hpp"                // IWYU pragma: export
 #include "engine/scenario.hpp"             // IWYU pragma: export
@@ -46,3 +48,7 @@
 #include "models/static_network.hpp"       // IWYU pragma: export
 #include "models/streaming_network.hpp"    // IWYU pragma: export
 #include "p2p/p2p_network.hpp"             // IWYU pragma: export
+#include "protocols/dissemination.hpp"     // IWYU pragma: export
+#include "protocols/gossip.hpp"            // IWYU pragma: export
+#include "protocols/protocol.hpp"          // IWYU pragma: export
+#include "protocols/protocol_spec.hpp"     // IWYU pragma: export

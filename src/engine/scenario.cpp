@@ -6,6 +6,7 @@
 #include <utility>
 
 #include "common/assertx.hpp"
+#include "common/specgram.hpp"
 #include "models/poisson_network.hpp"
 #include "models/static_network.hpp"
 #include "models/streaming_network.hpp"
@@ -84,8 +85,19 @@ bool Scenario::has_churn() const {
 
 Scenario Scenario::with_churn(const ChurnSpec& churn) const {
   require_compatible(name_, model_, churn);
-  return Scenario(name_ + "+" + churn.canonical(), model_, policy_, churn,
+  Scenario result(name_ + "+" + churn.canonical(), model_, policy_, churn,
                   description_ + ", churn " + churn.canonical());
+  result.protocol_ = protocol_;
+  return result;
+}
+
+Scenario Scenario::with_protocol(const ProtocolSpec& protocol) const {
+  Scenario result = *this;
+  result.protocol_ = protocol;
+  if (protocol == ProtocolSpec{}) return result;  // default flood: no suffix
+  result.name_ = name_ + "+" + protocol.canonical();
+  result.description_ = description_ + ", protocol " + protocol.canonical();
+  return result;
 }
 
 ChurnSpec Scenario::effective_churn(const ScenarioParams& params) const {
@@ -235,18 +247,46 @@ Scenario ScenarioRegistry::resolve(std::string_view name) const {
   // Registered names win outright, so pre-registered composites (and any
   // user scenario that happens to contain '+') stay addressable.
   if (const Scenario* registered = find(name)) return *registered;
-  const std::size_t plus = name.find('+');
-  if (plus == std::string_view::npos) return at(name);  // aborts: unknown
-  const Scenario& base = at(name.substr(0, plus));
-  std::string error;
-  const std::optional<ChurnSpec> spec =
-      ChurnSpec::parse(name.substr(plus + 1), &error);
-  if (!spec.has_value()) {
-    std::fprintf(stderr, "scenario '%.*s': %s\n",
-                 static_cast<int>(name.size()), name.data(), error.c_str());
-    std::abort();
+  const std::vector<std::string_view> segments = split_spec_segments(name);
+  if (segments.size() == 1) return at(name);  // aborts: unknown
+  const auto die = [&name](const std::string& reason) {
+    abort_scenario("scenario '" + std::string(name) + "': " + reason);
+  };
+  Scenario current = at(segments[0]);
+  // Each suffix segment is dispatched by its call name: churn regimes go
+  // through ChurnSpec, protocol terms accumulate into one ProtocolSpec
+  // ("flood+lossy(0.9)" arrives as two segments of the same spec).
+  bool have_churn = false;
+  std::string protocol_text;
+  for (std::size_t i = 1; i < segments.size(); ++i) {
+    const std::string head = spec_call_name(segments[i]);
+    if (ChurnSpec::is_known_name(head)) {
+      if (have_churn) die("more than one churn spec");
+      std::string error;
+      const std::optional<ChurnSpec> spec =
+          ChurnSpec::parse(segments[i], &error);
+      if (!spec.has_value()) die(error);
+      current = current.with_churn(*spec);
+      have_churn = true;
+    } else if (ProtocolSpec::is_known_name(head)) {
+      if (!protocol_text.empty()) protocol_text += '+';
+      protocol_text += std::string(segments[i]);
+    } else {
+      // Keep both families' diagnostics: the churn error names the known
+      // regimes, and the protocol catalog is listed alongside.
+      std::string error;
+      ChurnSpec::parse(segments[i], &error);
+      die(error + "; known protocols: " + ProtocolSpec::known_names());
+    }
   }
-  return base.with_churn(*spec);
+  if (!protocol_text.empty()) {
+    std::string error;
+    const std::optional<ProtocolSpec> spec =
+        ProtocolSpec::parse(protocol_text, &error);
+    if (!spec.has_value()) die(error);
+    current = current.with_protocol(*spec);
+  }
+  return current;
 }
 
 std::vector<std::string> ScenarioRegistry::names() const {

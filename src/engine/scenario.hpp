@@ -29,6 +29,7 @@
 #include "churn/churn_spec.hpp"
 #include "models/edge_policy.hpp"
 #include "models/network.hpp"
+#include "protocols/protocol_spec.hpp"
 
 namespace churnet {
 
@@ -72,6 +73,10 @@ class Scenario {
   ModelKind model() const { return model_; }
   EdgePolicy policy() const { return policy_; }
   const ChurnSpec& churn() const { return churn_; }
+  /// The dissemination protocol the engine runs on this scenario's
+  /// networks (default: flood, the paper's process). Any protocol runs on
+  /// any model — the dissemination driver adapts to the model's semantics.
+  const ProtocolSpec& protocol() const { return protocol_; }
   const std::string& description() const { return description_; }
   /// True for the dynamic models (false for the static baselines).
   bool has_churn() const;
@@ -81,6 +86,10 @@ class Scenario {
   /// this model (streaming models take only "stream"; Poisson-family
   /// models take any continuous regime; baselines take none).
   Scenario with_churn(const ChurnSpec& churn) const;
+
+  /// A copy of this scenario measured under `protocol` instead (name gains
+  /// a "+spec" suffix when the spec is not the default flood).
+  Scenario with_protocol(const ProtocolSpec& protocol) const;
 
   /// Builds a fresh, seeded, NOT-warmed-up network.
   AnyNetwork make(const ScenarioParams& params) const;
@@ -98,6 +107,7 @@ class Scenario {
   ModelKind model_;
   EdgePolicy policy_;
   ChurnSpec churn_;
+  ProtocolSpec protocol_;
   std::string description_;
 };
 
@@ -122,11 +132,14 @@ class ScenarioRegistry {
   /// Lookup that aborts with the known names when absent (for CLI paths).
   const Scenario& at(std::string_view name) const;
 
-  /// Like at(), but also accepts composite "BASE+churnspec" names (e.g.
-  /// "PDGR+pareto(2.5)"): the base is looked up, the suffix parsed as a
-  /// ChurnSpec, and the combined scenario returned by value. Aborts with
-  /// the reason on unknown bases, malformed specs, or incompatible
-  /// model/spec pairs.
+  /// Like at(), but also accepts composite "BASE+spec(+spec...)" names:
+  /// the base is looked up and each '+'-separated suffix is parsed as a
+  /// ChurnSpec ("PDGR+pareto(2.5)") or a ProtocolSpec segment
+  /// ("PDGR+push(3)", "PDGR+pareto(2.5)+flood+lossy(0.9)"), dispatched by
+  /// segment name. The combined scenario is returned by value. Aborts with
+  /// the reason on unknown bases, malformed or unknown specs (listing the
+  /// known churn regimes and protocol names), or incompatible model/spec
+  /// pairs.
   Scenario resolve(std::string_view name) const;
 
   const std::vector<Scenario>& scenarios() const { return scenarios_; }

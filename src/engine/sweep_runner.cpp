@@ -4,6 +4,7 @@
 #include <cstdio>
 #include <cstdlib>
 #include <limits>
+#include <memory>
 #include <ostream>
 #include <utility>
 
@@ -13,6 +14,7 @@
 #include "common/sinks.hpp"
 #include "engine/trial_runner.hpp"
 #include "graph/algorithms.hpp"
+#include "protocols/protocol_spec.hpp"
 
 namespace churnet {
 namespace {
@@ -35,6 +37,10 @@ constexpr MetricInfo kCatalog[] = {
     {"final_fraction", SweepMetric::kFinalFraction, false, true},
     {"peak_informed", SweepMetric::kPeakInformed, false, true},
     {"flood_steps", SweepMetric::kFloodSteps, false, true},
+    {"messages", SweepMetric::kMessages, false, true},
+    {"useful_deliveries", SweepMetric::kUsefulDeliveries, false, true},
+    {"duplicate_deliveries", SweepMetric::kDuplicateDeliveries, false, true},
+    {"lost_messages", SweepMetric::kLostMessages, false, true},
 };
 
 const MetricInfo* find_metric(std::string_view name) {
@@ -113,7 +119,7 @@ std::vector<std::string> SweepSpec::known_metrics() {
 
 std::vector<std::string> SweepSpec::default_metrics() {
   return {"alive", "mean_degree", "isolated", "completion_step",
-          "final_fraction"};
+          "final_fraction", "messages"};
 }
 
 std::optional<SweepSpec> SweepSpec::from_json(const JsonValue& json,
@@ -136,6 +142,10 @@ std::optional<SweepSpec> SweepSpec::from_json(const JsonValue& json,
       }
     } else if (key == "d") {
       if (!read_u32_list(value, "d", &spec.d_values, error)) {
+        return std::nullopt;
+      }
+    } else if (key == "protocols") {
+      if (!read_string_list(value, "protocols", &spec.protocols, error)) {
         return std::nullopt;
       }
     } else if (key == "metrics") {
@@ -169,8 +179,8 @@ std::optional<SweepSpec> SweepSpec::from_json(const JsonValue& json,
     } else {
       if (error != nullptr) {
         *error = "unknown sweep key '" + key +
-                 "'; known: scenarios, n, d, metrics, replications, seed, "
-                 "max_in_degree";
+                 "'; known: scenarios, n, d, protocols, metrics, "
+                 "replications, seed, max_in_degree";
       }
       return std::nullopt;
     }
@@ -195,6 +205,10 @@ std::optional<std::string> SweepSpec::validate() const {
   if (d_values.empty()) return "sweep needs at least one d";
   if (metrics.empty()) return "sweep needs at least one metric";
   if (replications == 0) return "replications must be >= 1";
+  for (const std::string& protocol : protocols) {
+    std::string error;
+    if (!ProtocolSpec::parse(protocol, &error).has_value()) return error;
+  }
   for (const std::string& metric : metrics) {
     if (find_metric(metric) == nullptr) {
       std::string known;
@@ -248,13 +262,13 @@ TrialResult SweepResult::cell_trial(std::size_t cell) const {
 }
 
 Table SweepResult::to_table() const {
-  std::vector<std::string> header{"scenario", "churn", "n", "d"};
+  std::vector<std::string> header{"scenario", "churn", "protocol", "n", "d"};
   for (const std::string& metric : spec_.metrics) header.push_back(metric);
   Table table(header);
   for (std::size_t c = 0; c < cells_.size(); ++c) {
     const SweepCellKey& cell = cells_[c];
     std::vector<std::string> row{
-        cell.scenario, cell.churn,
+        cell.scenario, cell.churn, cell.protocol,
         fmt_int(static_cast<std::int64_t>(cell.n)),
         fmt_int(static_cast<std::int64_t>(cell.d))};
     for (std::size_t m = 0; m < spec_.metrics.size(); ++m) {
@@ -268,19 +282,20 @@ Table SweepResult::to_table() const {
 
 void SweepResult::write_csv(std::ostream& os) const {
   const PrecisionGuard precision(os);
-  os << "scenario,churn,n,d,replication,seed,metric,value\n";
+  os << "scenario,churn,protocol,n,d,replication,seed,metric,value\n";
   for (std::size_t c = 0; c < cells_.size(); ++c) {
     const SweepCellKey& cell = cells_[c];
     // Scenario/churn names can contain commas ("bursty(4,0.5)"): RFC-4180
-    // quoting keeps every row at exactly 8 columns.
+    // quoting keeps every row at exactly 9 columns.
     const std::string scenario_field = csv_field(cell.scenario);
     const std::string churn_field = csv_field(cell.churn);
+    const std::string protocol_field = csv_field(cell.protocol);
     for (std::size_t r = 0; r < samples_[c].size(); ++r) {
       const std::uint64_t seed = derive_seed(spec_.base_seed, c, r);
       for (std::size_t m = 0; m < spec_.metrics.size(); ++m) {
-        os << scenario_field << ',' << churn_field << ',' << cell.n << ','
-           << cell.d << ',' << r << ',' << seed << ','
-           << csv_field(spec_.metrics[m]) << ',';
+        os << scenario_field << ',' << churn_field << ',' << protocol_field
+           << ',' << cell.n << ',' << cell.d << ',' << r << ',' << seed
+           << ',' << csv_field(spec_.metrics[m]) << ',';
         const double value = samples_[c][r][m];
         if (!std::isnan(value)) os << value;
         os << '\n';
@@ -302,6 +317,8 @@ void SweepResult::write_json(std::ostream& os) const {
     write_json_string(os, cell.scenario);
     os << ",\"churn\":";
     write_json_string(os, cell.churn);
+    os << ",\"protocol\":";
+    write_json_string(os, cell.protocol);
     os << ",\"n\":" << cell.n << ",\"d\":" << cell.d << ",\"metrics\":{";
     for (std::size_t m = 0; m < spec_.metrics.size(); ++m) {
       if (m > 0) os << ',';
@@ -342,15 +359,33 @@ SweepRunner::SweepRunner(SweepSpec spec) : spec_(std::move(spec)) {
 SweepResult SweepRunner::run(unsigned threads,
                              const ScenarioRegistry& registry) const {
   // Resolve every scenario once (aborts with the known names on typos),
-  // then expand the grid scenario-major.
+  // then expand the grid scenario-major, protocol axis next: an empty
+  // protocol list means one cell per scenario under the scenario's own
+  // protocol; explicit entries override it.
   std::vector<Scenario> resolved;
   resolved.reserve(spec_.scenarios.size());
   for (const std::string& name : spec_.scenarios) {
     resolved.push_back(registry.resolve(name));
   }
+  std::vector<std::optional<ProtocolSpec>> protocol_axis;
+  if (spec_.protocols.empty()) {
+    protocol_axis.push_back(std::nullopt);  // the scenario's own protocol
+  } else {
+    for (const std::string& text : spec_.protocols) {
+      std::string error;
+      const std::optional<ProtocolSpec> parsed =
+          ProtocolSpec::parse(text, &error);
+      if (!parsed.has_value()) {  // validate() already checked; belt and
+        std::fprintf(stderr, "%s\n", error.c_str());  // braces for direct
+        std::abort();                                 // run() callers
+      }
+      protocol_axis.push_back(parsed);
+    }
+  }
 
   struct Cell {
     const Scenario* scenario;
+    ProtocolSpec protocol;
     std::uint32_t n;
     std::uint32_t d;
   };
@@ -358,13 +393,16 @@ SweepResult SweepRunner::run(unsigned threads,
   std::vector<SweepCellKey> keys;
   cells.reserve(spec_.cell_count());
   for (const Scenario& scenario : resolved) {
-    for (const std::uint32_t n : spec_.n_values) {
-      for (const std::uint32_t d : spec_.d_values) {
-        cells.push_back(Cell{&scenario, n, d});
-        keys.push_back(SweepCellKey{
-            scenario.name(),
-            scenario.has_churn() ? scenario.churn().canonical() : "none", n,
-            d});
+    for (const std::optional<ProtocolSpec>& axis : protocol_axis) {
+      const ProtocolSpec protocol = axis.value_or(scenario.protocol());
+      for (const std::uint32_t n : spec_.n_values) {
+        for (const std::uint32_t d : spec_.d_values) {
+          cells.push_back(Cell{&scenario, protocol, n, d});
+          keys.push_back(SweepCellKey{
+              scenario.name(),
+              scenario.has_churn() ? scenario.churn().canonical() : "none",
+              protocol.canonical(), n, d});
+        }
       }
     }
   }
@@ -395,7 +433,7 @@ SweepResult SweepRunner::run(unsigned threads,
   const std::uint32_t max_in_degree = spec_.max_in_degree;
   const TrialResult flat = TrialRunner(options).run(
       spec_.metrics,
-      [&cells, &metrics, needs_snapshot, needs_flood, reps, base_seed,
+      [&cells, &keys, &metrics, needs_snapshot, needs_flood, reps, base_seed,
        max_in_degree](const TrialContext& ctx) {
         const std::uint64_t cell_index = ctx.replication / reps;
         const std::uint64_t replication = ctx.replication % reps;
@@ -418,9 +456,27 @@ SweepResult SweepRunner::run(unsigned threads,
           components = connected_components(snap);
         }
         FloodTrace trace;
+        ProtocolStats proto_stats;
         if (needs_flood) {
-          thread_local FloodScratch scratch;
-          trace = net.flood({}, scratch);
+          // The cell's protocol through the generic dissemination driver;
+          // its RNG stream is derived from the replication seed, so the
+          // job stays a pure function of (base_seed, cell, replication).
+          // Protocol instances are reusable across runs (begin_run resets
+          // everything), so each worker keeps one per canonical spec —
+          // jobs are cell-contiguous, making rebuilds rare.
+          thread_local ProtocolScratch scratch;
+          thread_local std::unique_ptr<DisseminationProtocol> protocol;
+          thread_local std::string protocol_key;
+          const std::string& key = keys[cell_index].protocol;
+          if (protocol == nullptr || protocol_key != key) {
+            protocol = make_protocol(cell.protocol);
+            protocol_key = key;
+          }
+          ProtocolOptions options = protocol_options(
+              cell.protocol, derive_seed(params.seed, 1, 0));
+          ProtocolResult run = net.disseminate(*protocol, options, scratch);
+          trace = std::move(run.trace);
+          proto_stats = run.stats;
         }
 
         std::vector<double> values;
@@ -459,6 +515,22 @@ SweepResult SweepRunner::run(unsigned threads,
               break;
             case SweepMetric::kFloodSteps:
               values.push_back(static_cast<double>(trace.steps));
+              break;
+            case SweepMetric::kMessages:
+              values.push_back(
+                  static_cast<double>(proto_stats.total_messages()));
+              break;
+            case SweepMetric::kUsefulDeliveries:
+              values.push_back(
+                  static_cast<double>(proto_stats.useful_deliveries));
+              break;
+            case SweepMetric::kDuplicateDeliveries:
+              values.push_back(
+                  static_cast<double>(proto_stats.duplicate_deliveries));
+              break;
+            case SweepMetric::kLostMessages:
+              values.push_back(
+                  static_cast<double>(proto_stats.lost_messages));
               break;
           }
         }

@@ -2,13 +2,16 @@
 // TrialRunner.
 //
 // A SweepSpec names a grid — scenario list (any resolve()-able name,
-// including "PDGR+pareto(2.5)" composites) × n list × d list — plus the
+// including "PDGR+pareto(2.5)+push(3)" composites) × protocol list
+// (dissemination protocols; optional axis) × n list × d list — plus the
 // metrics to measure and the replication budget. SweepRunner expands the
 // grid into cells, fans every (cell, replication) job across the engine's
 // one thread pool, and collects a SweepResult: per-cell statistics, the
 // full sample matrix, a tidy long-format CSV (one row per observation:
-// scenario, churn, n, d, replication, seed, metric, value) and a JSON
-// summary.
+// scenario, churn, protocol, n, d, replication, seed, metric, value) and
+// a JSON summary. Dissemination metrics (completion, coverage, message
+// complexity) run the cell's protocol through the generic driver; flood
+// cells reproduce the plain flood driver bit for bit.
 //
 // Seeding and determinism follow the engine's invariants (DESIGN.md,
 // decision 8): the replication seed of cell c is derive_seed(base_seed, c,
@@ -18,6 +21,7 @@
 // count.
 #pragma once
 
+#include <algorithm>
 #include <cstdint>
 #include <iosfwd>
 #include <optional>
@@ -35,18 +39,23 @@ namespace churnet {
 class JsonValue;
 
 /// One metric the sweep can measure per replication. All metrics are
-/// evaluated on a freshly built, warmed network; flood metrics run one
-/// flood under the model's own semantics.
+/// evaluated on a freshly built, warmed network; dissemination metrics run
+/// one pass of the cell's protocol (default: flood) under the model's own
+/// semantics — flood cells reproduce the plain flood driver bit for bit.
 enum class SweepMetric : std::uint8_t {
   kAlive,                 // |N| after warm-up
   kMeanDegree,            // snapshot mean degree
   kMaxDegree,             // snapshot max degree
   kIsolated,              // snapshot isolated-node count
   kLargestComponentFrac,  // largest component / alive
-  kCompletionStep,        // flood completion step (NaN if not completed)
-  kFinalFraction,         // informed/alive when the flood stopped
-  kPeakInformed,          // max |I_t| over the flood
-  kFloodSteps,            // steps the flood ran
+  kCompletionStep,        // completion step (NaN if not completed)
+  kFinalFraction,         // informed/alive when the run stopped
+  kPeakInformed,          // max |I_t| over the run
+  kFloodSteps,            // steps the run executed
+  kMessages,              // total messages (rumor transmissions + probes)
+  kUsefulDeliveries,      // deliveries informing a new node
+  kDuplicateDeliveries,   // deliveries wasted on informed nodes
+  kLostMessages,          // transmissions dropped by the lossy link
 };
 
 /// Declarative sweep grid. Build programmatically or load from JSON:
@@ -55,6 +64,7 @@ enum class SweepMetric : std::uint8_t {
 ///     "scenarios": ["PDGR", "PDGR+pareto(2.5)"],
 ///     "n": [500, 1000],
 ///     "d": [4, 8],
+///     "protocols": ["flood", "push(3)+lossy(0.9)"],  // optional axis
 ///     "metrics": ["alive", "completion_step"],   // optional
 ///     "replications": 8,                          // optional
 ///     "seed": 12345,                              // optional
@@ -64,13 +74,19 @@ struct SweepSpec {
   std::vector<std::string> scenarios;
   std::vector<std::uint32_t> n_values;
   std::vector<std::uint32_t> d_values;
+  /// Dissemination-protocol axis (protocols/protocol_spec.hpp grammar).
+  /// Empty = one implicit cell per scenario running the scenario's own
+  /// protocol (flood unless the name carried a "+push(3)"-style suffix);
+  /// non-empty entries override it.
+  std::vector<std::string> protocols;
   std::vector<std::string> metrics = default_metrics();
   std::uint64_t replications = 8;
   std::uint64_t base_seed = 12345;
   std::uint32_t max_in_degree = 0;
 
   std::size_t cell_count() const {
-    return scenarios.size() * n_values.size() * d_values.size();
+    return scenarios.size() * std::max<std::size_t>(protocols.size(), 1) *
+           n_values.size() * d_values.size();
   }
 
   /// The metric catalog ("alive", "mean_degree", ..., "flood_steps").
@@ -95,6 +111,7 @@ struct SweepSpec {
 struct SweepCellKey {
   std::string scenario;  // resolved name ("PDGR+pareto(2.50)")
   std::string churn;     // canonical churn spec; "none" for baselines
+  std::string protocol;  // canonical protocol spec ("flood", "push(3)")
   std::uint32_t n = 0;
   std::uint32_t d = 0;
 };
@@ -125,11 +142,11 @@ class SweepResult {
   /// The wall-clock is the whole sweep's (cells share one pool).
   TrialResult cell_trial(std::size_t cell) const;
 
-  /// One row per cell: scenario | churn | n | d | <metric means>.
+  /// One row per cell: scenario | churn | protocol | n | d | <means>.
   Table to_table() const;
 
   /// Tidy long format, one row per observation:
-  /// scenario,churn,n,d,replication,seed,metric,value
+  /// scenario,churn,protocol,n,d,replication,seed,metric,value
   void write_csv(std::ostream& os) const;
 
   /// Machine-readable summary + samples as one JSON object.

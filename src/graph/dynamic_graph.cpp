@@ -126,11 +126,15 @@ NodeId DynamicGraph::random_alive_other(Rng& rng, NodeId exclude) const {
 
 std::vector<NodeId> DynamicGraph::alive_nodes() const {
   std::vector<NodeId> nodes;
-  nodes.reserve(alive_slots_.size());
-  for (const std::uint32_t slot_index : alive_slots_) {
-    nodes.push_back(NodeId{slot_index, slots_[slot_index].generation});
-  }
+  append_alive_nodes(nodes);
   return nodes;
+}
+
+void DynamicGraph::append_alive_nodes(std::vector<NodeId>& out) const {
+  out.reserve(out.size() + alive_slots_.size());
+  for (const std::uint32_t slot_index : alive_slots_) {
+    out.push_back(NodeId{slot_index, slots_[slot_index].generation});
+  }
 }
 
 std::uint64_t DynamicGraph::birth_seq(NodeId node) const {

@@ -76,6 +76,11 @@ class DynamicGraph {
   /// Dense list of currently alive nodes (stable until the next mutation).
   std::vector<NodeId> alive_nodes() const;
 
+  /// Appends the alive nodes to `out` (same deterministic order as
+  /// alive_nodes) — for per-step full scans that reuse one buffer instead
+  /// of allocating.
+  void append_alive_nodes(std::vector<NodeId>& out) const;
+
   // ---- per-node queries ------------------------------------------------
 
   /// Monotone global birth sequence number (0 for the first node ever).

@@ -23,6 +23,7 @@
 #include "graph/dynamic_graph.hpp"
 #include "graph/snapshot.hpp"
 #include "models/edge_policy.hpp"
+#include "protocols/dissemination.hpp"
 
 namespace churnet {
 
@@ -87,6 +88,19 @@ class AnyNetwork {
     return flood(options, scratch);
   }
 
+  /// Runs `protocol` on the wrapped model via the generic dissemination
+  /// driver, under the model's own flood semantics (protocols/).
+  ProtocolResult disseminate(DisseminationProtocol& protocol,
+                             const ProtocolOptions& options,
+                             ProtocolScratch& scratch) {
+    return checked().disseminate(protocol, options, scratch);
+  }
+  ProtocolResult disseminate(DisseminationProtocol& protocol,
+                             const ProtocolOptions& options = {}) {
+    ProtocolScratch scratch;
+    return disseminate(protocol, options, scratch);
+  }
+
   /// Typed access to the wrapped model; nullptr on a type mismatch.
   template <typename Net>
   Net* get_if() {
@@ -112,6 +126,9 @@ class AnyNetwork {
     virtual Snapshot snapshot() const = 0;
     virtual FloodTrace flood(const FloodOptions& options,
                              FloodScratch& scratch) = 0;
+    virtual ProtocolResult disseminate(DisseminationProtocol& protocol,
+                                       const ProtocolOptions& options,
+                                       ProtocolScratch& scratch) = 0;
   };
 
   template <typename Net>
@@ -130,6 +147,11 @@ class AnyNetwork {
     FloodTrace flood(const FloodOptions& options,
                      FloodScratch& scratch) override {
       return flood_dynamic(net, options, scratch);
+    }
+    ProtocolResult disseminate(DisseminationProtocol& protocol,
+                               const ProtocolOptions& options,
+                               ProtocolScratch& scratch) override {
+      return disseminate_dynamic(net, protocol, options, scratch);
     }
 
     Net net;

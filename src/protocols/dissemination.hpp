@@ -1,0 +1,223 @@
+// Generic dissemination driver: flood_dynamic's step loop with the
+// per-step message generation delegated to a DisseminationProtocol.
+//
+// The loop structure is byte-for-byte the flood driver's (DESIGN.md,
+// decision 6): candidates are proposed from G_{t-1} and I_{t-1}, one
+// semantic step of churn runs (Net::flood_semantics picks the survival
+// rule, completion predicate and advance primitive), deaths un-inform
+// their nodes, and surviving candidates are committed in propose order.
+// With FloodProtocol plugged in, the informed sets and event sequence are
+// bit-identical to flood_dynamic on every model — the refactor is proven,
+// not assumed (tests/test_protocol_equivalence.cpp). Gossip protocols
+// reuse the identical churn bookkeeping, so PUSH/PULL on a churning
+// network get the paper's exact survival semantics for free.
+//
+// On top of the flood loop the driver adds: multi-source starts (extras
+// drawn from the protocol RNG, never the network's), message-complexity
+// accounting (ProtocolStats), and protocol callbacks (on_informed for
+// hop/state tracking, on_death for slot recycling).
+#pragma once
+
+#include <algorithm>
+#include <cstdint>
+#include <utility>
+
+#include "common/assertx.hpp"
+#include "models/edge_policy.hpp"
+#include "protocols/protocol.hpp"
+
+namespace churnet {
+
+namespace detail_protocol {
+
+/// True when some uninformed alive node has an informed neighbor — i.e.
+/// the informed set can still grow on a churn-free network. O(V+E); only
+/// consulted on zero-progress rounds to guarantee termination when
+/// randomized gossip has saturated its reachable component.
+inline bool informed_boundary_exists(const DynamicGraph& graph,
+                                     ProtocolScratch& scratch) {
+  const FloodScratch& fs = scratch.flood;
+  scratch.alive.clear();
+  graph.append_alive_nodes(scratch.alive);
+  for (const NodeId v : scratch.alive) {
+    if (fs.is_informed(v)) continue;
+    scratch.flood.neighbors.clear();
+    graph.append_neighbors(v, scratch.flood.neighbors);
+    for (const NodeId u : scratch.flood.neighbors) {
+      if (fs.is_informed(u)) return true;
+    }
+  }
+  return false;
+}
+
+}  // namespace detail_protocol
+
+/// Runs one dissemination process on `net` under its declared flood
+/// semantics. The network should be warmed up; all allocations are reused
+/// across calls through `scratch`, and the protocol is reset via
+/// begin_run, so one (protocol, scratch) pair serves a whole replication
+/// loop without steady-state allocation.
+template <typename Net>
+ProtocolResult disseminate_dynamic(Net& net, DisseminationProtocol& protocol,
+                                   const ProtocolOptions& options,
+                                   ProtocolScratch& scratch) {
+  using Semantics = typename Net::flood_semantics;
+  ProtocolResult result;
+  FloodTrace& trace = result.trace;
+  ProtocolStats& stats = result.stats;
+  FloodScratch& fs = scratch.flood;
+  fs.begin_trial(net.graph().slot_upper_bound());
+  scratch.informed.clear();
+  protocol.begin_run(options.seed, net.graph().slot_upper_bound());
+
+  const double delivery_q =
+      std::clamp(protocol.delivery_probability(), 0.0, 1.0);
+  // The receiver-dedup fast path is only sound when one surviving boundary
+  // message is as good as many: receiver-only survival and a lossless link.
+  const bool dedup = !Semantics::kPairCandidates &&
+                     protocol.dedup_receivers() && delivery_q >= 1.0;
+
+  NodeId source = kInvalidNode;
+  NetworkHooks hooks;
+  hooks.on_birth = [&source](NodeId node, double) {
+    if (!source.valid()) source = node;
+  };
+  hooks.on_edge_created = [&fs](NodeId owner, std::uint32_t, NodeId target,
+                                bool, double) {
+    fs.created.push_back({owner, target});
+  };
+  hooks.on_death = [&fs](NodeId node, double) { fs.note_death(node); };
+  net.set_hooks(std::move(hooks));
+
+  if constexpr (Semantics::kSourceIsNewborn) {
+    // The paper's convention: flooding starts from the node joining at t0.
+    while (!source.valid()) net.step();
+  } else {
+    CHURNET_EXPECTS(net.graph().alive_count() > 0);
+    source = net.graph().random_alive(net.rng());
+  }
+  // The sources' own birth edges are covered by the frontier.
+  fs.created.clear();
+  fs.clear_deaths();
+  fs.mark_informed(source);
+  fs.frontier.push_back(source);
+  scratch.informed.push_back(source);
+  protocol.on_informed(source, kInvalidNode,
+                       DisseminationProtocol::kNoCandidate);
+
+  // Extra sources: uniform alive nodes from the protocol RNG (the network
+  // realization stays identical to a single-source run under the same
+  // network seed). Capped at the alive count; the loop guard guarantees an
+  // uninformed alive node exists, so the rejection sampling terminates.
+  const std::uint64_t want_sources =
+      std::min<std::uint64_t>(options.sources, net.graph().alive_count());
+  while (fs.informed_count() < std::max<std::uint64_t>(want_sources, 1)) {
+    const NodeId extra = net.graph().random_alive(protocol.rng());
+    if (fs.mark_informed(extra)) {
+      fs.frontier.push_back(extra);
+      scratch.informed.push_back(extra);
+      protocol.on_informed(extra, kInvalidNode,
+                           DisseminationProtocol::kNoCandidate);
+    }
+  }
+
+  trace.peak_informed = fs.informed_count();
+  detail_flood::record_step(trace, options.flood, fs.informed_count(),
+                            net.graph().alive_count());
+
+  for (std::uint64_t step = 1; step <= options.flood.max_steps; ++step) {
+    fs.candidates.clear();
+    if (dedup) fs.begin_step();
+    StepView view(net.graph(), scratch, stats, dedup, delivery_q,
+                  &protocol.rng(), step);
+    protocol.propose(view);
+    fs.created.clear();
+    fs.clear_deaths();
+
+    // One semantic step of churn; hooks record deaths and new edges.
+    Semantics::advance(net);
+
+    for (const NodeId dead : fs.deaths()) {
+      fs.unmark_informed(dead);
+      protocol.on_death(dead);
+    }
+
+    // Commit surviving deliveries in propose order.
+    fs.frontier.clear();
+    for (std::size_t i = 0; i < fs.candidates.size(); ++i) {
+      const auto [u, v] = fs.candidates[i];
+      if constexpr (Semantics::kPairCandidates) {
+        if (fs.died_this_step(u) || fs.died_this_step(v)) continue;
+        CHURNET_ASSERT(net.graph().is_alive(v));
+      } else {
+        if (!net.graph().is_alive(v)) continue;  // the interval's death
+      }
+      if (fs.mark_informed(v)) {
+        ++stats.useful_deliveries;
+        fs.frontier.push_back(v);
+        scratch.informed.push_back(v);
+        protocol.on_informed(v, u, i);
+      } else {
+        ++stats.duplicate_deliveries;
+      }
+    }
+
+    trace.steps = step;
+    const std::uint64_t informed_count = fs.informed_count();
+    const std::uint64_t alive_count = net.graph().alive_count();
+    trace.peak_informed = std::max(trace.peak_informed, informed_count);
+    detail_flood::record_step(trace, options.flood, informed_count,
+                              alive_count);
+    trace.final_fraction = alive_count == 0
+                               ? 0.0
+                               : static_cast<double>(informed_count) /
+                                     static_cast<double>(alive_count);
+
+    if (Semantics::completed(informed_count, alive_count)) {
+      trace.completed = true;
+      trace.completion_step = step;
+      break;
+    }
+    if (informed_count == 0) {
+      trace.died_out = true;
+      trace.die_out_step = step;
+      if (options.flood.stop_on_die_out) break;
+    }
+    if (options.flood.stop_at_fraction < 1.0 &&
+        trace.final_fraction >= options.flood.stop_at_fraction) {
+      break;
+    }
+    if constexpr (Semantics::kChurnFree) {
+      // Frontier-driven protocols (flood, TTL) can only ever propose from
+      // new informs or new edges: with neither, the run is a fixed point.
+      // Randomized gossip can idle and retry, so on its zero-progress
+      // rounds check whether an informed-to-uninformed edge still exists;
+      // once the reachable component is saturated (e.g. a disconnected
+      // baseline), no coin can ever help and the run is over — without
+      // this, a non-completing gossip run would burn the full max_steps.
+      if (fs.frontier.empty()) {
+        if (protocol.frontier_driven()) break;
+        if (!detail_protocol::informed_boundary_exists(net.graph(),
+                                                       scratch)) {
+          break;
+        }
+      }
+    }
+  }
+
+  net.set_hooks({});
+  stats.rounds = trace.steps;
+  stats.completed = trace.completed;
+  stats.final_coverage = trace.final_fraction;
+  return result;
+}
+
+/// Convenience overload with a private (per-call) scratch.
+template <typename Net>
+ProtocolResult disseminate_dynamic(Net& net, DisseminationProtocol& protocol,
+                                   const ProtocolOptions& options = {}) {
+  ProtocolScratch scratch;
+  return disseminate_dynamic(net, protocol, options, scratch);
+}
+
+}  // namespace churnet

@@ -1,0 +1,216 @@
+#include "protocols/gossip.hpp"
+
+#include <algorithm>
+
+#include "common/table.hpp"
+
+namespace churnet {
+namespace {
+
+/// The flood boundary scan shared by FloodProtocol and TtlFloodProtocol:
+/// frontier nodes (filtered by `forwards`) offer to every uninformed
+/// neighbor, then edges created during the previous interval with exactly
+/// one informed (and forwarding) endpoint offer across. This is verbatim
+/// the candidate generation of flood_dynamic — the equivalence tests pin
+/// it bit-for-bit. `send(u, v)` performs the actual emission, so TTL can
+/// attach hop payloads to recorded candidates.
+template <typename Forwards, typename Send>
+void propose_boundary(StepView& view, const Forwards& forwards,
+                      const Send& send) {
+  const DynamicGraph& graph = view.graph();
+  std::vector<NodeId>& neighbors = view.neighbor_buffer();
+  for (const NodeId u : view.frontier()) {
+    if (!graph.is_alive(u)) continue;  // died in a previous interval
+    if (!forwards(u)) continue;
+    neighbors.clear();
+    graph.append_neighbors(u, neighbors);
+    for (const NodeId v : neighbors) {
+      if (!view.is_informed(v)) send(u, v);
+    }
+  }
+  for (const CreatedEdge& edge : view.created()) {
+    // An edge created in the previous interval counts from now on,
+    // provided it still exists (both endpoints alive).
+    if (!graph.is_alive(edge.owner) || !graph.is_alive(edge.target)) {
+      continue;
+    }
+    const bool owner_informed = view.is_informed(edge.owner);
+    const bool target_informed = view.is_informed(edge.target);
+    if (owner_informed && !target_informed && forwards(edge.owner)) {
+      send(edge.owner, edge.target);
+    } else if (target_informed && !owner_informed && forwards(edge.target)) {
+      send(edge.target, edge.owner);
+    }
+  }
+}
+
+}  // namespace
+
+// ---- FloodProtocol ---------------------------------------------------------
+
+void FloodProtocol::propose(StepView& view) {
+  propose_boundary(
+      view, [](NodeId) { return true; },
+      [&view](NodeId u, NodeId v) { view.send(u, v); });
+}
+
+// ---- TtlFloodProtocol ------------------------------------------------------
+
+std::string TtlFloodProtocol::name() const {
+  return "ttl(" + fmt_int(static_cast<std::int64_t>(ttl_)) + ")";
+}
+
+void TtlFloodProtocol::begin_run(std::uint64_t seed,
+                                 std::uint32_t slot_bound) {
+  DisseminationProtocol::begin_run(seed, slot_bound);
+  ++epoch_;
+  if (slot_bound > stamp_.size()) {
+    stamp_.resize(slot_bound, 0);
+    hop_.resize(slot_bound, 0);
+  }
+  pending_hops_.clear();
+}
+
+void TtlFloodProtocol::propose(StepView& view) {
+  pending_hops_.clear();
+  propose_boundary(
+      view, [this](NodeId u) { return forwards(u); },
+      [this, &view](NodeId u, NodeId v) {
+        // Record the receiver's hop only for candidates the view actually
+        // kept, so pending_hops_ stays aligned with candidate indices.
+        if (view.send(u, v)) pending_hops_.push_back(hop_[u.slot] + 1);
+      });
+}
+
+void TtlFloodProtocol::on_informed(NodeId node, NodeId sender,
+                                   std::size_t candidate_index) {
+  if (node.slot >= stamp_.size()) {
+    const std::size_t size = std::max<std::size_t>(
+        node.slot + 1, stamp_.size() + stamp_.size() / 2);
+    stamp_.resize(size, 0);
+    hop_.resize(size, 0);
+  }
+  stamp_[node.slot] = epoch_;
+  if (!sender.valid() || candidate_index == kNoCandidate) {
+    hop_[node.slot] = 0;  // source
+    return;
+  }
+  CHURNET_ASSERT(candidate_index < pending_hops_.size());
+  hop_[node.slot] = pending_hops_[candidate_index];
+}
+
+void TtlFloodProtocol::on_death(NodeId node) {
+  if (node.slot < stamp_.size()) stamp_[node.slot] = 0;
+}
+
+std::uint32_t TtlFloodProtocol::hop_of(NodeId node) const {
+  return node.slot < stamp_.size() && stamp_[node.slot] == epoch_
+             ? hop_[node.slot]
+             : 0;
+}
+
+// ---- PushProtocol ----------------------------------------------------------
+
+std::string PushProtocol::name() const {
+  return "push(" + fmt_int(static_cast<std::int64_t>(fanout_)) + ")";
+}
+
+void PushProtocol::propose(StepView& view) {
+  const DynamicGraph& graph = view.graph();
+  std::vector<NodeId>& neighbors = view.neighbor_buffer();
+  for (const NodeId u : view.informed()) {
+    // The inform-order list keeps dead and stale-slot entries; liveness
+    // filters them (a recycled slot's new occupant has its own entry).
+    if (!graph.is_alive(u)) continue;
+    neighbors.clear();
+    graph.append_neighbors(u, neighbors);
+    if (neighbors.empty()) continue;
+    for (std::uint32_t k = 0; k < fanout_; ++k) {
+      const NodeId v = neighbors[static_cast<std::size_t>(
+          rng_.below(neighbors.size()))];
+      view.send(u, v);  // oblivious: duplicates are the protocol's waste
+    }
+  }
+}
+
+// ---- PullProtocol ----------------------------------------------------------
+
+std::string PullProtocol::name() const {
+  return "pull(" + fmt_int(static_cast<std::int64_t>(fanout_)) + ")";
+}
+
+void PullProtocol::propose(StepView& view) {
+  const DynamicGraph& graph = view.graph();
+  std::vector<NodeId>& neighbors = view.neighbor_buffer();
+  std::vector<NodeId>& alive = view.alive_buffer();
+  alive.clear();
+  graph.append_alive_nodes(alive);
+  for (const NodeId v : alive) {
+    if (view.is_informed(v)) continue;
+    neighbors.clear();
+    graph.append_neighbors(v, neighbors);
+    if (neighbors.empty()) continue;
+    for (std::uint32_t k = 0; k < fanout_; ++k) {
+      const NodeId u = neighbors[static_cast<std::size_t>(
+          rng_.below(neighbors.size()))];
+      if (view.is_informed(u)) {
+        view.send(u, v);  // the informed neighbor answers the pull
+      } else {
+        view.count_overhead();  // probe answered empty
+      }
+    }
+  }
+}
+
+// ---- PushPullProtocol ------------------------------------------------------
+
+std::string PushPullProtocol::name() const {
+  return "push-pull(" + fmt_int(static_cast<std::int64_t>(fanout_)) + ")";
+}
+
+void PushPullProtocol::propose(StepView& view) {
+  const DynamicGraph& graph = view.graph();
+  std::vector<NodeId>& neighbors = view.neighbor_buffer();
+  std::vector<NodeId>& alive = view.alive_buffer();
+  alive.clear();
+  graph.append_alive_nodes(alive);
+  for (const NodeId v : alive) {
+    neighbors.clear();
+    graph.append_neighbors(v, neighbors);
+    if (neighbors.empty()) continue;
+    const bool caller_informed = view.is_informed(v);
+    for (std::uint32_t k = 0; k < fanout_; ++k) {
+      const NodeId u = neighbors[static_cast<std::size_t>(
+          rng_.below(neighbors.size()))];
+      if (caller_informed) {
+        view.send(v, u);  // push
+      } else if (view.is_informed(u)) {
+        view.send(u, v);  // pull answered
+      } else {
+        view.count_overhead();  // neither side has the rumor
+      }
+    }
+  }
+}
+
+// ---- LossyProtocol ---------------------------------------------------------
+
+LossyProtocol::LossyProtocol(std::unique_ptr<DisseminationProtocol> inner,
+                             double q)
+    : inner_(std::move(inner)), q_(q) {
+  CHURNET_EXPECTS(inner_ != nullptr);
+  CHURNET_EXPECTS(q_ >= 0.0 && q_ <= 1.0);
+}
+
+std::string LossyProtocol::name() const {
+  return inner_->name() + "+lossy(" + fmt_fixed(q_, 2) + ")";
+}
+
+void LossyProtocol::begin_run(std::uint64_t seed, std::uint32_t slot_bound) {
+  // Two decorrelated streams from one run seed: the wrapper's loss coins
+  // and the inner protocol's own choices.
+  DisseminationProtocol::begin_run(derive_seed(seed, 0, 0), slot_bound);
+  inner_->begin_run(derive_seed(seed, 1, 0), slot_bound);
+}
+
+}  // namespace churnet

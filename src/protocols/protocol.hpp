@@ -1,0 +1,254 @@
+// The dissemination-protocol abstraction: what spreads a rumor over a
+// dynamic network, generalized from full flooding the same way ChurnProcess
+// generalized churn (DESIGN.md, "Protocol layer").
+//
+// The generic driver (protocols/dissemination.hpp) owns the step loop —
+// advance the network one semantic step, track deaths and fresh edges,
+// commit surviving deliveries, test completion — exactly as the flood
+// driver does. What differs between protocols is *which messages are
+// offered each step*: a DisseminationProtocol's propose() emits this
+// step's (sender, receiver) transmission attempts through a StepView, and
+// the driver does the rest. Full flooding re-expressed this way is proven
+// bit-identical to flooding/flood_driver.hpp
+// (tests/test_protocol_equivalence.cpp).
+//
+// Message accounting: every send() is one rumor-bearing transmission
+// attempt (messages_sent). A lossy link may drop it (lost_messages); a
+// delivery that survives churn either informs a new node
+// (useful_deliveries) or is wasted on an already-informed one
+// (duplicate_deliveries). Protocols that probe without carrying the rumor
+// (PULL contacting an uninformed neighbor) count those probes as
+// overhead_messages. Under the flood fast path (receiver-deduplicated
+// streaming semantics, lossless), duplicate boundary messages are
+// suppressed at propose time and accounted directly as
+// duplicate_deliveries — the informed sets are unchanged, only the
+// per-message survival check is elided (see dissemination.hpp).
+//
+// Protocols never touch the network's RNG: all protocol randomness (gossip
+// fanout choices, loss coins) comes from a protocol-owned Rng reseeded per
+// run, so the network realization under a fixed seed is identical no
+// matter which protocol runs on it.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "common/assertx.hpp"
+#include "common/rng.hpp"
+#include "flooding/flood_driver.hpp"
+#include "graph/dynamic_graph.hpp"
+#include "graph/node_id.hpp"
+
+namespace churnet {
+
+/// Per-run message-complexity accounting. Plain counters bumped by the
+/// driver and StepView::send; reset by the driver at begin_run.
+struct ProtocolStats {
+  /// Rumor-bearing transmission attempts (including ones later lost or
+  /// dropped by endpoint churn).
+  std::uint64_t messages_sent = 0;
+  /// Rumor-free probes (e.g. PULL requests answered by uninformed nodes).
+  std::uint64_t overhead_messages = 0;
+  /// Transmissions dropped by the lossy-link coin.
+  std::uint64_t lost_messages = 0;
+  /// Deliveries that informed a previously uninformed node.
+  std::uint64_t useful_deliveries = 0;
+  /// Deliveries wasted on an already-informed node.
+  std::uint64_t duplicate_deliveries = 0;
+  /// Steps the run executed (== trace.steps).
+  std::uint64_t rounds = 0;
+  /// Completion per the model's semantics (== trace.completed).
+  bool completed = false;
+  /// informed/alive when the run stopped (== trace.final_fraction).
+  double final_coverage = 0.0;
+
+  /// Messages that arrived at a live endpoint.
+  std::uint64_t deliveries() const {
+    return useful_deliveries + duplicate_deliveries;
+  }
+  /// Every message on the wire: rumor transmissions plus probes.
+  std::uint64_t total_messages() const {
+    return messages_sent + overhead_messages;
+  }
+  /// Transmissions voided by endpoint death within the step.
+  std::uint64_t dropped_by_churn() const {
+    return messages_sent - lost_messages - deliveries();
+  }
+};
+
+/// Driver-level knobs for one dissemination run; mirrors (and embeds)
+/// FloodOptions so flood-path semantics carry over unchanged.
+struct ProtocolOptions {
+  FloodOptions flood;
+  /// Seed of the protocol-owned RNG (gossip choices, loss coins). The
+  /// flood protocol consumes none, preserving flood-driver bit-identity.
+  std::uint64_t seed = 0;
+  /// Number of initially informed nodes. The first source follows the
+  /// model's own convention (newborn / uniform); extras are uniform alive
+  /// nodes drawn from the protocol RNG, capped at the alive count.
+  std::uint32_t sources = 1;
+};
+
+/// Reusable per-run state: the flood driver's epoch-stamped scratch plus
+/// the protocol layer's buffers. Zero allocation after the first trial of
+/// a replication loop, like FloodScratch itself.
+struct ProtocolScratch {
+  FloodScratch flood;
+  /// Every node informed this run, in inform order (never shrunk on death;
+  /// consumers filter by liveness). PUSH-style protocols iterate it.
+  std::vector<NodeId> informed;
+  /// Reusable alive-node buffer for PULL-style full scans.
+  std::vector<NodeId> alive;
+};
+
+/// Outcome of one dissemination run: the flood-compatible trace plus the
+/// message accounting.
+struct ProtocolResult {
+  FloodTrace trace;
+  ProtocolStats stats;
+};
+
+/// What a protocol sees while proposing one step's messages: the graph as
+/// of the previous step, membership queries, the frontier/created-edge
+/// incremental state, and the send() sink with loss + dedup applied.
+class StepView {
+ public:
+  StepView(const DynamicGraph& graph, ProtocolScratch& scratch,
+           ProtocolStats& stats, bool dedup_receivers, double delivery_q,
+           Rng* loss_rng, std::uint64_t step)
+      : graph_(graph),
+        scratch_(scratch),
+        stats_(stats),
+        dedup_(dedup_receivers),
+        delivery_q_(delivery_q),
+        loss_rng_(loss_rng),
+        step_(step) {}
+
+  const DynamicGraph& graph() const { return graph_; }
+  /// 1-based index of the step being proposed.
+  std::uint64_t step() const { return step_; }
+  bool is_informed(NodeId node) const { return scratch_.flood.is_informed(node); }
+  std::uint64_t informed_count() const {
+    return scratch_.flood.informed_count();
+  }
+
+  /// Nodes newly informed at the previous step (the flood frontier).
+  const std::vector<NodeId>& frontier() const { return scratch_.flood.frontier; }
+  /// Edges created during the previous step's churn interval.
+  const std::vector<CreatedEdge>& created() const {
+    return scratch_.flood.created;
+  }
+  /// Every node informed this run in inform order; entries may be dead or
+  /// stale (slot reused) — filter with graph().is_alive().
+  const std::vector<NodeId>& informed() const { return scratch_.informed; }
+
+  /// Reusable buffers (cleared by the caller before use).
+  std::vector<NodeId>& neighbor_buffer() { return scratch_.flood.neighbors; }
+  std::vector<NodeId>& alive_buffer() { return scratch_.alive; }
+
+  /// Offers one rumor transmission sender -> receiver. Applies the lossy
+  /// coin and (on the lossless flood fast path) receiver deduplication.
+  /// Returns true iff a delivery candidate was recorded — exactly then the
+  /// candidate index protocols see in on_informed advances by one.
+  bool send(NodeId sender, NodeId receiver) {
+    ++stats_.messages_sent;
+    if (delivery_q_ < 1.0 && !loss_rng_->bernoulli(delivery_q_)) {
+      ++stats_.lost_messages;
+      return false;
+    }
+    if (dedup_) {
+      if (!scratch_.flood.mark_candidate(receiver)) {
+        // The receiver already has a surviving candidate this step: the
+        // extra boundary message is wasted by construction.
+        ++stats_.duplicate_deliveries;
+        return false;
+      }
+    }
+    scratch_.flood.candidates.emplace_back(sender, receiver);
+    return true;
+  }
+
+  /// Counts a rumor-free probe (PULL request to an uninformed neighbor).
+  void count_overhead(std::uint64_t probes = 1) {
+    stats_.overhead_messages += probes;
+  }
+
+ private:
+  const DynamicGraph& graph_;
+  ProtocolScratch& scratch_;
+  ProtocolStats& stats_;
+  bool dedup_;
+  double delivery_q_;
+  Rng* loss_rng_;
+  std::uint64_t step_;
+};
+
+/// A dissemination protocol: proposes each step's transmission attempts
+/// and tracks whatever per-node state it needs (hop counts, ...). One
+/// instance runs one trial at a time; begin_run reseeds and resets it, so
+/// instances are reusable across replications (zero steady-state
+/// allocation, like FloodScratch).
+class DisseminationProtocol {
+ public:
+  /// on_informed candidate index for nodes informed without a message
+  /// (the sources).
+  static constexpr std::size_t kNoCandidate = ~std::size_t{0};
+
+  virtual ~DisseminationProtocol() = default;
+
+  /// Canonical name, matching ProtocolSpec::canonical() of the spec that
+  /// built it ("flood", "push(3)", "flood+lossy(0.90)", ...).
+  virtual std::string name() const = 0;
+
+  /// Resets per-run state and reseeds the protocol RNG. `slot_bound` is
+  /// the graph's slot_upper_bound() for slot-indexed per-node state.
+  virtual void begin_run(std::uint64_t seed, std::uint32_t slot_bound) {
+    (void)slot_bound;
+    rng_ = Rng(seed);
+  }
+
+  /// Emits this step's transmission attempts via view.send(). The view
+  /// exposes G_{t-1} (the graph before this step's churn) and I_{t-1}.
+  virtual void propose(StepView& view) = 0;
+
+  /// Notification that `node` became informed — by candidate
+  /// `candidate_index` of this step (an index into the propose-order
+  /// candidate list, aligned with send() calls that returned true), or as
+  /// a source (sender invalid, kNoCandidate).
+  virtual void on_informed(NodeId node, NodeId sender,
+                           std::size_t candidate_index) {
+    (void)node;
+    (void)sender;
+    (void)candidate_index;
+  }
+
+  /// Notification that `node` died (per-node protocol state for its slot
+  /// must be dropped: the slot can be recycled within the same run).
+  virtual void on_death(NodeId node) { (void)node; }
+
+  /// True when propose() only ever emits from the frontier/created-edge
+  /// incremental state (flood, TTL flood): on a churn-free network an
+  /// empty frontier is then a fixed point and the driver stops early.
+  virtual bool frontier_driven() const { return false; }
+
+  /// True when receiver deduplication preserves the protocol's semantics
+  /// (flooding: any one boundary message suffices). The driver enables the
+  /// dedup fast path only under receiver-survival semantics AND a lossless
+  /// link; gossip protocols return false so every duplicate is accounted.
+  virtual bool dedup_receivers() const { return false; }
+
+  /// Per-message delivery probability; 1.0 = lossless. Overridden by the
+  /// lossy-link wrapper.
+  virtual double delivery_probability() const { return 1.0; }
+
+  /// The protocol-owned RNG stream (also used by the driver for extra
+  /// sources and by StepView for loss coins).
+  Rng& rng() { return rng_; }
+
+ protected:
+  Rng rng_{0};
+};
+
+}  // namespace churnet

@@ -89,6 +89,12 @@ TEST(ChurnSpec, RejectsMalformedSpecsWithClearErrors) {
   EXPECT_NE(error_of("bursty(0.5)").find("must be > 1"), std::string::npos);
   EXPECT_NE(error_of("drift(-2)").find("must be > 0"), std::string::npos);
   EXPECT_NE(error_of("pareto(,)").find("empty argument"), std::string::npos);
+  // strtod parses "nan": the range checks must reject it too, or the
+  // diagnostic degrades to an assertion deep inside the churn process.
+  EXPECT_NE(error_of("pareto(nan)").find("must be > 1"), std::string::npos);
+  EXPECT_NE(error_of("weibull(nan)").find("must be > 0"), std::string::npos);
+  EXPECT_NE(error_of("bursty(nan)").find("must be > 1"), std::string::npos);
+  EXPECT_NE(error_of("drift(nan)").find("must be > 0"), std::string::npos);
 }
 
 // ---- heavy-tailed lifetimes ------------------------------------------------

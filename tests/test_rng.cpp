@@ -118,6 +118,58 @@ TEST(Rng, BernoulliFrequency) {
   EXPECT_NEAR(static_cast<double>(hits) / kDraws, 0.3, 0.01);
 }
 
+TEST(Rng, BernoulliFrequencyAcrossTheProbabilityRange) {
+  // The lossy-link coin runs at arbitrary q: check the hit rate within a
+  // 4-sigma binomial band at extreme and midrange probabilities.
+  constexpr int kDraws = 200000;
+  std::uint64_t stream = 0;
+  for (const double p : {0.01, 0.1, 0.5, 0.9, 0.99}) {
+    Rng rng(100 + stream++);
+    int hits = 0;
+    for (int i = 0; i < kDraws; ++i) hits += rng.bernoulli(p) ? 1 : 0;
+    const double sigma = std::sqrt(p * (1.0 - p) / kDraws);
+    EXPECT_NEAR(static_cast<double>(hits) / kDraws, p, 4.0 * sigma) << p;
+  }
+}
+
+TEST(Rng, BernoulliDrawsAreSeriallyUncorrelated) {
+  // Lag-1 correlation of the coin stream: consecutive draws must look
+  // independent, or a lossy link would drop messages in bursts.
+  Rng rng(29);
+  constexpr int kDraws = 200000;
+  constexpr double kP = 0.4;
+  int hits = 0;
+  int consecutive = 0;  // (1,1) pairs at lag 1
+  bool previous = rng.bernoulli(kP);
+  hits += previous ? 1 : 0;
+  for (int i = 1; i < kDraws; ++i) {
+    const bool draw = rng.bernoulli(kP);
+    hits += draw ? 1 : 0;
+    consecutive += (draw && previous) ? 1 : 0;
+    previous = draw;
+  }
+  // P(pair of ones) == p^2 under independence; 4-sigma band.
+  const double pair_rate =
+      static_cast<double>(consecutive) / (kDraws - 1);
+  const double sigma =
+      std::sqrt(kP * kP * (1.0 - kP * kP) / (kDraws - 1));
+  EXPECT_NEAR(pair_rate, kP * kP, 4.0 * sigma);
+  EXPECT_NEAR(static_cast<double>(hits) / kDraws, kP, 0.01);
+}
+
+TEST(Rng, BernoulliStreamsDecorrelateAcrossSeeds) {
+  // Adjacent seeds must give independent coin streams (splitmix64
+  // seeding): the agreement rate of two streams at p = 0.5 is 1/2.
+  Rng a(1000);
+  Rng b(1001);
+  constexpr int kDraws = 100000;
+  int agree = 0;
+  for (int i = 0; i < kDraws; ++i) {
+    agree += a.bernoulli(0.5) == b.bernoulli(0.5) ? 1 : 0;
+  }
+  EXPECT_NEAR(static_cast<double>(agree) / kDraws, 0.5, 0.01);
+}
+
 TEST(Rng, ExponentialMeanMatchesRate) {
   Rng rng(23);
   for (const double rate : {0.5, 1.0, 4.0}) {

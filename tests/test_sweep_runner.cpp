@@ -29,19 +29,22 @@ SweepSpec small_spec() {
 TEST(SweepSpec, FromJsonTextLoadsEveryKey) {
   std::string error;
   const auto spec = SweepSpec::from_json_text(
-      R"({"scenarios": ["PDGR", "SDG"], "n": [300], "d": [4, 8],
+      R"json({"scenarios": ["PDGR", "SDG"], "n": [300], "d": [4, 8],
+          "protocols": ["flood", "push(3)"],
           "metrics": ["alive"], "replications": 5, "seed": 99,
-          "max_in_degree": 16})",
+          "max_in_degree": 16})json",
       &error);
   ASSERT_TRUE(spec.has_value()) << error;
   EXPECT_EQ(spec->scenarios, (std::vector<std::string>{"PDGR", "SDG"}));
   EXPECT_EQ(spec->n_values, (std::vector<std::uint32_t>{300}));
   EXPECT_EQ(spec->d_values, (std::vector<std::uint32_t>{4, 8}));
+  EXPECT_EQ(spec->protocols,
+            (std::vector<std::string>{"flood", "push(3)"}));
   EXPECT_EQ(spec->metrics, (std::vector<std::string>{"alive"}));
   EXPECT_EQ(spec->replications, 5u);
   EXPECT_EQ(spec->base_seed, 99u);
   EXPECT_EQ(spec->max_in_degree, 16u);
-  EXPECT_EQ(spec->cell_count(), 4u);
+  EXPECT_EQ(spec->cell_count(), 8u);
 }
 
 TEST(SweepSpec, OmittedMetricsKeepDefaults) {
@@ -76,6 +79,15 @@ TEST(SweepSpec, RejectsBadConfigsWithReasons) {
   EXPECT_NE(error_of(R"({"scenarios": ["PDGR"], "n": [300], "d": [4],
                          "metrics": ["bogus"]})")
                 .find("unknown metric 'bogus'"),
+            std::string::npos);
+  // Protocol-axis entries are validated up front with the parser's reason.
+  EXPECT_NE(error_of(R"({"scenarios": ["PDGR"], "n": [300], "d": [4],
+                         "protocols": ["smoke-signal"]})")
+                .find("unknown protocol 'smoke-signal'"),
+            std::string::npos);
+  EXPECT_NE(error_of(R"json({"scenarios": ["PDGR"], "n": [300], "d": [4],
+                         "protocols": ["flood+lossy(2)"]})json")
+                .find("delivery probability"),
             std::string::npos);
   EXPECT_NE(error_of("{\"scenarios\": [\"PDGR\"], \"n\": [300], \"d\": [4]")
                 .find("offset"),
@@ -112,6 +124,7 @@ TEST(SweepRunner, ExpandsGridScenarioMajorWithChurnColumn) {
   ASSERT_EQ(result.cells().size(), 4u);
   EXPECT_EQ(result.cells()[0].scenario, "SDGR");
   EXPECT_EQ(result.cells()[0].churn, "stream");
+  EXPECT_EQ(result.cells()[0].protocol, "flood");  // the implicit default
   EXPECT_EQ(result.cells()[0].n, 100u);
   EXPECT_EQ(result.cells()[1].n, 200u);
   EXPECT_EQ(result.cells()[2].scenario, "PDGR+pareto(2.50)");
@@ -122,10 +135,103 @@ TEST(SweepRunner, ExpandsGridScenarioMajorWithChurnColumn) {
   EXPECT_EQ(result.stats(0, 0).count(), 3u);
 }
 
+TEST(SweepRunner, ProtocolAxisMultipliesTheGrid) {
+  SweepSpec spec;
+  spec.scenarios = {"SDGR", "PDGR"};
+  spec.protocols = {"flood", "push(2)"};
+  spec.n_values = {100};
+  spec.d_values = {4};
+  spec.metrics = {"final_fraction", "messages", "useful_deliveries",
+                  "duplicate_deliveries"};
+  spec.replications = 2;
+  const SweepResult result = SweepRunner(spec).run(2);
+  ASSERT_EQ(result.cells().size(), 4u);
+  // Protocol axis nests inside the scenario axis.
+  EXPECT_EQ(result.cells()[0].protocol, "flood");
+  EXPECT_EQ(result.cells()[1].protocol, "push(2)");
+  EXPECT_EQ(result.cells()[0].scenario, "SDGR");
+  EXPECT_EQ(result.cells()[1].scenario, "SDGR");
+  EXPECT_EQ(result.cells()[2].scenario, "PDGR");
+  // Message columns are populated: every informed node past the source is
+  // one useful delivery, and messages dominate useful deliveries.
+  for (std::size_t c = 0; c < result.cells().size(); ++c) {
+    EXPECT_GT(result.stats(c, 1).mean(), 0.0) << c;       // messages
+    EXPECT_GE(result.stats(c, 1).mean(),
+              result.stats(c, 2).mean())
+        << c;  // messages >= useful
+  }
+  // Gossip wastes messages on duplicates; flood under streaming dedup
+  // accounts them too. Either way the duplicate column is meaningful.
+  EXPECT_GT(result.stats(1, 3).mean(), 0.0);
+}
+
+TEST(SweepRunner, ScenarioCarriedProtocolsFlowIntoCells) {
+  SweepSpec spec;
+  spec.scenarios = {"PDGR+push(3)+lossy(0.9)"};
+  spec.n_values = {100};
+  spec.d_values = {4};
+  spec.metrics = {"final_fraction", "lost_messages"};
+  spec.replications = 2;
+  const SweepResult result = SweepRunner(spec).run(1);
+  ASSERT_EQ(result.cells().size(), 1u);
+  EXPECT_EQ(result.cells()[0].scenario, "PDGR+push(3)+lossy(0.90)");
+  EXPECT_EQ(result.cells()[0].protocol, "push(3)+lossy(0.90)");
+  // The lossy wrapper actually ran: losses were recorded.
+  EXPECT_GT(result.stats(0, 1).mean(), 0.0);
+  // An explicit protocol axis overrides the scenario's own protocol.
+  spec.protocols = {"flood"};
+  const SweepResult overridden = SweepRunner(spec).run(1);
+  EXPECT_EQ(overridden.cells()[0].protocol, "flood");
+  EXPECT_DOUBLE_EQ(overridden.stats(0, 1).mean(), 0.0);
+}
+
+TEST(SweepRunner, FloodCellsMatchThePlainFloodDriver) {
+  // The dissemination path is the only path sweeps use now; its flood
+  // numbers must equal running the flood driver directly under the same
+  // derive_seed routing (the bit-identity guarantee, observed end to end).
+  SweepSpec spec;
+  spec.scenarios = {"SDGR", "PDGR"};
+  spec.n_values = {150};
+  spec.d_values = {4};
+  spec.metrics = {"completion_step", "final_fraction", "peak_informed"};
+  spec.replications = 3;
+  spec.base_seed = 4242;
+  const SweepResult result = SweepRunner(spec).run(2);
+  for (std::size_t c = 0; c < result.cells().size(); ++c) {
+    const Scenario scenario =
+        ScenarioRegistry::extended().resolve(result.cells()[c].scenario);
+    for (std::size_t r = 0; r < spec.replications; ++r) {
+      ScenarioParams params;
+      params.n = result.cells()[c].n;
+      params.d = result.cells()[c].d;
+      params.seed = derive_seed(spec.base_seed, c, r);
+      AnyNetwork net = scenario.make_warmed(params);
+      const FloodTrace trace = net.flood();
+      const double expected_step =
+          trace.completed ? static_cast<double>(trace.completion_step)
+                          : std::nan("");
+      const double actual_step = result.samples()[c][r][0];
+      if (std::isnan(expected_step)) {
+        EXPECT_TRUE(std::isnan(actual_step));
+      } else {
+        EXPECT_EQ(actual_step, expected_step) << c << " " << r;
+      }
+      EXPECT_EQ(result.samples()[c][r][1], trace.final_fraction);
+      EXPECT_EQ(result.samples()[c][r][2],
+                static_cast<double>(trace.peak_informed));
+    }
+  }
+}
+
 TEST(SweepRunner, DeterministicAcrossThreadCounts) {
-  const SweepSpec spec = small_spec();
+  // Includes a protocol axis with randomized gossip + loss: protocol RNG
+  // streams are derive_seed-routed per job, so even the message columns
+  // are bit-identical at 1 and 8 threads.
+  SweepSpec spec = small_spec();
+  spec.protocols = {"flood", "push(2)+lossy(0.9)"};
+  spec.metrics = {"alive", "completion_step", "messages", "lost_messages"};
   const SweepResult serial = SweepRunner(spec).run(1);
-  const SweepResult parallel = SweepRunner(spec).run(4);
+  const SweepResult parallel = SweepRunner(spec).run(8);
   ASSERT_EQ(serial.cells().size(), parallel.cells().size());
   for (std::size_t c = 0; c < serial.cells().size(); ++c) {
     for (std::size_t r = 0; r < spec.replications; ++r) {
@@ -153,8 +259,9 @@ TEST(SweepRunner, CsvIsTidyLongFormatWithCellStreamSeeds) {
   result.write_csv(os);
   const std::string csv = os.str();
 
-  EXPECT_EQ(csv.find("scenario,churn,n,d,replication,seed,metric,value"),
-            0u);
+  EXPECT_EQ(
+      csv.find("scenario,churn,protocol,n,d,replication,seed,metric,value"),
+      0u);
   // One row per (cell, replication, metric) plus the header.
   std::size_t rows = 0;
   for (const char c : csv) rows += c == '\n' ? 1 : 0;
@@ -162,7 +269,7 @@ TEST(SweepRunner, CsvIsTidyLongFormatWithCellStreamSeeds) {
   // Cell c, replication r runs under derive_seed(base, c, r): cell 2 is
   // the pareto scenario at n=100.
   const std::string expected_row =
-      "PDGR+pareto(2.50),pareto(2.50),100,4,1," +
+      "PDGR+pareto(2.50),pareto(2.50),flood,100,4,1," +
       std::to_string(derive_seed(777, 2, 1)) + ",alive,";
   EXPECT_NE(csv.find(expected_row), std::string::npos) << csv;
 }
@@ -183,6 +290,7 @@ TEST(SweepRunner, JsonSinkParsesBackAndSummarizes) {
   const JsonValue& first = cells->items()[0];
   EXPECT_EQ(first.find("scenario")->as_string(), "SDGR");
   EXPECT_EQ(first.find("churn")->as_string(), "stream");
+  EXPECT_EQ(first.find("protocol")->as_string(), "flood");
   const JsonValue* alive = first.find("metrics")->find("alive");
   ASSERT_NE(alive, nullptr);
   EXPECT_DOUBLE_EQ(alive->find("mean")->as_number(), 100.0);
@@ -191,7 +299,7 @@ TEST(SweepRunner, JsonSinkParsesBackAndSummarizes) {
 
 TEST(SweepRunner, CommaBearingChurnSpecsStayOneCsvColumn) {
   // "bursty(4,0.5)" contains commas: the scenario and churn fields must be
-  // RFC-4180 quoted so every data row keeps exactly 8 columns.
+  // RFC-4180 quoted so every data row keeps exactly 9 columns.
   SweepSpec spec;
   spec.scenarios = {"PDGR+bursty(4,0.5)"};
   spec.n_values = {100};
@@ -202,10 +310,11 @@ TEST(SweepRunner, CommaBearingChurnSpecsStayOneCsvColumn) {
   std::ostringstream os;
   result.write_csv(os);
   const std::string csv = os.str();
-  EXPECT_NE(csv.find("\"PDGR+bursty(4.00,0.50)\",\"bursty(4.00,0.50)\","),
+  EXPECT_NE(csv.find(
+                "\"PDGR+bursty(4.00,0.50)\",\"bursty(4.00,0.50)\",flood,"),
             std::string::npos)
       << csv;
-  // Count unquoted commas per data line: exactly 7 separators.
+  // Count unquoted commas per data line: exactly 8 separators.
   std::size_t line_start = csv.find('\n') + 1;
   while (line_start < csv.size()) {
     const std::size_t line_end = csv.find('\n', line_start);
@@ -216,7 +325,7 @@ TEST(SweepRunner, CommaBearingChurnSpecsStayOneCsvColumn) {
       if (csv[i] == '"') in_quotes = !in_quotes;
       if (csv[i] == ',' && !in_quotes) ++separators;
     }
-    EXPECT_EQ(separators, 7) << csv.substr(line_start, line_end - line_start);
+    EXPECT_EQ(separators, 8) << csv.substr(line_start, line_end - line_start);
     line_start = line_end + 1;
   }
   // The cell repackages as a TrialResult with the sweep's seed routing.

@@ -1,19 +1,22 @@
 // churnet_sweep: config-driven parameter sweeps over the scenario space.
 //
 // Runs a declarative grid — scenario list (any registry name, including
-// "PDGR+pareto(2.5)" churn composites) × n list × d list — with replicated,
+// "PDGR+pareto(2.5)+push(3)" churn/protocol composites) × protocol list
+// (optional dissemination axis) × n list × d list — with replicated,
 // seed-decorrelated trials fanned across the engine's thread pool, and
-// emits a tidy long-format CSV and/or a JSON summary. The output is
-// bit-identical at every --threads value.
+// emits a tidy long-format CSV and/or a JSON summary (message-complexity
+// columns included). The output is bit-identical at every --threads value.
 //
 //   # inline grid (comma-separated lists)
 //   ./churnet_sweep --scenarios PDGR,PDGR+pareto(2.5) --n 500,1000 --d 4,8 \
+//                   --protocols "flood,push(3),push(3)+lossy(0.9)" \
 //                   --reps 8 --threads 8 --csv sweep.csv
 //
 //   # JSON config file (same keys as the SweepSpec schema)
 //   ./churnet_sweep --config sweep.json --json summary.json
 //
 // Inline flags override the config file's values key by key.
+#include <algorithm>
 #include <cctype>
 #include <cstdio>
 #include <cstdlib>
@@ -30,30 +33,10 @@ namespace {
 
 using namespace churnet;
 
-std::vector<std::string> split_list(const std::string& text) {
-  // Top-level commas separate entries; commas inside '(...)' belong to
-  // churn-spec arguments ("PDGR+bursty(4,0.5)" is one entry).
-  std::vector<std::string> parts;
-  std::string current;
-  int depth = 0;
-  for (const char c : text) {
-    if (c == '(') ++depth;
-    if (c == ')' && depth > 0) --depth;
-    if (c == ',' && depth == 0) {
-      if (!current.empty()) parts.push_back(current);
-      current.clear();
-    } else if (!std::isspace(static_cast<unsigned char>(c))) {
-      current.push_back(c);
-    }
-  }
-  if (!current.empty()) parts.push_back(current);
-  return parts;
-}
-
 std::vector<std::uint32_t> split_u32_list(const std::string& text,
                                           const char* flag) {
   std::vector<std::uint32_t> values;
-  for (const std::string& part : split_list(text)) {
+  for (const std::string& part : split_spec_list(text)) {
     char* end = nullptr;
     const long long value = std::strtoll(part.c_str(), &end, 10);
     if (end != part.c_str() + part.size() || value < 1) {
@@ -95,6 +78,9 @@ int main(int argc, char** argv) {
                  "regime (e.g. PDGR+pareto(2.5))");
   cli.add_string("n", "", "comma-separated network sizes");
   cli.add_string("d", "", "comma-separated request counts");
+  cli.add_string("protocols", "",
+                 "comma-separated dissemination protocols (see "
+                 "--list-protocols); empty = each scenario's own");
   cli.add_string("metrics", "",
                  "comma-separated metrics (see --list-metrics)");
   cli.add_int("reps", 0, "replications per cell (0 = config/default)");
@@ -105,6 +91,7 @@ int main(int argc, char** argv) {
   cli.add_string("json", "", "write JSON summary here ('-' = stdout)");
   cli.add_flag("list-metrics", "print the metric catalog and exit");
   cli.add_flag("list-scenarios", "print the extended registry and exit");
+  cli.add_flag("list-protocols", "print the protocol catalog and exit");
   cli.add_flag("quiet", "suppress the stdout summary table");
   if (!cli.parse(argc, argv)) return 0;
 
@@ -129,7 +116,16 @@ int main(int argc, char** argv) {
     }
     std::printf(
         "plus any BASE+spec composite: spec = stream | poisson | pareto(a) "
-        "| weibull(k) | bursty(b,p) | drift(g)\n");
+        "| weibull(k) | bursty(b,p) | drift(g), optionally followed by a "
+        "protocol spec (see --list-protocols)\n");
+    return 0;
+  }
+  if (cli.get_flag("list-protocols")) {
+    for (const auto& [spelling, description] : ProtocolSpec::catalog()) {
+      std::printf("  %-14s %s\n", spelling.c_str(), description.c_str());
+    }
+    std::printf(
+        "compose as base+modifier(s), e.g. push(3)+lossy(0.9)+sources(2)\n");
     return 0;
   }
 
@@ -156,7 +152,7 @@ int main(int argc, char** argv) {
 
   // Inline flags override config values key by key.
   if (!cli.get_string("scenarios").empty()) {
-    spec.scenarios = split_list(cli.get_string("scenarios"));
+    spec.scenarios = split_spec_list(cli.get_string("scenarios"));
   }
   if (!cli.get_string("n").empty()) {
     spec.n_values = split_u32_list(cli.get_string("n"), "n");
@@ -164,8 +160,11 @@ int main(int argc, char** argv) {
   if (!cli.get_string("d").empty()) {
     spec.d_values = split_u32_list(cli.get_string("d"), "d");
   }
+  if (!cli.get_string("protocols").empty()) {
+    spec.protocols = split_spec_list(cli.get_string("protocols"));
+  }
   if (!cli.get_string("metrics").empty()) {
-    spec.metrics = split_list(cli.get_string("metrics"));
+    spec.metrics = split_spec_list(cli.get_string("metrics"));
   }
   if (cli.get_int("reps") > 0) {
     spec.replications = static_cast<std::uint64_t>(cli.get_int("reps"));
@@ -191,10 +190,12 @@ int main(int argc, char** argv) {
 
   const unsigned threads = static_cast<unsigned>(cli.get_int("threads"));
   if (!cli.get_flag("quiet")) {
-    std::printf("sweep: %zu scenario(s) x %zu n x %zu d = %zu cells, "
-                "%llu replication(s) each\n",
-                spec.scenarios.size(), spec.n_values.size(),
-                spec.d_values.size(), spec.cell_count(),
+    std::printf("sweep: %zu scenario(s) x %zu protocol(s) x %zu n x %zu d "
+                "= %zu cells, %llu replication(s) each\n",
+                spec.scenarios.size(),
+                std::max<std::size_t>(spec.protocols.size(), 1),
+                spec.n_values.size(), spec.d_values.size(),
+                spec.cell_count(),
                 static_cast<unsigned long long>(spec.replications));
   }
 
