@@ -1,0 +1,248 @@
+// Canonical performance-trajectory suite: one binary, one JSON artifact
+// (BENCH_core.json) that records the repo's three load-bearing throughput
+// numbers — churn rounds/sec, flood steps/sec, sweep cells/sec — at fixed
+// seeds, so every PR appends a comparable point to the perf history.
+//
+// The JSON separates three kinds of fields per section:
+//   * "config":        the workload shape (n, d, steps, seed, ...);
+//   * "deterministic": seed-pinned results (counts, completion steps,
+//                      topology/sample checksums) that must be identical on
+//                      every machine and every PR that claims behavioral
+//                      compatibility — CI diffs these against a checked-in
+//                      golden (tools/diff_bench_golden.py) to catch silent
+//                      behavior drift;
+//   * "perf":          wall-clock-derived rates, machine-dependent, never
+//                      diffed — they ARE the trajectory.
+//
+// Engineering bench only; reproduces no paper claim.
+#include <cmath>
+#include <cstdio>
+#include <chrono>
+#include <fstream>
+#include <iostream>
+#include <sstream>
+#include <string>
+
+#include "churnet/churnet.hpp"
+
+namespace {
+
+using namespace churnet;
+
+double seconds_since(std::chrono::steady_clock::time_point start) {
+  return std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                       start)
+      .count();
+}
+
+// FNV-1a over structured data; all checksums below are built from observable
+// API results only (node ids, edge targets, sample values), so they are
+// stable across storage-layout changes but move on any behavioral change.
+struct Fnv {
+  std::uint64_t hash = 0xCBF29CE484222325ULL;
+  void add(std::uint64_t value) {
+    for (int byte = 0; byte < 8; ++byte) {
+      hash ^= (value >> (8 * byte)) & 0xFF;
+      hash *= 0x100000001B3ULL;
+    }
+  }
+  void add_double(double value) {
+    // NaN payloads are implementation detail; fold every NaN to one token.
+    if (std::isnan(value)) {
+      add(0x7FF8DEADBEEF0000ULL);
+      return;
+    }
+    std::uint64_t bits;
+    static_assert(sizeof(bits) == sizeof(value));
+    __builtin_memcpy(&bits, &value, sizeof(bits));
+    add(bits);
+  }
+};
+
+std::uint64_t graph_checksum(const DynamicGraph& graph) {
+  Fnv fnv;
+  for (const NodeId node : graph.alive_nodes()) {
+    fnv.add((static_cast<std::uint64_t>(node.slot) << 32) | node.generation);
+    fnv.add(graph.birth_seq(node));
+    for (std::uint32_t i = 0; i < graph.out_slot_count(node); ++i) {
+      const NodeId target = graph.out_target(node, i);
+      fnv.add((static_cast<std::uint64_t>(target.slot) << 32) |
+              target.generation);
+    }
+  }
+  return fnv.hash;
+}
+
+std::string hex(std::uint64_t value) {
+  char buffer[19];
+  std::snprintf(buffer, sizeof(buffer), "0x%016llx",
+                static_cast<unsigned long long>(value));
+  return buffer;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  Cli cli("core perf-trajectory suite: churn rounds/sec, flood steps/sec, "
+          "sweep cells/sec + deterministic drift guards (BENCH_core.json)");
+  cli.add_int("n", 100000, "network size for the churn section");
+  cli.add_int("steps", 300000, "churn steps per scenario");
+  cli.add_int("flood-n", 4000, "network size per flooding replication");
+  cli.add_int("flood-reps", 8, "flooding replications per scenario");
+  cli.add_string("out", "BENCH_core.json", "output JSON path");
+  add_standard_options(cli);
+  if (!cli.parse(argc, argv)) return 0;
+  const BenchScale scale = scale_from_cli(cli);
+  const auto n = static_cast<std::uint32_t>(
+      scaled(static_cast<std::uint64_t>(cli.get_int("n")), scale.size_factor,
+             2000));
+  const std::uint64_t steps = scaled(
+      static_cast<std::uint64_t>(cli.get_int("steps")), scale.size_factor,
+      20000);
+  const auto flood_n = static_cast<std::uint32_t>(
+      scaled(static_cast<std::uint64_t>(cli.get_int("flood-n")),
+             scale.size_factor, 500));
+  const std::uint64_t flood_reps = scaled(
+      static_cast<std::uint64_t>(cli.get_int("flood-reps")),
+      scale.rep_factor, 2);
+  const std::uint64_t seed = seed_from_cli(cli);
+
+  print_experiment_header(
+      "perf trajectory suite",
+      "engineering throughput + drift guards (no paper claim); "
+      "deterministic fields are identical on every machine");
+
+  const ScenarioRegistry& registry = ScenarioRegistry::paper();
+  std::ostringstream json;
+  json << "{\n  \"bench\": \"perf_suite\",\n  \"version\": 1,\n"
+       << "  \"seed\": " << seed << ",\n"
+       << "  \"size_factor\": " << scale.size_factor << ",\n"
+       << "  \"sections\": {\n";
+
+  // --- section 1: churn rounds/sec ---------------------------------------
+  std::printf("--- churn throughput (n=%u, %llu steps each) ---\n", n,
+              static_cast<unsigned long long>(steps));
+  Table churn_table({"scenario", "events/sec", "alive", "edges", "checksum"});
+  json << "    \"churn\": {\n      \"config\": {\"n\": " << n
+       << ", \"d\": 8, \"steps\": " << steps << "},\n"
+       << "      \"scenarios\": {\n";
+  bool first = true;
+  for (const char* name : {"SDG", "SDGR", "PDG", "PDGR"}) {
+    ScenarioParams params;
+    params.n = n;
+    params.d = 8;
+    params.seed = derive_seed(seed, 1, 0);
+    AnyNetwork net = registry.at(name).make_warmed(params);
+    const auto start = std::chrono::steady_clock::now();
+    for (std::uint64_t i = 0; i < steps; ++i) net.step();
+    const double elapsed = seconds_since(start);
+    const double rate = static_cast<double>(steps) / elapsed;
+    const std::uint64_t checksum = graph_checksum(net.graph());
+    churn_table.add_row({name, fmt_sci(rate, 2), fmt_int(net.graph().alive_count()),
+                         fmt_int(static_cast<std::int64_t>(
+                             net.graph().edge_count())),
+                         hex(checksum)});
+    json << (first ? "" : ",\n") << "        \"" << name
+         << "\": {\"deterministic\": {\"alive\": "
+         << net.graph().alive_count()
+         << ", \"edges\": " << net.graph().edge_count()
+         << ", \"births\": " << net.graph().total_births()
+         << ", \"graph_checksum\": \"" << hex(checksum)
+         << "\"}, \"perf\": {\"events_per_sec\": " << fmt_fixed(rate, 1)
+         << ", \"wall_seconds\": " << fmt_fixed(elapsed, 4) << "}}";
+    first = false;
+  }
+  json << "\n      }\n    },\n";
+  churn_table.print(std::cout);
+
+  // --- section 2: flood steps/sec ----------------------------------------
+  std::printf("\n--- flooding throughput (n=%u, %llu reps each) ---\n",
+              flood_n, static_cast<unsigned long long>(flood_reps));
+  Table flood_table({"scenario", "d", "steps/sec", "completed", "checksum"});
+  json << "    \"flood\": {\n      \"config\": {\"n\": " << flood_n
+       << ", \"reps\": " << flood_reps << "},\n      \"scenarios\": {\n";
+  first = true;
+  FloodScratch scratch;
+  for (const char* name : {"SDGR", "PDGR"}) {
+    const std::uint32_t d = *name == 'S' ? 21 : 35;
+    const Scenario& scenario = registry.at(name);
+    std::uint64_t total_steps = 0;
+    std::uint64_t completed = 0;
+    std::uint64_t completion_sum = 0;
+    Fnv series;
+    double elapsed = 0.0;
+    for (std::uint64_t rep = 0; rep < flood_reps; ++rep) {
+      ScenarioParams params;
+      params.n = flood_n;
+      params.d = d;
+      params.seed = derive_seed(seed, 2, rep);
+      AnyNetwork net = scenario.make_warmed(params);
+      FloodOptions options;
+      options.max_steps = static_cast<std::uint64_t>(
+          30.0 * std::log2(static_cast<double>(flood_n)));
+      const auto start = std::chrono::steady_clock::now();
+      const FloodTrace trace = net.flood(options, scratch);
+      elapsed += seconds_since(start);
+      total_steps += trace.steps;
+      completed += trace.completed ? 1 : 0;
+      completion_sum += trace.completed ? trace.completion_step : 0;
+      for (const std::uint64_t informed : trace.informed_per_step) {
+        series.add(informed);
+      }
+    }
+    const double rate = static_cast<double>(total_steps) / elapsed;
+    flood_table.add_row({name, fmt_int(d), fmt_sci(rate, 2),
+                         fmt_int(static_cast<std::int64_t>(completed)),
+                         hex(series.hash)});
+    json << (first ? "" : ",\n") << "        \"" << name
+         << "\": {\"deterministic\": {\"d\": " << d
+         << ", \"total_steps\": " << total_steps
+         << ", \"completed\": " << completed
+         << ", \"completion_sum\": " << completion_sum
+         << ", \"series_checksum\": \"" << hex(series.hash)
+         << "\"}, \"perf\": {\"steps_per_sec\": " << fmt_fixed(rate, 1)
+         << ", \"wall_seconds\": " << fmt_fixed(elapsed, 4) << "}}";
+    first = false;
+  }
+  json << "\n      }\n    },\n";
+  flood_table.print(std::cout);
+
+  // --- section 3: sweep cells/sec ----------------------------------------
+  SweepSpec spec;
+  spec.scenarios = {"SDGR", "PDGR+pareto(2.5)"};
+  spec.n_values = {1000};
+  spec.d_values = {8};
+  spec.protocols = {"flood", "push(3)"};
+  spec.metrics = {"alive", "completion_step", "final_fraction", "messages"};
+  spec.replications = 4;
+  spec.base_seed = derive_seed(seed, 3, 0);
+  std::printf("\n--- sweep throughput (%zu cells x %llu reps) ---\n",
+              spec.cell_count(),
+              static_cast<unsigned long long>(spec.replications));
+  const SweepResult sweep = SweepRunner(spec).run(/*threads=*/1);
+  Fnv samples;
+  for (const auto& cell : sweep.samples()) {
+    for (const auto& rep : cell) {
+      for (const double value : rep) samples.add_double(value);
+    }
+  }
+  const double cell_rate =
+      static_cast<double>(sweep.cells().size()) / sweep.wall_seconds();
+  std::printf("cells/sec: %.2f   samples checksum: %s\n", cell_rate,
+              hex(samples.hash).c_str());
+  json << "    \"sweep\": {\n      \"config\": {\"cells\": "
+       << sweep.cells().size() << ", \"replications\": " << spec.replications
+       << ", \"base_seed\": " << spec.base_seed << "},\n"
+       << "      \"deterministic\": {\"samples_checksum\": \""
+       << hex(samples.hash) << "\"},\n"
+       << "      \"perf\": {\"cells_per_sec\": " << fmt_fixed(cell_rate, 3)
+       << ", \"wall_seconds\": " << fmt_fixed(sweep.wall_seconds(), 4)
+       << "}\n    }\n  }\n}\n";
+
+  const std::string out_path = cli.get_string("out");
+  std::ofstream out(out_path);
+  out << json.str();
+  out.close();
+  std::printf("\nwrote %s\n", out_path.c_str());
+  return 0;
+}

@@ -1,6 +1,6 @@
 // Experiment "Table 1" -- one verdict per cell of the paper's summary
 // table, at a reference configuration. Each cell is measured in depth by
-// its dedicated bench (see DESIGN.md section 6); this binary is the
+// its dedicated bench (see DESIGN.md section 7); this binary is the
 // one-screen overview.
 //
 //   Table 1 (paper):

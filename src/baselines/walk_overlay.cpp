@@ -8,6 +8,7 @@ WalkOverlay::WalkOverlay(WalkOverlayConfig config)
     : config_(config), churn_(config.n), rng_(config.seed) {
   CHURNET_EXPECTS(config.m >= 1);
   CHURNET_EXPECTS(config.walk_length >= 1);
+  graph_.reserve(config.n, config.m);
 }
 
 NodeId WalkOverlay::sample_by_walk(NodeId start, NodeId avoid) {
@@ -44,9 +45,9 @@ WalkOverlay::RoundReport WalkOverlay::step() {
   if (victim.has_value()) {
     report.died = victim;
     if (hooks_.on_death) hooks_.on_death(*victim, time_of_round);
-    const std::vector<OutSlotRef> orphans = graph_.remove_node(*victim);
+    graph_.remove_node(*victim, removal_scratch_);
     if (config_.regenerate) {
-      for (const OutSlotRef& orphan : orphans) {
+      for (const OutSlotRef& orphan : removal_scratch_.orphans) {
         // Decentralized regeneration: restart the walk from a surviving
         // neighbor of the owner; with no neighbors left, from the owner
         // itself (the walk then fails unless an edge arrives later).

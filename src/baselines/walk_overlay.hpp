@@ -82,6 +82,7 @@ class WalkOverlay {
   NetworkHooks hooks_;
   std::uint64_t failed_walks_ = 0;
   std::vector<NodeId> neighbor_scratch_;
+  RemovalScratch removal_scratch_;  // reused across rounds; zero-alloc deaths
 };
 
 }  // namespace churnet

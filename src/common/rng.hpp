@@ -25,18 +25,46 @@ class Rng {
   /// adjacent integer seeds produce decorrelated streams.
   explicit Rng(std::uint64_t seed = 0x9E3779B97F4A7C15ULL);
 
-  /// Uniform 64-bit word.
-  std::uint64_t next_u64();
+  /// Uniform 64-bit word. Inline: this is the innermost call of every
+  /// churn/wiring hot loop (a dozen-plus draws per round), so it must not
+  /// cost a cross-TU function call.
+  std::uint64_t next_u64() {
+    const std::uint64_t result = rotl_(state_[0] + state_[3], 23) + state_[0];
+    const std::uint64_t t = state_[1] << 17;
+    state_[2] ^= state_[0];
+    state_[3] ^= state_[1];
+    state_[1] ^= state_[2];
+    state_[0] ^= state_[3];
+    state_[2] ^= t;
+    state_[3] = rotl_(state_[3], 45);
+    return result;
+  }
 
   /// Uniform integer in [0, bound). Requires bound > 0.
   /// Uses Lemire's multiply-shift rejection method (unbiased).
-  std::uint64_t below(std::uint64_t bound);
+  std::uint64_t below(std::uint64_t bound) {
+    CHURNET_EXPECTS(bound > 0);
+    std::uint64_t x = next_u64();
+    __uint128_t m = static_cast<__uint128_t>(x) * bound;
+    auto lo = static_cast<std::uint64_t>(m);
+    if (lo < bound) [[unlikely]] {
+      const std::uint64_t threshold = -bound % bound;
+      while (lo < threshold) {
+        x = next_u64();
+        m = static_cast<__uint128_t>(x) * bound;
+        lo = static_cast<std::uint64_t>(m);
+      }
+    }
+    return static_cast<std::uint64_t>(m >> 64);
+  }
 
   /// Uniform integer in [lo, hi]. Requires lo <= hi.
   std::int64_t uniform_int(std::int64_t lo, std::int64_t hi);
 
   /// Uniform double in [0, 1) with 53 random bits.
-  double real01();
+  double real01() {
+    return static_cast<double>(next_u64() >> 11) * 0x1.0p-53;
+  }
 
   /// Uniform double in [lo, hi).
   double uniform_real(double lo, double hi);
@@ -92,6 +120,10 @@ class Rng {
   Rng split();
 
  private:
+  static constexpr std::uint64_t rotl_(std::uint64_t x, int k) {
+    return (x << k) | (x >> (64 - k));
+  }
+
   std::uint64_t state_[4];
   double spare_normal_ = 0.0;
   bool has_spare_normal_ = false;

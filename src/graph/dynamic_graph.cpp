@@ -1,127 +1,45 @@
+// Cold paths of the flat-arena DynamicGraph: reservation, pool growth,
+// whole-graph scans and the consistency audit. The hot mutators live in the
+// header so model round loops inline them.
 #include "graph/dynamic_graph.hpp"
 
 #include <algorithm>
 
 namespace churnet {
 
-NodeId DynamicGraph::add_node(std::uint32_t out_slots, double birth_time) {
-  std::uint32_t slot_index;
-  if (!free_slots_.empty()) {
-    slot_index = free_slots_.back();
-    free_slots_.pop_back();
-  } else {
-    slot_index = static_cast<std::uint32_t>(slots_.size());
-    CHURNET_EXPECTS(slot_index != NodeId::kInvalidSlot);
-    slots_.emplace_back();
-  }
-  Slot& slot = slots_[slot_index];
-  slot.alive = true;
-  slot.alive_pos = static_cast<std::uint32_t>(alive_slots_.size());
-  slot.birth_seq = next_birth_seq_++;
-  slot.birth_time = birth_time;
-  slot.out.assign(out_slots, OutEdge{});
-  slot.in.clear();
-  alive_slots_.push_back(slot_index);
-  return NodeId{slot_index, slot.generation};
+void DynamicGraph::reserve(std::uint32_t nodes, std::uint32_t out_slots_hint) {
+  // One extra slot of headroom: churn loops briefly hold n alive nodes plus
+  // the round's newborn-to-be bookkeeping.
+  const std::size_t slots = static_cast<std::size_t>(nodes) + 1;
+  core_.reserve(slots);
+  birth_seqs_.reserve(slots);
+  birth_times_.reserve(slots);
+  alive_slots_.reserve(slots);
+  free_slots_.reserve(slots);
+  out_pool_.reserve(slots * out_slots_hint);
+  // Seed the chunk-size hint so a node's first in-list chunk already fits
+  // the typical in-degree (~out_slots_hint); heavier nodes upgrade chunks
+  // geometrically. Reserve one such chunk per slot plus 50% headroom for
+  // the in-degree distribution's upper tail.
+  first_in_cap_ = kMinInChunk
+                  << in_class_of(std::max(out_slots_hint, kMinInChunk));
+  out_free_.reserve(4);
+  in_pool_.reserve(slots * first_in_cap_ + slots * first_in_cap_ / 2);
+}
+
+std::uint32_t DynamicGraph::grow_slot_arrays() {
+  const auto slot_index = static_cast<std::uint32_t>(core_.size());
+  CHURNET_EXPECTS(slot_index != NodeId::kInvalidSlot);
+  core_.emplace_back();
+  birth_seqs_.emplace_back();
+  birth_times_.emplace_back();
+  return slot_index;
 }
 
 std::vector<OutSlotRef> DynamicGraph::remove_node(NodeId node) {
-  Slot& slot = slot_of(node);
-  CHURNET_EXPECTS(slot.alive);
-
-  // Detach this node's out-edges from their targets' in-lists.
-  for (std::uint32_t i = 0; i < slot.out.size(); ++i) {
-    OutEdge& edge = slot.out[i];
-    if (!edge.target.valid()) continue;
-    detach_in_entry(slot_of(edge.target), edge.in_pos);
-    edge.target = kInvalidNode;
-    --edge_count_;
-  }
-
-  // Clear the out-slots of nodes pointing at us, reporting each orphan.
-  std::vector<OutSlotRef> orphans;
-  orphans.reserve(slot.in.size());
-  for (const InEdge& in_edge : slot.in) {
-    Slot& source_slot = slot_of(in_edge.source);
-    OutEdge& out_edge = source_slot.out[in_edge.out_index];
-    CHURNET_ASSERT(out_edge.target == node);
-    out_edge.target = kInvalidNode;
-    --edge_count_;
-    orphans.push_back(OutSlotRef{in_edge.source, in_edge.out_index});
-  }
-  slot.in.clear();
-
-  // Remove from the dense alive list (swap with the last entry).
-  const std::uint32_t last_slot = alive_slots_.back();
-  alive_slots_[slot.alive_pos] = last_slot;
-  slots_[last_slot].alive_pos = slot.alive_pos;
-  alive_slots_.pop_back();
-
-  slot.alive = false;
-  ++slot.generation;  // invalidate outstanding NodeIds for this slot
-  slot.out.clear();
-  free_slots_.push_back(node.slot);
-  return orphans;
-}
-
-void DynamicGraph::set_out_edge(NodeId owner, std::uint32_t index,
-                                NodeId target) {
-  CHURNET_EXPECTS(owner != target);
-  Slot& owner_slot = slot_of(owner);
-  CHURNET_EXPECTS(owner_slot.alive);
-  CHURNET_EXPECTS(index < owner_slot.out.size());
-  OutEdge& edge = owner_slot.out[index];
-  CHURNET_EXPECTS(!edge.target.valid());
-  Slot& target_slot = slot_of(target);
-  CHURNET_EXPECTS(target_slot.alive);
-  edge.target = target;
-  edge.in_pos = static_cast<std::uint32_t>(target_slot.in.size());
-  target_slot.in.push_back(InEdge{owner, index});
-  ++edge_count_;
-}
-
-void DynamicGraph::clear_out_edge(NodeId owner, std::uint32_t index) {
-  Slot& owner_slot = slot_of(owner);
-  CHURNET_EXPECTS(owner_slot.alive);
-  CHURNET_EXPECTS(index < owner_slot.out.size());
-  OutEdge& edge = owner_slot.out[index];
-  CHURNET_EXPECTS(edge.target.valid());
-  detach_in_entry(slot_of(edge.target), edge.in_pos);
-  edge.target = kInvalidNode;
-  --edge_count_;
-}
-
-NodeId DynamicGraph::out_target(NodeId owner, std::uint32_t index) const {
-  const Slot& slot = slot_of(owner);
-  CHURNET_EXPECTS(index < slot.out.size());
-  return slot.out[index].target;
-}
-
-bool DynamicGraph::is_alive(NodeId node) const {
-  if (!node.valid() || node.slot >= slots_.size()) return false;
-  const Slot& slot = slots_[node.slot];
-  return slot.alive && slot.generation == node.generation;
-}
-
-NodeId DynamicGraph::random_alive(Rng& rng) const {
-  CHURNET_EXPECTS(!alive_slots_.empty());
-  const std::uint32_t slot_index = alive_slots_[static_cast<std::size_t>(
-      rng.below(alive_slots_.size()))];
-  return NodeId{slot_index, slots_[slot_index].generation};
-}
-
-NodeId DynamicGraph::random_alive_other(Rng& rng, NodeId exclude) const {
-  const bool exclude_alive = is_alive(exclude);
-  const std::size_t candidates =
-      alive_slots_.size() - (exclude_alive ? 1 : 0);
-  if (candidates == 0) return kInvalidNode;
-  if (!exclude_alive) return random_alive(rng);
-  // Draw from the alive list skipping the excluded node's position.
-  std::size_t pick = static_cast<std::size_t>(rng.below(candidates));
-  const std::size_t excluded_pos = slots_[exclude.slot].alive_pos;
-  if (pick >= excluded_pos) ++pick;
-  const std::uint32_t slot_index = alive_slots_[pick];
-  return NodeId{slot_index, slots_[slot_index].generation};
+  RemovalScratch scratch;
+  remove_node(node, scratch);
+  return std::move(scratch.orphans);
 }
 
 std::vector<NodeId> DynamicGraph::alive_nodes() const {
@@ -133,98 +51,104 @@ std::vector<NodeId> DynamicGraph::alive_nodes() const {
 void DynamicGraph::append_alive_nodes(std::vector<NodeId>& out) const {
   out.reserve(out.size() + alive_slots_.size());
   for (const std::uint32_t slot_index : alive_slots_) {
-    out.push_back(NodeId{slot_index, slots_[slot_index].generation});
+    out.push_back(NodeId{slot_index, core_[slot_index].generation});
   }
-}
-
-std::uint64_t DynamicGraph::birth_seq(NodeId node) const {
-  return slot_of(node).birth_seq;
-}
-
-double DynamicGraph::birth_time(NodeId node) const {
-  return slot_of(node).birth_time;
-}
-
-std::uint32_t DynamicGraph::out_slot_count(NodeId node) const {
-  return static_cast<std::uint32_t>(slot_of(node).out.size());
-}
-
-std::uint32_t DynamicGraph::out_degree(NodeId node) const {
-  const Slot& slot = slot_of(node);
-  std::uint32_t degree = 0;
-  for (const OutEdge& edge : slot.out) degree += edge.target.valid() ? 1 : 0;
-  return degree;
-}
-
-std::uint32_t DynamicGraph::in_degree(NodeId node) const {
-  return static_cast<std::uint32_t>(slot_of(node).in.size());
-}
-
-std::uint32_t DynamicGraph::degree(NodeId node) const {
-  return out_degree(node) + in_degree(node);
-}
-
-void DynamicGraph::append_neighbors(NodeId node,
-                                    std::vector<NodeId>& out) const {
-  const Slot& slot = slot_of(node);
-  for (const OutEdge& edge : slot.out) {
-    if (edge.target.valid()) out.push_back(edge.target);
-  }
-  for (const InEdge& edge : slot.in) out.push_back(edge.source);
 }
 
 bool DynamicGraph::check_consistency() const {
   std::uint64_t seen_edges = 0;
-  for (std::uint32_t s = 0; s < slots_.size(); ++s) {
-    const Slot& slot = slots_[s];
-    if (!slot.alive) continue;
-    if (slot.alive_pos >= alive_slots_.size()) return false;
-    if (alive_slots_[slot.alive_pos] != s) return false;
-    for (std::uint32_t i = 0; i < slot.out.size(); ++i) {
-      const OutEdge& edge = slot.out[i];
-      if (!edge.target.valid()) continue;
+  for (std::uint32_t s = 0; s < core_.size(); ++s) {
+    const SlotCore& core = core_[s];
+    if (core.alive == 0) continue;
+    if (core.alive_pos >= alive_slots_.size()) return false;
+    if (alive_slots_[core.alive_pos] != s) return false;
+    if (core.in_count > core.in_cap) return false;
+    if (static_cast<std::uint64_t>(core.out_base) + core.out_count >
+        out_pool_.size()) {
+      return false;
+    }
+    if (core.in_cap > 0 &&
+        static_cast<std::uint64_t>(core.in_base) + core.in_cap >
+            in_pool_.size()) {
+      return false;
+    }
+    for (std::uint32_t i = 0; i < core.out_count; ++i) {
+      const OutEdge& edge = out_pool_[core.out_base + i];
+      if (edge.peer == NodeId::kInvalidSlot) continue;
       ++seen_edges;
-      if (!is_alive(edge.target)) return false;
-      const Slot& target_slot = slots_[edge.target.slot];
-      if (edge.in_pos >= target_slot.in.size()) return false;
-      const InEdge& back = target_slot.in[edge.in_pos];
-      if (back.source != NodeId{s, slot.generation}) return false;
+      if (edge.peer >= core_.size()) return false;
+      const SlotCore& target_core = core_[edge.peer];
+      if (target_core.alive == 0) return false;
+      if (edge.in_pos >= target_core.in_count) return false;
+      const InEdge& back = in_pool_[target_core.in_base + edge.in_pos];
+      if (back.peer != s) return false;
       if (back.out_index != i) return false;
     }
-    for (const InEdge& in_edge : slot.in) {
-      if (!is_alive(in_edge.source)) return false;
-      const Slot& source_slot = slots_[in_edge.source.slot];
-      if (in_edge.out_index >= source_slot.out.size()) return false;
-      const NodeId self{s, slot.generation};
-      if (source_slot.out[in_edge.out_index].target != self) return false;
+    for (std::uint32_t i = 0; i < core.in_count; ++i) {
+      const InEdge& in_edge = in_pool_[core.in_base + i];
+      if (in_edge.peer >= core_.size()) return false;
+      const SlotCore& source_core = core_[in_edge.peer];
+      if (source_core.alive == 0) return false;
+      if (in_edge.out_index >= source_core.out_count) return false;
+      const OutEdge& out = out_pool_[source_core.out_base + in_edge.out_index];
+      if (out.peer != s) return false;
+      if (out.in_pos != i) return false;
     }
   }
   return seen_edges == edge_count_;
 }
 
-const DynamicGraph::Slot& DynamicGraph::slot_of(NodeId node) const {
-  CHURNET_EXPECTS(node.valid() && node.slot < slots_.size());
-  const Slot& slot = slots_[node.slot];
-  CHURNET_EXPECTS(slot.generation == node.generation);
-  return slot;
-}
-
-DynamicGraph::Slot& DynamicGraph::slot_of(NodeId node) {
-  return const_cast<Slot&>(
-      static_cast<const DynamicGraph*>(this)->slot_of(node));
-}
-
-void DynamicGraph::detach_in_entry(Slot& target_slot, std::uint32_t in_pos) {
-  CHURNET_ASSERT(in_pos < target_slot.in.size());
-  const std::uint32_t last = static_cast<std::uint32_t>(
-      target_slot.in.size() - 1);
-  if (in_pos != last) {
-    target_slot.in[in_pos] = target_slot.in[last];
-    // Fix the moved entry's back-pointer in its source's out-slot.
-    const InEdge& moved = target_slot.in[in_pos];
-    slots_[moved.source.slot].out[moved.out_index].in_pos = in_pos;
+std::uint32_t DynamicGraph::acquire_out_run(std::uint32_t stride) {
+  for (OutFreeList& list : out_free_) {
+    if (list.stride != stride) continue;
+    if (list.bases.empty()) break;
+    const std::uint32_t base = list.bases.back();
+    list.bases.pop_back();
+    return base;
   }
-  target_slot.in.pop_back();
+  const std::size_t base = out_pool_.size();
+  CHURNET_EXPECTS(base + stride <= NodeId::kInvalidSlot);
+  out_pool_.resize(base + stride);
+  return static_cast<std::uint32_t>(base);
+}
+
+void DynamicGraph::release_out_run(std::uint32_t base, std::uint32_t stride) {
+  for (OutFreeList& list : out_free_) {
+    if (list.stride == stride) {
+      list.bases.push_back(base);
+      return;
+    }
+  }
+  out_free_.push_back(OutFreeList{stride, {base}});
+}
+
+void DynamicGraph::grow_in_chunk(SlotCore& core) {
+  // First chunk at the reserve() hint size, then geometric upgrades; the
+  // retired chunk returns to its class free list, so steady-state churn
+  // recycles chunks without touching the allocator.
+  const std::uint32_t new_cap =
+      core.in_cap == 0 ? first_in_cap_ : core.in_cap * 2;
+  const std::uint32_t cls = in_class_of(new_cap);
+  CHURNET_EXPECTS(cls < kInClassCount);
+  std::uint32_t new_base;
+  std::vector<std::uint32_t>& list = in_free_[cls];
+  if (!list.empty()) {
+    new_base = list.back();
+    list.pop_back();
+  } else {
+    const std::size_t base = in_pool_.size();
+    const std::uint32_t cap = kMinInChunk << cls;
+    CHURNET_EXPECTS(base + cap <= NodeId::kInvalidSlot);
+    in_pool_.resize(base + cap);
+    new_base = static_cast<std::uint32_t>(base);
+  }
+  if (core.in_count > 0) {
+    std::copy_n(in_pool_.begin() + core.in_base, core.in_count,
+                in_pool_.begin() + new_base);
+  }
+  if (core.in_cap > 0) release_in_chunk(core.in_base, core.in_cap);
+  core.in_base = new_base;
+  core.in_cap = kMinInChunk << cls;
 }
 
 }  // namespace churnet

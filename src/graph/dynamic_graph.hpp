@@ -16,6 +16,18 @@
 // "requests", but the graph is undirected for processes: neighbors(u) is the
 // union of out-targets and in-sources. Parallel edges are allowed (requests
 // are independent uniform choices); self-loops are rejected.
+//
+// Storage is a flat arena (DESIGN.md, "Memory layout" / decision 11):
+// per-node out-slot runs live contiguously in one pooled array recycled
+// through per-stride free lists, in-lists are capacity-class chunks carved
+// from a slab pool, and hot per-slot metadata is a fixed 32-byte record.
+// Pool entries are 8 bytes: they store the peer's slot index only, because
+// both endpoints of a live edge are alive by construction, so the peer's
+// generation is always recoverable from its slot record. Together with the
+// caller-owned RemovalScratch for orphan reporting, the steady-state churn
+// loop performs zero heap allocations: every birth and death recycles
+// pooled runs instead of touching the allocator. The mutators live in this
+// header so model round loops inline them.
 #pragma once
 
 #include <cstdint>
@@ -35,43 +47,220 @@ struct OutSlotRef {
   friend bool operator==(const OutSlotRef&, const OutSlotRef&) = default;
 };
 
+/// Caller-owned scratch for DynamicGraph::remove_node — the pooled-buffer
+/// sibling of FloodScratch/ProtocolScratch. remove_node rewrites `orphans`
+/// in place (clear + fill, capacity retained), so a churn loop that keeps
+/// one RemovalScratch alive does zero per-death allocation once the buffer
+/// has grown to the peak orphan count. The contents are valid until the
+/// next remove_node call with the same scratch.
+struct RemovalScratch {
+  std::vector<OutSlotRef> orphans;
+};
+
 class DynamicGraph {
  public:
   DynamicGraph() = default;
 
+  /// Pre-sizes every arena for a population of `nodes` nodes with
+  /// `out_slots_hint` out-slots each, so a warmed-up churn loop never grows
+  /// a pool. Also seeds the initial in-list chunk capacity so typical
+  /// in-degrees (~out_slots_hint) need at most one chunk upgrade. Purely a
+  /// capacity hint: the graph remains correct (and merely reallocates) for
+  /// any workload.
+  void reserve(std::uint32_t nodes, std::uint32_t out_slots_hint);
+
   /// Creates a node with `out_slots` (initially dangling) out-edge slots.
   /// `birth_time` is the model-level timestamp (round or continuous time).
-  NodeId add_node(std::uint32_t out_slots, double birth_time);
+  NodeId add_node(std::uint32_t out_slots, double birth_time) {
+    std::uint32_t slot_index;
+    if (!free_slots_.empty()) {
+      slot_index = free_slots_.back();
+      free_slots_.pop_back();
+    } else {
+      slot_index = grow_slot_arrays();
+    }
+    SlotCore& core = core_[slot_index];
+    core.alive = 1;
+    core.alive_pos = static_cast<std::uint32_t>(alive_slots_.size());
+    // Recycled out runs are all-dangling by the remove_node invariant and
+    // fresh pool entries default-construct dangling, so no per-slot reset.
+    core.out_base = out_slots > 0 ? acquire_out_run(out_slots) : 0;
+    core.out_count = out_slots;
+    core.in_base = 0;
+    core.in_count = 0;
+    core.in_cap = 0;
+    birth_seqs_[slot_index] = next_birth_seq_++;
+    birth_times_[slot_index] = birth_time;
+    alive_slots_.push_back(slot_index);
+    return NodeId{slot_index, core.generation};
+  }
 
-  /// Kills the node: detaches all incident edges, recycles the slot.
-  /// Returns the out-slots of *other* alive nodes that pointed at `node`
-  /// (now dangling) so the caller can regenerate them. The order of the
-  /// returned slots is deterministic given the graph state.
+  /// Kills the node: detaches all incident edges, recycles the slot, the
+  /// out-slot run and the in-list chunk. Fills `scratch.orphans` with the
+  /// out-slots of *other* alive nodes that pointed at `node` (now dangling)
+  /// so the caller can regenerate them. The orphan order is deterministic
+  /// given the graph state (in-list order, identical to the historical
+  /// vector-returning API).
+  void remove_node(NodeId node, RemovalScratch& scratch) {
+    SlotCore& core = core_of(node);
+    CHURNET_EXPECTS(core.alive != 0);
+
+    // The victim's edge runs name ~degree random peers; issue all the
+    // prefetches up front so the detach loops overlap their cache misses
+    // instead of serializing them.
+    for (std::uint32_t i = 0; i < core.out_count; ++i) {
+      const std::uint32_t target_slot = out_pool_[core.out_base + i].peer;
+      if (target_slot != NodeId::kInvalidSlot) {
+        __builtin_prefetch(&core_[target_slot]);
+      }
+    }
+    for (std::uint32_t i = 0; i < core.in_count; ++i) {
+      __builtin_prefetch(&core_[in_pool_[core.in_base + i].peer]);
+    }
+
+    // Detach this node's out-edges from their targets' in-lists, leaving
+    // the whole run dangling (the invariant add_node relies on when
+    // recycling).
+    for (std::uint32_t i = 0; i < core.out_count; ++i) {
+      OutEdge& edge = out_pool_[core.out_base + i];
+      if (edge.peer == NodeId::kInvalidSlot) continue;
+      detach_in_entry(core_[edge.peer], edge.in_pos);
+      edge.peer = NodeId::kInvalidSlot;
+      --edge_count_;
+    }
+
+    // Clear the out-slots of nodes pointing at us, reporting each orphan in
+    // in-list order (the historical, deterministic order). In-list sources
+    // are alive by construction, so their NodeIds rebuild from their slots.
+    scratch.orphans.clear();
+    for (std::uint32_t i = 0; i < core.in_count; ++i) {
+      const InEdge in_edge = in_pool_[core.in_base + i];
+      const SlotCore& source_core = core_[in_edge.peer];
+      OutEdge& out_edge = out_pool_[source_core.out_base + in_edge.out_index];
+      CHURNET_ASSERT(out_edge.peer == node.slot);
+      out_edge.peer = NodeId::kInvalidSlot;
+      --edge_count_;
+      scratch.orphans.push_back(OutSlotRef{
+          NodeId{in_edge.peer, source_core.generation}, in_edge.out_index});
+    }
+    if (core.in_cap > 0) {
+      release_in_chunk(core.in_base, core.in_cap);
+      core.in_cap = 0;
+      core.in_base = 0;
+    }
+    core.in_count = 0;
+
+    // Remove from the dense alive list (swap with the last entry).
+    const std::uint32_t last_slot = alive_slots_.back();
+    alive_slots_[core.alive_pos] = last_slot;
+    core_[last_slot].alive_pos = core.alive_pos;
+    alive_slots_.pop_back();
+
+    core.alive = 0;
+    ++core.generation;  // invalidate outstanding NodeIds for this slot
+    if (core.out_count > 0) release_out_run(core.out_base, core.out_count);
+    core.out_base = 0;
+    core.out_count = 0;
+    free_slots_.push_back(node.slot);
+  }
+
+  /// Convenience wrapper allocating a fresh orphan vector per call. Hot
+  /// churn loops should hold a RemovalScratch and use the overload above.
   std::vector<OutSlotRef> remove_node(NodeId node);
 
   /// Points out-slot `index` of `owner` at `target`. The slot must currently
   /// be dangling. Self-loops are rejected (paper: "d random *other* nodes").
-  void set_out_edge(NodeId owner, std::uint32_t index, NodeId target);
+  void set_out_edge(NodeId owner, std::uint32_t index, NodeId target) {
+    CHURNET_EXPECTS(owner != target);
+    SlotCore& owner_core = core_of(owner);
+    CHURNET_EXPECTS(owner_core.alive != 0);
+    CHURNET_EXPECTS(index < owner_core.out_count);
+    OutEdge& edge = out_pool_[owner_core.out_base + index];
+    CHURNET_EXPECTS(edge.peer == NodeId::kInvalidSlot);
+    SlotCore& target_core = core_of(target);
+    CHURNET_EXPECTS(target_core.alive != 0);
+    edge.peer = target.slot;
+    edge.in_pos = target_core.in_count;
+    if (target_core.in_count == target_core.in_cap) {
+      grow_in_chunk(target_core);
+    }
+    in_pool_[target_core.in_base + target_core.in_count] =
+        InEdge{owner.slot, index};
+    ++target_core.in_count;
+    ++edge_count_;
+  }
 
   /// Makes out-slot `index` of `owner` dangling, detaching it from its
   /// current target (which must be set).
-  void clear_out_edge(NodeId owner, std::uint32_t index);
+  void clear_out_edge(NodeId owner, std::uint32_t index) {
+    SlotCore& owner_core = core_of(owner);
+    CHURNET_EXPECTS(owner_core.alive != 0);
+    CHURNET_EXPECTS(index < owner_core.out_count);
+    OutEdge& edge = out_pool_[owner_core.out_base + index];
+    CHURNET_EXPECTS(edge.peer != NodeId::kInvalidSlot);
+    detach_in_entry(core_[edge.peer], edge.in_pos);
+    edge.peer = NodeId::kInvalidSlot;
+    --edge_count_;
+  }
 
   /// Target of an out-slot; invalid id if dangling.
-  NodeId out_target(NodeId owner, std::uint32_t index) const;
+  NodeId out_target(NodeId owner, std::uint32_t index) const {
+    const SlotCore& core = core_of(owner);
+    CHURNET_EXPECTS(index < core.out_count);
+    const std::uint32_t peer = out_pool_[core.out_base + index].peer;
+    if (peer == NodeId::kInvalidSlot) return kInvalidNode;
+    return NodeId{peer, core_[peer].generation};
+  }
 
   // ---- liveness and sampling ------------------------------------------
 
-  bool is_alive(NodeId node) const;
+  bool is_alive(NodeId node) const {
+    if (!node.valid() || node.slot >= core_.size()) return false;
+    const SlotCore& core = core_[node.slot];
+    return core.alive != 0 && core.generation == node.generation;
+  }
   std::uint32_t alive_count() const {
     return static_cast<std::uint32_t>(alive_slots_.size());
   }
 
   /// Uniformly random alive node. Requires alive_count() > 0.
-  NodeId random_alive(Rng& rng) const;
+  NodeId random_alive(Rng& rng) const {
+    CHURNET_EXPECTS(!alive_slots_.empty());
+    const std::uint32_t slot_index = alive_slots_[static_cast<std::size_t>(
+        rng.below(alive_slots_.size()))];
+    return NodeId{slot_index, core_[slot_index].generation};
+  }
 
   /// Uniformly random alive node != exclude; invalid id if none exists.
-  NodeId random_alive_other(Rng& rng, NodeId exclude) const;
+  NodeId random_alive_other(Rng& rng, NodeId exclude) const {
+    const bool exclude_alive = is_alive(exclude);
+    const std::size_t candidates =
+        alive_slots_.size() - (exclude_alive ? 1 : 0);
+    if (candidates == 0) return kInvalidNode;
+    if (!exclude_alive) return random_alive(rng);
+    // Draw from the alive list skipping the excluded node's position.
+    std::size_t pick = static_cast<std::size_t>(rng.below(candidates));
+    const std::size_t excluded_pos = core_[exclude.slot].alive_pos;
+    if (pick >= excluded_pos) ++pick;
+    const std::uint32_t slot_index = alive_slots_[pick];
+    return NodeId{slot_index, core_[slot_index].generation};
+  }
+
+  /// Prefetch hints for wiring loops: pull a node's hot slot record (and,
+  /// once that record is cached, its next in-list insert position) toward
+  /// the cache so independently drawn targets overlap their misses instead
+  /// of serializing them. Pure hints — no-ops on invalid ids, no effect on
+  /// behavior.
+  void prefetch_node(NodeId node) const {
+    if (node.slot < core_.size()) __builtin_prefetch(&core_[node.slot]);
+  }
+  void prefetch_in_insert(NodeId node) const {
+    if (node.slot >= core_.size()) return;
+    const SlotCore& core = core_[node.slot];
+    if (core.in_count < core.in_cap) {
+      __builtin_prefetch(&in_pool_[core.in_base + core.in_count], 1);
+    }
+  }
 
   /// Dense list of currently alive nodes (stable until the next mutation).
   std::vector<NodeId> alive_nodes() const;
@@ -84,20 +273,49 @@ class DynamicGraph {
   // ---- per-node queries ------------------------------------------------
 
   /// Monotone global birth sequence number (0 for the first node ever).
-  std::uint64_t birth_seq(NodeId node) const;
+  std::uint64_t birth_seq(NodeId node) const {
+    return birth_seqs_[checked_slot(node)];
+  }
   /// Model timestamp passed to add_node.
-  double birth_time(NodeId node) const;
+  double birth_time(NodeId node) const {
+    return birth_times_[checked_slot(node)];
+  }
 
-  std::uint32_t out_slot_count(NodeId node) const;
+  std::uint32_t out_slot_count(NodeId node) const {
+    return core_of(node).out_count;
+  }
   /// Number of non-dangling out-edges.
-  std::uint32_t out_degree(NodeId node) const;
-  std::uint32_t in_degree(NodeId node) const;
+  std::uint32_t out_degree(NodeId node) const {
+    const SlotCore& core = core_of(node);
+    std::uint32_t degree = 0;
+    for (std::uint32_t i = 0; i < core.out_count; ++i) {
+      degree += out_pool_[core.out_base + i].peer != NodeId::kInvalidSlot;
+    }
+    return degree;
+  }
+  std::uint32_t in_degree(NodeId node) const { return core_of(node).in_count; }
   /// out_degree + in_degree (parallel edges counted with multiplicity).
-  std::uint32_t degree(NodeId node) const;
+  std::uint32_t degree(NodeId node) const {
+    return out_degree(node) + in_degree(node);
+  }
 
   /// Appends all current neighbors of `node` (out-targets then in-sources,
-  /// with multiplicity) to `out`. Cheap enough for flooding hot loops.
-  void append_neighbors(NodeId node, std::vector<NodeId>& out) const;
+  /// with multiplicity) to `out`. Cheap enough for flooding hot loops: both
+  /// edge runs are contiguous in their pools, and live peers are alive by
+  /// construction so their NodeIds rebuild from the slot records.
+  void append_neighbors(NodeId node, std::vector<NodeId>& out) const {
+    const SlotCore& core = core_of(node);
+    for (std::uint32_t i = 0; i < core.out_count; ++i) {
+      const std::uint32_t peer = out_pool_[core.out_base + i].peer;
+      if (peer != NodeId::kInvalidSlot) {
+        out.push_back(NodeId{peer, core_[peer].generation});
+      }
+    }
+    for (std::uint32_t i = 0; i < core.in_count; ++i) {
+      const std::uint32_t peer = in_pool_[core.in_base + i].peer;
+      out.push_back(NodeId{peer, core_[peer].generation});
+    }
+  }
 
   /// Total number of (directed) edges currently present.
   std::uint64_t edge_count() const { return edge_count_; }
@@ -108,7 +326,7 @@ class DynamicGraph {
   /// Exclusive upper bound on slot indices ever allocated; alive nodes have
   /// distinct slots below this bound (used for dense slot-indexed scratch).
   std::uint32_t slot_upper_bound() const {
-    return static_cast<std::uint32_t>(slots_.size());
+    return static_cast<std::uint32_t>(core_.size());
   }
 
   /// Verifies the full doubly-indexed adjacency invariant; O(V+E).
@@ -116,29 +334,92 @@ class DynamicGraph {
   bool check_consistency() const;
 
  private:
+  /// Pooled out-slot entry (8 bytes): slot of the live target, or
+  /// kInvalidSlot when dangling, plus the back-pointer into the target's
+  /// in-list.
   struct OutEdge {
-    NodeId target = kInvalidNode;   // invalid == dangling
-    std::uint32_t in_pos = 0;       // index into target's in-list
+    std::uint32_t peer = NodeId::kInvalidSlot;
+    std::uint32_t in_pos = 0;
   };
+  /// Pooled in-list entry (8 bytes): slot of the live source plus the index
+  /// of the out-slot in the source's run that carries this edge.
   struct InEdge {
-    NodeId source = kInvalidNode;
-    std::uint32_t out_index = 0;    // index into source's out-slot array
+    std::uint32_t peer = NodeId::kInvalidSlot;
+    std::uint32_t out_index = 0;
   };
-  struct Slot {
+  /// Hot per-slot record: 32 bytes, two per cache line. Cold per-slot data
+  /// (birth_seq, birth_time) lives in parallel arrays so churn-loop access
+  /// patterns never drag it through the cache.
+  struct SlotCore {
     std::uint32_t generation = 0;
-    bool alive = false;
+    std::uint32_t alive = 0;        // bool; u32 keeps the record at 32 bytes
     std::uint32_t alive_pos = 0;    // index into alive_slots_
-    std::uint64_t birth_seq = 0;
-    double birth_time = 0.0;
-    std::vector<OutEdge> out;
-    std::vector<InEdge> in;
+    std::uint32_t out_base = 0;     // first out-slot in out_pool_
+    std::uint32_t out_count = 0;    // == the node's out-slot count (stride)
+    std::uint32_t in_base = 0;      // first in-edge in in_pool_
+    std::uint32_t in_count = 0;     // live in-edges
+    std::uint32_t in_cap = 0;       // chunk capacity (0 = no chunk held)
   };
 
-  const Slot& slot_of(NodeId node) const;
-  Slot& slot_of(NodeId node);
-  void detach_in_entry(Slot& target_slot, std::uint32_t in_pos);
+  /// Smallest in-list chunk; every chunk capacity is kMinInChunk << class.
+  static constexpr std::uint32_t kMinInChunk = 4;
+  static constexpr std::uint32_t kInClassCount = 26;  // caps 4 .. 4<<25
 
-  std::vector<Slot> slots_;
+  static std::uint32_t in_class_of(std::uint32_t cap) {
+    std::uint32_t cls = 0;
+    while ((kMinInChunk << cls) < cap) ++cls;
+    return cls;
+  }
+
+  std::uint32_t checked_slot(NodeId node) const {
+    CHURNET_EXPECTS(node.valid() && node.slot < core_.size());
+    CHURNET_EXPECTS(core_[node.slot].generation == node.generation);
+    return node.slot;
+  }
+  const SlotCore& core_of(NodeId node) const {
+    return core_[checked_slot(node)];
+  }
+  SlotCore& core_of(NodeId node) { return core_[checked_slot(node)]; }
+
+  /// Swap-with-last removal from a node's in-list; fixes the moved entry's
+  /// back-pointer in its source's out-slot run.
+  void detach_in_entry(SlotCore& target_core, std::uint32_t in_pos) {
+    CHURNET_ASSERT(in_pos < target_core.in_count);
+    const std::uint32_t last = target_core.in_count - 1;
+    if (in_pos != last) {
+      InEdge& moved = in_pool_[target_core.in_base + in_pos];
+      moved = in_pool_[target_core.in_base + last];
+      out_pool_[core_[moved.peer].out_base + moved.out_index].in_pos = in_pos;
+    }
+    target_core.in_count = last;
+  }
+
+  std::uint32_t grow_slot_arrays();                      // cold: new slot
+  std::uint32_t acquire_out_run(std::uint32_t stride);
+  void release_out_run(std::uint32_t base, std::uint32_t stride);
+  void release_in_chunk(std::uint32_t base, std::uint32_t cap) {
+    in_free_[in_class_of(cap)].push_back(base);
+  }
+  void grow_in_chunk(SlotCore& core);                    // cold: upgrade
+
+  // ---- arenas ----------------------------------------------------------
+  std::vector<SlotCore> core_;
+  std::vector<std::uint64_t> birth_seqs_;   // cold, parallel to core_
+  std::vector<double> birth_times_;         // cold, parallel to core_
+  std::vector<OutEdge> out_pool_;           // strided out-slot runs
+  std::vector<InEdge> in_pool_;             // capacity-class in-list chunks
+
+  // Free runs, recycled without touching the allocator. Out runs are keyed
+  // by stride (one entry per distinct out-slot count ever used — in
+  // practice a single entry, the model's d); in chunks by capacity class.
+  struct OutFreeList {
+    std::uint32_t stride = 0;
+    std::vector<std::uint32_t> bases;
+  };
+  std::vector<OutFreeList> out_free_;
+  std::vector<std::uint32_t> in_free_[kInClassCount];
+  std::uint32_t first_in_cap_ = kMinInChunk;  // reserve()'s chunk-size hint
+
   std::vector<std::uint32_t> alive_slots_;
   std::vector<std::uint32_t> free_slots_;
   std::uint64_t next_birth_seq_ = 0;

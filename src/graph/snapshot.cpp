@@ -10,7 +10,7 @@ namespace churnet {
 Snapshot Snapshot::capture(const DynamicGraph& graph, double now) {
   Snapshot snap;
   snap.time_ = now;
-  snap.node_ids_ = graph.alive_nodes();
+  graph.append_alive_nodes(snap.node_ids_);
   // Oldest first: ascending birth sequence.
   std::sort(snap.node_ids_.begin(), snap.node_ids_.end(),
             [&](NodeId a, NodeId b) {

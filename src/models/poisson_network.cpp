@@ -27,6 +27,7 @@ PoissonNetwork::PoissonNetwork(PoissonConfig config)
   // StreamingNetwork can drive.
   CHURNET_EXPECTS(churn_ != nullptr &&
                   "continuous churn spec required (not 'stream')");
+  graph_.reserve(stationary_reserve_hint(config.lambda, config.mu), config.d);
 }
 
 void PoissonNetwork::sample_pending() {
@@ -69,10 +70,10 @@ PoissonNetwork::EventReport PoissonNetwork::apply(
                             : graph_.random_alive(rng_);
   CHURNET_ASSERT(graph_.is_alive(victim));
   if (hooks_.on_death) hooks_.on_death(victim, event.time);
-  const std::vector<OutSlotRef> orphans = graph_.remove_node(victim);
+  graph_.remove_node(victim, removal_scratch_);
   if (config_.policy == EdgePolicy::kRegenerate) {
-    detail::regenerate_requests(graph_, rng_, orphans, hooks_, event.time,
-                                limits);
+    detail::regenerate_requests(graph_, rng_, removal_scratch_.orphans,
+                                hooks_, event.time, limits);
   }
   churn_->on_death(victim, event.time);
   report.node = victim;

@@ -112,6 +112,7 @@ class PoissonNetwork {
   DynamicGraph graph_;
   Rng rng_;
   NetworkHooks hooks_;
+  RemovalScratch removal_scratch_;  // reused across events; zero-alloc deaths
   double now_ = 0.0;
   std::uint64_t events_ = 0;
   bool pending_valid_ = false;

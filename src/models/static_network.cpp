@@ -82,6 +82,7 @@ StaticNetwork::StaticNetwork(StaticConfig config)
   CHURNET_EXPECTS(config.n >= 1);
   switch (config_.topology) {
     case StaticConfig::Topology::kDOut:
+      graph_.reserve(config_.n, config_.d);
       wire_dout(graph_, rng_, config_.n, config_.d);
       break;
     case StaticConfig::Topology::kErdosRenyi: {

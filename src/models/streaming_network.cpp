@@ -7,6 +7,9 @@ namespace churnet {
 StreamingNetwork::StreamingNetwork(StreamingConfig config)
     : config_(config), churn_(config.n), rng_(config.seed) {
   CHURNET_EXPECTS(config.n >= 1);
+  // The population is pinned at n, so warm-up fills every arena once and
+  // the steady-state round loop never grows a pool.
+  graph_.reserve(config.n, config.d);
 }
 
 StreamingNetwork::RoundReport StreamingNetwork::step() {
@@ -24,10 +27,10 @@ StreamingNetwork::RoundReport StreamingNetwork::step() {
     const NodeId victim = event.victim_id;
     report.died = victim;
     if (hooks_.on_death) hooks_.on_death(victim, event.time);
-    const std::vector<OutSlotRef> orphans = graph_.remove_node(victim);
+    graph_.remove_node(victim, removal_scratch_);
     if (config_.policy == EdgePolicy::kRegenerate) {
-      detail::regenerate_requests(graph_, rng_, orphans, hooks_, event.time,
-                                  limits);
+      detail::regenerate_requests(graph_, rng_, removal_scratch_.orphans,
+                                  hooks_, event.time, limits);
     }
     churn.on_death(victim, event.time);
     event = churn.next(graph_.alive_count());
@@ -62,7 +65,12 @@ void StreamingNetwork::warm_up() {
 
 std::uint64_t StreamingNetwork::age(NodeId node) const {
   CHURNET_EXPECTS(graph_.is_alive(node));
-  return churn_.round() - static_cast<std::uint64_t>(graph_.birth_time(node));
+  // The birth round is read back as an integer, not recovered from the
+  // double timestamp: the streaming schedule births exactly one node per
+  // round and round() counts births, so the node with global birth sequence
+  // s was born in round s + 1. This stays exact past 2^53 rounds (where the
+  // double birth_time would truncate) and is independent of the time model.
+  return churn_.round() - (graph_.birth_seq(node) + 1);
 }
 
 }  // namespace churnet

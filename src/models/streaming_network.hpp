@@ -92,6 +92,7 @@ class StreamingNetwork {
   DynamicGraph graph_;
   Rng rng_;
   NetworkHooks hooks_;
+  RemovalScratch removal_scratch_;  // reused across rounds; zero-alloc deaths
 };
 
 }  // namespace churnet

@@ -6,6 +6,8 @@
 // DESIGN.md, "Dangling requests").
 #pragma once
 
+#include <algorithm>
+#include <cmath>
 #include <span>
 
 #include "common/rng.hpp"
@@ -24,6 +26,16 @@ struct WiringLimits {
   std::uint32_t max_in_degree = 0;  // 0 = unlimited (paper models)
   std::uint32_t attempts = 8;      // redraws before giving up
 };
+
+/// Arena reservation hint for continuous-churn models: the stationary
+/// population lambda/mu plus four standard deviations of headroom (the
+/// M/G/inf stationary size is Poisson(lambda/mu)), so steady-state pool
+/// growth is a rare tail event.
+inline std::uint32_t stationary_reserve_hint(double lambda, double mu) {
+  const double expected = lambda / mu;
+  return static_cast<std::uint32_t>(expected + 4.0 * std::sqrt(expected) +
+                                    8.0);
+}
 
 }  // namespace churnet
 
@@ -44,11 +56,58 @@ inline NodeId draw_target(const DynamicGraph& graph, Rng& rng, NodeId owner,
   return kInvalidNode;
 }
 
+/// Tile width for the unbounded-mode wiring fast path below: draws are
+/// issued a tile at a time so the per-target cache misses overlap. 16 slots
+/// of stack scratch cover the common d in one tile.
+inline constexpr std::uint32_t kWiringTile = 16;
+
+/// Unbounded-mode wiring core shared by initial requests and regeneration:
+/// wires slot_at(0..count-1) to uniform random other nodes, a tile at a
+/// time. In unbounded mode a request's target depends only on the alive set
+/// and the RNG stream, and wiring earlier requests changes neither, so a
+/// tile's draws can all be issued (prefetching each target's in-list insert
+/// position) before its edges are written: draw order, edge order and hook
+/// order are identical to the one-at-a-time loop, batching only overlaps
+/// the misses. `slot_at(i)` names the i-th out-slot to fill.
+template <typename SlotAt>
+inline void wire_uniform_tiled(DynamicGraph& graph, Rng& rng,
+                               std::size_t count, const SlotAt& slot_at,
+                               bool regenerated, const NetworkHooks& hooks,
+                               double now) {
+  NodeId targets[kWiringTile];
+  for (std::size_t base = 0; base < count; base += kWiringTile) {
+    const auto tile = static_cast<std::uint32_t>(
+        std::min<std::size_t>(kWiringTile, count - base));
+    for (std::uint32_t t = 0; t < tile; ++t) {
+      targets[t] = graph.random_alive_other(rng, slot_at(base + t).owner);
+      graph.prefetch_in_insert(targets[t]);
+    }
+    for (std::uint32_t t = 0; t < tile; ++t) {
+      if (!targets[t].valid()) continue;  // no other node alive
+      const OutSlotRef slot = slot_at(base + t);
+      graph.set_out_edge(slot.owner, slot.index, targets[t]);
+      if (hooks.on_edge_created) {
+        hooks.on_edge_created(slot.owner, slot.index, targets[t],
+                              regenerated, now);
+      }
+    }
+  }
+}
+
 /// Wires every dangling out-slot of `owner` to a uniform random other node.
 inline void issue_initial_requests(DynamicGraph& graph, Rng& rng, NodeId owner,
                                    const NetworkHooks& hooks, double now,
                                    const WiringLimits& limits = {}) {
   const std::uint32_t slots = graph.out_slot_count(owner);
+  if (limits.max_in_degree == 0) {
+    wire_uniform_tiled(
+        graph, rng, slots,
+        [owner](std::size_t i) {
+          return OutSlotRef{owner, static_cast<std::uint32_t>(i)};
+        },
+        /*regenerated=*/false, hooks, now);
+    return;
+  }
   for (std::uint32_t i = 0; i < slots; ++i) {
     const NodeId target = draw_target(graph, rng, owner, limits);
     if (!target.valid()) continue;  // no acceptable target: stays dangling
@@ -59,13 +118,21 @@ inline void issue_initial_requests(DynamicGraph& graph, Rng& rng, NodeId owner,
   }
 }
 
-/// Redraws the orphaned out-slots reported by DynamicGraph::remove_node.
+/// Redraws the orphaned out-slots reported by DynamicGraph::remove_node
+/// (callers pass their RemovalScratch's orphan buffer as the span).
 /// Under regeneration this also retries any other dangling slots of the
 /// same owners (they can only exist in the bounded-degree extension).
 inline void regenerate_requests(DynamicGraph& graph, Rng& rng,
                                 std::span<const OutSlotRef> orphans,
                                 const NetworkHooks& hooks, double now,
                                 const WiringLimits& limits = {}) {
+  if (limits.max_in_degree == 0) {
+    wire_uniform_tiled(
+        graph, rng, orphans.size(),
+        [orphans](std::size_t i) { return orphans[i]; },
+        /*regenerated=*/true, hooks, now);
+    return;
+  }
   for (const OutSlotRef& orphan : orphans) {
     const NodeId target = draw_target(graph, rng, orphan.owner, limits);
     if (!target.valid()) continue;
@@ -75,7 +142,6 @@ inline void regenerate_requests(DynamicGraph& graph, Rng& rng,
                             /*regenerated=*/true, now);
     }
   }
-  if (limits.max_in_degree == 0) return;
   for (const OutSlotRef& orphan : orphans) {
     const std::uint32_t slots = graph.out_slot_count(orphan.owner);
     for (std::uint32_t i = 0; i < slots; ++i) {

@@ -3,6 +3,7 @@
 #include <algorithm>
 
 #include "common/assertx.hpp"
+#include "models/wiring.hpp"
 
 namespace churnet {
 
@@ -21,6 +22,8 @@ P2pNetwork::P2pNetwork(P2pConfig config)
       rng_(config.seed + 0x6C8E9CF570932BD5ULL) {
   CHURNET_EXPECTS(config.target_out >= 1);
   CHURNET_EXPECTS(config.max_in >= 1);
+  graph_.reserve(stationary_reserve_hint(config.lambda, config.mu),
+                 config.target_out);
 }
 
 P2pNetwork::EventReport P2pNetwork::step() {
@@ -53,11 +56,11 @@ P2pNetwork::EventReport P2pNetwork::apply(const ChurnEvent& event) {
   CHURNET_ASSERT(graph_.alive_count() > 0);
   const NodeId victim = graph_.random_alive(rng_);
   if (hooks_.on_death) hooks_.on_death(victim, event.time);
-  const std::vector<OutSlotRef> orphans = graph_.remove_node(victim);
+  graph_.remove_node(victim, removal_scratch_);
   // Survivors notice the lost connection, redial from their tables, and
   // take the opportunity to retry any other dangling slots (a cheap stand-in
   // for Bitcoin Core's periodic connection maintenance).
-  for (const OutSlotRef& orphan : orphans) {
+  for (const OutSlotRef& orphan : removal_scratch_.orphans) {
     table_ref(orphan.owner).erase(victim);
     dial_from_table(orphan.owner, orphan.index);
     fill_dangling(orphan.owner);
@@ -198,17 +201,19 @@ double P2pNetwork::peek_next_event_time() {
 }
 
 std::uint64_t P2pNetwork::dangling_out_slots() const {
-  std::uint64_t dangling = 0;
-  for (const NodeId node : graph_.alive_nodes()) {
-    dangling += config_.target_out - graph_.out_degree(node);
-  }
-  return dangling;
+  // Every node owns exactly target_out out-slots and edge_count() is the
+  // number of non-dangling ones, so no population scan is needed.
+  return static_cast<std::uint64_t>(config_.target_out) *
+             graph_.alive_count() -
+         graph_.edge_count();
 }
 
 double P2pNetwork::mean_table_staleness() const {
   double sum = 0.0;
   std::uint64_t counted = 0;
-  for (const NodeId node : graph_.alive_nodes()) {
+  alive_scratch_.clear();
+  graph_.append_alive_nodes(alive_scratch_);
+  for (const NodeId node : alive_scratch_) {
     const AddressTable& table = tables_[node.slot];
     if (table.empty()) continue;
     std::uint32_t stale = 0;

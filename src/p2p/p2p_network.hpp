@@ -109,6 +109,8 @@ class P2pNetwork {
   bool pending_valid_ = false;
   ChurnEvent pending_{};
   std::vector<AddressTable> tables_;  // indexed by slot, reset at birth
+  RemovalScratch removal_scratch_;  // reused across events; zero-alloc deaths
+  mutable std::vector<NodeId> alive_scratch_;  // for full-population scans
   std::uint64_t failed_dials_ = 0;
   std::uint64_t successful_dials_ = 0;
 };

@@ -1,0 +1,73 @@
+#!/usr/bin/env python3
+"""Diff a BENCH_core.json produced by bench_perf_suite against the golden.
+
+Compares everything EXCEPT the machine-dependent "perf" objects (rates and
+wall seconds): the "config" and "deterministic" subtrees are seed-pinned and
+must be identical on every machine, so any difference is silent behavior
+drift — a changed RNG consumption pattern, a reordered event, a modified
+sample — and fails CI.
+
+Usage: diff_bench_golden.py <golden.json> <candidate.json>
+Exit code 0 when the deterministic content matches, 1 otherwise.
+"""
+
+import json
+import sys
+
+
+def strip_perf(node):
+    """Recursively removes every "perf" object from a parsed JSON tree."""
+    if isinstance(node, dict):
+        return {k: strip_perf(v) for k, v in node.items() if k != "perf"}
+    if isinstance(node, list):
+        return [strip_perf(v) for v in node]
+    return node
+
+
+def flatten(node, prefix=""):
+    """Flattens a JSON tree into sorted (path, value) pairs for reporting."""
+    if isinstance(node, dict):
+        for key in sorted(node):
+            yield from flatten(node[key], f"{prefix}/{key}")
+    elif isinstance(node, list):
+        for i, value in enumerate(node):
+            yield from flatten(value, f"{prefix}[{i}]")
+    else:
+        yield prefix, node
+
+
+def main():
+    if len(sys.argv) != 3:
+        print(__doc__, file=sys.stderr)
+        return 2
+    with open(sys.argv[1]) as f:
+        golden = strip_perf(json.load(f))
+    with open(sys.argv[2]) as f:
+        candidate = strip_perf(json.load(f))
+
+    golden_flat = dict(flatten(golden))
+    candidate_flat = dict(flatten(candidate))
+    drift = []
+    for path in sorted(set(golden_flat) | set(candidate_flat)):
+        expected = golden_flat.get(path, "<missing>")
+        actual = candidate_flat.get(path, "<missing>")
+        if expected != actual:
+            drift.append((path, expected, actual))
+
+    if drift:
+        print(f"BEHAVIOR DRIFT: {len(drift)} deterministic field(s) differ "
+              f"from {sys.argv[1]}:")
+        for path, expected, actual in drift:
+            print(f"  {path}: golden={expected!r} candidate={actual!r}")
+        print("\nIf the change is intentional (new RNG draws, new workload "
+              "shape), regenerate the golden:\n"
+              "  ./build/bench_perf_suite --quick --out "
+              "bench/golden/BENCH_core.golden.json")
+        return 1
+    print(f"deterministic fields match golden "
+          f"({len(golden_flat)} fields compared)")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())
