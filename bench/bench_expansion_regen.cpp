@@ -35,6 +35,12 @@ int main(int argc, char** argv) {
 
   Table table({"model", "d", "min ratio", "worst family", "worst |S|",
                "isolated", "verdict (>=0.1)"});
+
+  // Measurement via the observation layer (observe/observers.hpp): the
+  // expansion probe and the isolated census are the sweep-attachable
+  // observers, seeded per replication exactly as the pre-port loops.
+  ExpansionObserver probe_observer;
+  IsolatedObserver isolated_observer;
   const std::uint32_t degrees[] = {3, 6, 10, 14, 21, 35};
 
   for (const std::uint32_t d : degrees) {
@@ -52,9 +58,13 @@ int main(int argc, char** argv) {
       net.warm_up();
       net.run_rounds(n);
       const Snapshot snap = net.snapshot();
-      isolated += isolated_census(snap).isolated_nodes;
-      Rng probe_rng(derive_seed(seed, d + 1000, rep));
-      const ProbeResult probe = probe_expansion(snap, probe_rng, {});
+      isolated_observer.begin_trial(0);
+      isolated_observer.on_snapshot(snap);
+      isolated += isolated_observer.last().isolated_nodes;
+      probe_observer.set_options({});
+      probe_observer.begin_trial(derive_seed(seed, d + 1000, rep));
+      probe_observer.on_snapshot(snap);
+      const ProbeResult& probe = probe_observer.last();
       if (probe.min_ratio < worst) {
         worst = probe.min_ratio;
         worst_family = probe.argmin_family;
@@ -77,9 +87,13 @@ int main(int argc, char** argv) {
           n, d, EdgePolicy::kRegenerate, derive_seed(seed, 100 + d, rep)));
       net.warm_up(8.0);
       const Snapshot snap = net.snapshot();
-      isolated += isolated_census(snap).isolated_nodes;
-      Rng probe_rng(derive_seed(seed, d + 2000, rep));
-      const ProbeResult probe = probe_expansion(snap, probe_rng, {});
+      isolated_observer.begin_trial(0);
+      isolated_observer.on_snapshot(snap);
+      isolated += isolated_observer.last().isolated_nodes;
+      probe_observer.set_options({});
+      probe_observer.begin_trial(derive_seed(seed, d + 2000, rep));
+      probe_observer.on_snapshot(snap);
+      const ProbeResult& probe = probe_observer.last();
       if (probe.min_ratio < worst) {
         worst = probe.min_ratio;
         worst_family = probe.argmin_family;
@@ -96,8 +110,10 @@ int main(int argc, char** argv) {
   for (const std::uint32_t d : {3u, 8u, 21u}) {
     Rng rng(derive_seed(seed, 300 + d, 0));
     const Snapshot snap = static_dout_snapshot(n, d, rng);
-    Rng probe_rng(derive_seed(seed, 400 + d, 0));
-    const ProbeResult probe = probe_expansion(snap, probe_rng, {});
+    probe_observer.set_options({});
+    probe_observer.begin_trial(derive_seed(seed, 400 + d, 0));
+    probe_observer.on_snapshot(snap);
+    const ProbeResult& probe = probe_observer.last();
     table.add_row({"static d-out", fmt_int(d), fmt_fixed(probe.min_ratio, 3),
                    probe.argmin_family, fmt_int(probe.argmin_size), "0",
                    verdict(probe.min_ratio >= 0.1)});
@@ -120,10 +136,12 @@ int main(int argc, char** argv) {
     net.run_rounds(tiny_n + 4);
     const Snapshot snap = net.snapshot();
     const double exact = exact_vertex_expansion(snap);
-    Rng probe_rng(derive_seed(seed, 600 + tiny_n, 0));
     ProbeOptions options;
     options.random_sets_per_size = 64;
-    const ProbeResult probe = probe_expansion(snap, probe_rng, options);
+    probe_observer.set_options(options);
+    probe_observer.begin_trial(derive_seed(seed, 600 + tiny_n, 0));
+    probe_observer.on_snapshot(snap);
+    const ProbeResult& probe = probe_observer.last();
     tiny.add_row({fmt_int(tiny_n), "4", fmt_fixed(exact, 3),
                   fmt_fixed(probe.min_ratio, 3),
                   verdict(probe.min_ratio >= exact - 1e-12)});

@@ -140,6 +140,9 @@ int main(int argc, char** argv) {
   }
 
   // Regenerating models as the contrast column of Table 1: no isolation.
+  // Measured through the observation layer's isolated observer — the same
+  // census the sweeps attach (observe/observers.hpp).
+  IsolatedObserver isolated_observer;
   for (const std::uint32_t d : {2u, 4u}) {
     OnlineStats isolated;
     for (std::uint64_t rep = 0; rep < reps; ++rep) {
@@ -151,7 +154,9 @@ int main(int argc, char** argv) {
       StreamingNetwork net(config);
       net.warm_up();
       net.run_rounds(n);
-      isolated.add(isolated_census(net.snapshot()).fraction);
+      isolated_observer.begin_trial(0);
+      isolated_observer.on_snapshot(net.snapshot());
+      isolated.add(isolated_observer.last().fraction);
     }
     table.add_row({"SDGR", fmt_int(d), "0 (none)",
                    fmt_percent(isolated.mean(), 3), "-", "-",

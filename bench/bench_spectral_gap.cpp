@@ -39,6 +39,12 @@ int main(int argc, char** argv) {
   Table table({"model", "d", "spectral gap", "lambda_2", "Cheeger lower",
                "probe min", "verdict"});
 
+  // The measurement is the observation layer's spectral + expansion
+  // observers (observe/observers.hpp) — the same objects sweeps attach —
+  // seeded per replication exactly as this bench seeded its power/probe
+  // RNGs before the port, so the reported values are unchanged.
+  SpectralObserver spectral_observer(300, 1e-6);
+  ExpansionObserver probe_observer;
   auto add_row = [&](const std::string& name, std::uint32_t d,
                      auto make_snapshot, bool expect_gap) {
     double worst_gap = 1.0;
@@ -46,10 +52,12 @@ int main(int argc, char** argv) {
     double worst_probe = 1e9;
     for (std::uint64_t rep = 0; rep < reps; ++rep) {
       const Snapshot snap = make_snapshot(rep);
-      Rng power_rng(derive_seed(seed, 900 + d, rep));
-      const SpectralResult spectral = spectral_gap(snap, power_rng, 300, 1e-6);
-      Rng probe_rng(derive_seed(seed, 950 + d, rep));
-      const ProbeResult probe = probe_expansion(snap, probe_rng, {});
+      spectral_observer.begin_trial(derive_seed(seed, 900 + d, rep));
+      spectral_observer.on_snapshot(snap);
+      const SpectralResult& spectral = spectral_observer.last();
+      probe_observer.begin_trial(derive_seed(seed, 950 + d, rep));
+      probe_observer.on_snapshot(snap);
+      const ProbeResult& probe = probe_observer.last();
       worst_gap = std::min(worst_gap, spectral.spectral_gap);
       worst_lambda = std::max(worst_lambda, spectral.lambda2);
       worst_probe = std::min(worst_probe, probe.min_ratio);

@@ -1,6 +1,6 @@
 // Experiment "Table 1" -- one verdict per cell of the paper's summary
 // table, at a reference configuration. Each cell is measured in depth by
-// its dedicated bench (see DESIGN.md section 7); this binary is the
+// its dedicated bench (see DESIGN.md section 8); this binary is the
 // one-screen overview.
 //
 //   Table 1 (paper):
@@ -48,6 +48,13 @@ int main(int argc, char** argv) {
 
   Table table({"cell", "model", "claim", "config", "measured", "verdict"});
 
+  // Every snapshot measurement below goes through the observation layer
+  // (observe/observers.hpp): the isolated and expansion observers are the
+  // exact objects sweeps attach, seeded per replication exactly as this
+  // bench seeded its probe RNGs before the port.
+  IsolatedObserver isolated_observer;
+  ExpansionObserver probe_observer;
+
   // --- isolated nodes, streaming (Lemma 3.5) ---------------------------
   {
     OnlineStats fraction;
@@ -57,7 +64,9 @@ int main(int argc, char** argv) {
       StreamingNetwork net(config);
       net.warm_up();
       net.run_rounds(n);
-      fraction.add(isolated_census(net.snapshot()).fraction);
+      isolated_observer.begin_trial(0);
+      isolated_observer.on_snapshot(net.snapshot());
+      fraction.add(isolated_observer.last().fraction);
     }
     const double bound = lemma_3_5_isolated_fraction(2);
     table.add_row({"L3.5", "SDG", "isolated frac >= e^{-2d}/6", "d=2",
@@ -71,7 +80,9 @@ int main(int argc, char** argv) {
       PoissonNetwork net(PoissonConfig::with_n(n, 2, EdgePolicy::kNone,
                                                derive_seed(seed, 2, rep)));
       net.warm_up(8.0);
-      fraction.add(isolated_census(net.snapshot()).fraction);
+      isolated_observer.begin_trial(0);
+      isolated_observer.on_snapshot(net.snapshot());
+      fraction.add(isolated_observer.last().fraction);
     }
     const double bound = lemma_4_10_isolated_fraction(2);
     table.add_row({"L4.10", "PDG", "isolated frac >= e^{-2d}/18", "d=2",
@@ -85,27 +96,25 @@ int main(int argc, char** argv) {
     const auto window = static_cast<std::uint32_t>(std::ceil(
         n * std::exp(-static_cast<double>(d) / (model == 0 ? 10.0 : 20.0))));
     for (std::uint64_t rep = 0; rep < reps; ++rep) {
-      Rng probe_rng(derive_seed(seed, 30 + model, rep));
       ProbeOptions options;
       options.min_size = window;
       options.low_degree_singletons = 0;
+      probe_observer.set_options(options);
+      probe_observer.begin_trial(derive_seed(seed, 30 + model, rep));
       if (model == 0) {
         StreamingConfig config{n, d, EdgePolicy::kNone,
                                derive_seed(seed, 3, rep)};
         StreamingNetwork net(config);
         net.warm_up();
         net.run_rounds(n);
-        worst = std::min(
-            worst, probe_expansion(net.snapshot(), probe_rng, options)
-                       .min_ratio);
+        probe_observer.on_snapshot(net.snapshot());
       } else {
         PoissonNetwork net(PoissonConfig::with_n(n, d, EdgePolicy::kNone,
                                                  derive_seed(seed, 4, rep)));
         net.warm_up(8.0);
-        worst = std::min(
-            worst, probe_expansion(net.snapshot(), probe_rng, options)
-                       .min_ratio);
+        probe_observer.on_snapshot(net.snapshot());
       }
+      worst = std::min(worst, probe_observer.last().min_ratio);
     }
     table.add_row({model == 0 ? "L3.6" : "L4.11",
                    model == 0 ? "SDG" : "PDG",
@@ -117,24 +126,22 @@ int main(int argc, char** argv) {
     const std::uint32_t d = model == 0 ? 14 : 35;
     double worst = 1e9;
     for (std::uint64_t rep = 0; rep < reps; ++rep) {
-      Rng probe_rng(derive_seed(seed, 40 + model, rep));
+      probe_observer.set_options({});
+      probe_observer.begin_trial(derive_seed(seed, 40 + model, rep));
       if (model == 0) {
         StreamingConfig config{n, d, EdgePolicy::kRegenerate,
                                derive_seed(seed, 5, rep)};
         StreamingNetwork net(config);
         net.warm_up();
         net.run_rounds(n);
-        worst = std::min(
-            worst,
-            probe_expansion(net.snapshot(), probe_rng, {}).min_ratio);
+        probe_observer.on_snapshot(net.snapshot());
       } else {
         PoissonNetwork net(PoissonConfig::with_n(
             n, d, EdgePolicy::kRegenerate, derive_seed(seed, 6, rep)));
         net.warm_up(8.0);
-        worst = std::min(
-            worst,
-            probe_expansion(net.snapshot(), probe_rng, {}).min_ratio);
+        probe_observer.on_snapshot(net.snapshot());
       }
+      worst = std::min(worst, probe_observer.last().min_ratio);
     }
     table.add_row({model == 0 ? "T3.15" : "T4.16",
                    model == 0 ? "SDGR" : "PDGR", "0.1-expander w.h.p.",

@@ -54,6 +54,24 @@ bool ChurnSpec::is_known_name(std::string_view name) {
   return find_regime(lowercase_spec(name)) != nullptr;
 }
 
+std::vector<std::pair<std::string, std::string>> ChurnSpec::catalog() {
+  return {
+      {"stream",
+       "the paper's streaming round schedule (Def. 3.2); streaming models "
+       "only"},
+      {"poisson", "the paper's jump chain (Def. 4.1 / Lemma 4.6)"},
+      {"pareto(a)",
+       "Pareto session lengths, tail index a > 1 (default 2.5), mean 1/mu"},
+      {"weibull(k)",
+       "Weibull session lengths, shape k > 0 (default 0.7), mean 1/mu"},
+      {"bursty(b,p)",
+       "on/off death rates mu*b / mu/b (b > 1), phase length p > 0 "
+       "lifetimes (defaults 4, 0.5)"},
+      {"drift(g)",
+       "stationary through warm-up, then birth rate g*lambda (default 2)"},
+  };
+}
+
 std::string ChurnSpec::canonical() const {
   switch (kind) {
     case Kind::kStream:

@@ -28,6 +28,8 @@
 #include <optional>
 #include <string>
 #include <string_view>
+#include <utility>
+#include <vector>
 
 #include "churn/churn_process.hpp"
 
@@ -67,6 +69,11 @@ struct ChurnSpec {
   /// a churn regime; used to dispatch composite-scenario segments between
   /// the churn and protocol spec families before a full parse.
   static bool is_known_name(std::string_view name);
+
+  /// The churn-regime catalog as (spelling, description) rows — the same
+  /// shape as ProtocolSpec::catalog() / ObserverSpec::catalog(), consumed
+  /// by the shared listing helper (engine/spec_catalog.hpp).
+  static std::vector<std::pair<std::string, std::string>> catalog();
 
   friend bool operator==(const ChurnSpec&, const ChurnSpec&) = default;
 };

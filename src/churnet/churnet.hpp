@@ -31,6 +31,7 @@
 #include "common/stats.hpp"                // IWYU pragma: export
 #include "common/table.hpp"                // IWYU pragma: export
 #include "engine/scenario.hpp"             // IWYU pragma: export
+#include "engine/spec_catalog.hpp"         // IWYU pragma: export
 #include "engine/sweep_runner.hpp"         // IWYU pragma: export
 #include "engine/trial_runner.hpp"         // IWYU pragma: export
 #include "expansion/expansion.hpp"         // IWYU pragma: export
@@ -47,6 +48,10 @@
 #include "models/poisson_network.hpp"      // IWYU pragma: export
 #include "models/static_network.hpp"       // IWYU pragma: export
 #include "models/streaming_network.hpp"    // IWYU pragma: export
+#include "observe/observer.hpp"            // IWYU pragma: export
+#include "observe/observer_spec.hpp"       // IWYU pragma: export
+#include "observe/observers.hpp"           // IWYU pragma: export
+#include "observe/pipeline.hpp"            // IWYU pragma: export
 #include "p2p/p2p_network.hpp"             // IWYU pragma: export
 #include "protocols/dissemination.hpp"     // IWYU pragma: export
 #include "protocols/gossip.hpp"            // IWYU pragma: export

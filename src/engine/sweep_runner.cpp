@@ -14,6 +14,7 @@
 #include "common/sinks.hpp"
 #include "engine/trial_runner.hpp"
 #include "graph/algorithms.hpp"
+#include "observe/observer_spec.hpp"
 #include "protocols/protocol_spec.hpp"
 
 namespace churnet {
@@ -152,6 +153,15 @@ std::optional<SweepSpec> SweepSpec::from_json(const JsonValue& json,
       if (!read_string_list(value, "metrics", &spec.metrics, error)) {
         return std::nullopt;
       }
+    } else if (key == "observers") {
+      if (!value.is_string()) {
+        if (error != nullptr) {
+          *error = "observers must be a spec string "
+                   "(\"expansion(8)+isolated\")";
+        }
+        return std::nullopt;
+      }
+      spec.observers = value.as_string();
     } else if (key == "replications") {
       double number = 0.0;
       if (!read_integer(value, "replications", 1.0, 1e15, &number, error)) {
@@ -179,7 +189,7 @@ std::optional<SweepSpec> SweepSpec::from_json(const JsonValue& json,
     } else {
       if (error != nullptr) {
         *error = "unknown sweep key '" + key +
-                 "'; known: scenarios, n, d, protocols, metrics, "
+                 "'; known: scenarios, n, d, protocols, metrics, observers, "
                  "replications, seed, max_in_degree";
       }
       return std::nullopt;
@@ -209,6 +219,10 @@ std::optional<std::string> SweepSpec::validate() const {
     std::string error;
     if (!ProtocolSpec::parse(protocol, &error).has_value()) return error;
   }
+  {
+    std::string error;
+    if (!ObserverSpec::parse(observers, &error).has_value()) return error;
+  }
   for (const std::string& metric : metrics) {
     if (find_metric(metric) == nullptr) {
       std::string known;
@@ -222,10 +236,12 @@ std::optional<std::string> SweepSpec::validate() const {
 }
 
 SweepResult::SweepResult(
-    SweepSpec spec, std::vector<SweepCellKey> cells,
+    SweepSpec spec, std::vector<std::string> metric_names,
+    std::vector<SweepCellKey> cells,
     std::vector<std::vector<std::vector<double>>> samples,
     double wall_seconds, unsigned threads_used)
     : spec_(std::move(spec)),
+      metric_names_(std::move(metric_names)),
       cells_(std::move(cells)),
       samples_(std::move(samples)),
       wall_seconds_(wall_seconds),
@@ -233,9 +249,9 @@ SweepResult::SweepResult(
   CHURNET_ASSERT(samples_.size() == cells_.size());
   stats_.resize(cells_.size());
   for (std::size_t c = 0; c < cells_.size(); ++c) {
-    stats_[c].resize(spec_.metrics.size());
+    stats_[c].resize(metric_names_.size());
     for (const std::vector<double>& row : samples_[c]) {
-      CHURNET_ASSERT(row.size() == spec_.metrics.size());
+      CHURNET_ASSERT(row.size() == metric_names_.size());
       for (std::size_t m = 0; m < row.size(); ++m) {
         if (!std::isnan(row[m])) stats_[c][m].add(row[m]);
       }
@@ -257,13 +273,13 @@ TrialResult SweepResult::cell_trial(std::size_t cell) const {
   options.threads = threads_used_;
   options.base_seed = spec_.base_seed;
   options.stream = cell;
-  return TrialResult(options, spec_.metrics, samples_[cell], wall_seconds_,
+  return TrialResult(options, metric_names_, samples_[cell], wall_seconds_,
                      threads_used_);
 }
 
 Table SweepResult::to_table() const {
   std::vector<std::string> header{"scenario", "churn", "protocol", "n", "d"};
-  for (const std::string& metric : spec_.metrics) header.push_back(metric);
+  for (const std::string& metric : metric_names_) header.push_back(metric);
   Table table(header);
   for (std::size_t c = 0; c < cells_.size(); ++c) {
     const SweepCellKey& cell = cells_[c];
@@ -271,7 +287,7 @@ Table SweepResult::to_table() const {
         cell.scenario, cell.churn, cell.protocol,
         fmt_int(static_cast<std::int64_t>(cell.n)),
         fmt_int(static_cast<std::int64_t>(cell.d))};
-    for (std::size_t m = 0; m < spec_.metrics.size(); ++m) {
+    for (std::size_t m = 0; m < metric_names_.size(); ++m) {
       const OnlineStats& s = stats_[c][m];
       row.push_back(s.count() > 0 ? fmt_fixed(s.mean(), 3) : "-");
     }
@@ -292,10 +308,10 @@ void SweepResult::write_csv(std::ostream& os) const {
     const std::string protocol_field = csv_field(cell.protocol);
     for (std::size_t r = 0; r < samples_[c].size(); ++r) {
       const std::uint64_t seed = derive_seed(spec_.base_seed, c, r);
-      for (std::size_t m = 0; m < spec_.metrics.size(); ++m) {
+      for (std::size_t m = 0; m < metric_names_.size(); ++m) {
         os << scenario_field << ',' << churn_field << ',' << protocol_field
            << ',' << cell.n << ',' << cell.d << ',' << r << ',' << seed
-           << ',' << csv_field(spec_.metrics[m]) << ',';
+           << ',' << csv_field(metric_names_[m]) << ',';
         const double value = samples_[c][r][m];
         if (!std::isnan(value)) os << value;
         os << '\n';
@@ -320,10 +336,10 @@ void SweepResult::write_json(std::ostream& os) const {
     os << ",\"protocol\":";
     write_json_string(os, cell.protocol);
     os << ",\"n\":" << cell.n << ",\"d\":" << cell.d << ",\"metrics\":{";
-    for (std::size_t m = 0; m < spec_.metrics.size(); ++m) {
+    for (std::size_t m = 0; m < metric_names_.size(); ++m) {
       if (m > 0) os << ',';
       const OnlineStats& s = stats_[c][m];
-      write_json_string(os, spec_.metrics[m]);
+      write_json_string(os, metric_names_[m]);
       os << ":{\"count\":" << s.count() << ",\"mean\":";
       write_json_number(os, s.count() > 0 ? s.mean() : std::nan(""));
       os << ",\"stddev\":";
@@ -418,6 +434,27 @@ SweepResult SweepRunner::run(unsigned threads,
     needs_flood |= info->needs_flood;
   }
 
+  // The attached observer set: parsed once here; instantiated per worker
+  // (thread_local, like protocol instances) and fully reset per trial, so
+  // observer values stay pure functions of the replication seed. Its
+  // metric columns follow the spec's own metrics in every row.
+  const ObserverSpec observer_spec = [this] {
+    std::string error;
+    const std::optional<ObserverSpec> parsed =
+        ObserverSpec::parse(spec_.observers, &error);
+    if (!parsed.has_value()) {  // validate() already checked; belt and
+      std::fprintf(stderr, "%s\n", error.c_str());  // braces for direct
+      std::abort();                                 // run() callers
+    }
+    return *parsed;
+  }();
+  const std::string observer_key = observer_spec.canonical();
+  const bool has_observers = !observer_spec.empty();
+  std::vector<std::string> metric_names = spec_.metrics;
+  for (std::string& name : make_observer_set(observer_spec).metric_names()) {
+    metric_names.push_back(std::move(name));
+  }
+
   // Flatten to (cell, replication) jobs on the engine's pool. Job seeds
   // are derive_seed(base, cell, rep) — ctx.seed (stream 0) is ignored so
   // every cell is its own seed stream, stable under grid reshapes.
@@ -432,8 +469,9 @@ SweepResult SweepRunner::run(unsigned threads,
   const std::uint64_t base_seed = spec_.base_seed;
   const std::uint32_t max_in_degree = spec_.max_in_degree;
   const TrialResult flat = TrialRunner(options).run(
-      spec_.metrics,
-      [&cells, &keys, &metrics, needs_snapshot, needs_flood, reps, base_seed,
+      metric_names,
+      [&cells, &keys, &metrics, &observer_spec, &observer_key, has_observers,
+       needs_snapshot, needs_flood, reps, base_seed,
        max_in_degree](const TrialContext& ctx) {
         const std::uint64_t cell_index = ctx.replication / reps;
         const std::uint64_t replication = ctx.replication % reps;
@@ -446,18 +484,45 @@ SweepResult SweepRunner::run(unsigned threads,
         params.max_in_degree = max_in_degree;
         AnyNetwork net = cell.scenario->make_warmed(params);
 
+        // Observer instances live per worker like protocol instances;
+        // begin_trial resets them under a stream (params.seed, 2, ·)
+        // disjoint from the network's own seed and the protocol stream
+        // (params.seed, 1, 0). An observation window, when requested,
+        // advances the network BEFORE any metric is measured — the window
+        // is part of the cell's definition, identical at every thread
+        // count.
+        thread_local ObserverSet observers;
+        thread_local std::string observers_key;
+        if (has_observers) {
+          if (observers.empty() || observers_key != observer_key) {
+            observers = make_observer_set(observer_spec);
+            observers_key = observer_key;
+          }
+          observers.begin_trial(derive_seed(params.seed, 2, 0));
+          const std::uint32_t window = observers.observation_rounds();
+          for (std::uint32_t r = 0; r < window; ++r) {
+            net.step();
+            observers.on_round(net.graph(), net.now());
+          }
+        }
+
         const double alive =
             static_cast<double>(net.graph().alive_count());
         DegreeStats degrees;
         Components components;
-        if (needs_snapshot) {
+        if (needs_snapshot ||
+            (has_observers && observers.wants_snapshot())) {
           const Snapshot snap = net.snapshot();
-          degrees = degree_stats(snap);
-          components = connected_components(snap);
+          if (needs_snapshot) {
+            degrees = degree_stats(snap);
+            components = connected_components(snap);
+          }
+          if (has_observers) observers.on_snapshot(snap);
         }
         FloodTrace trace;
         ProtocolStats proto_stats;
-        if (needs_flood) {
+        if (needs_flood ||
+            (has_observers && observers.wants_dissemination())) {
           // The cell's protocol through the generic dissemination driver;
           // its RNG stream is derived from the replication seed, so the
           // job stays a pure function of (base_seed, cell, replication).
@@ -475,6 +540,9 @@ SweepResult SweepRunner::run(unsigned threads,
           ProtocolOptions options = protocol_options(
               cell.protocol, derive_seed(params.seed, 1, 0));
           ProtocolResult run = net.disseminate(*protocol, options, scratch);
+          if (has_observers) {
+            observers.on_dissemination(run.trace, &run.stats);
+          }
           trace = std::move(run.trace);
           proto_stats = run.stats;
         }
@@ -534,6 +602,7 @@ SweepResult SweepRunner::run(unsigned threads,
               break;
           }
         }
+        if (has_observers) observers.append_values(values);
         return values;
       });
 
@@ -545,8 +614,9 @@ SweepResult SweepRunner::run(unsigned threads,
                       flat.samples().begin() +
                           static_cast<std::ptrdiff_t>((c + 1) * reps));
   }
-  return SweepResult(spec_, std::move(keys), std::move(samples),
-                     flat.wall_seconds(), flat.threads_used());
+  return SweepResult(spec_, std::move(metric_names), std::move(keys),
+                     std::move(samples), flat.wall_seconds(),
+                     flat.threads_used());
 }
 
 }  // namespace churnet

@@ -13,6 +13,18 @@
 // complexity) run the cell's protocol through the generic driver; flood
 // cells reproduce the plain flood driver bit for bit.
 //
+// A sweep can additionally attach a metric-observer set (observe/,
+// DESIGN.md §6): SweepSpec::observers names it ("expansion(8)+spectral"),
+// and each observer's metric columns are appended after the sweep's own
+// metrics in every cell, sink row and aggregate. Observer randomness is
+// routed through streams derived from the replication seed but disjoint
+// from the network's and the protocol's, so attaching snapshot or
+// dissemination observers never changes any previously measured value.
+// The one documented exception: a round observer (demography(w))
+// requests an observation window, which advances the network by w churn
+// steps before anything is measured — the window is part of the cell's
+// definition, so every metric then describes the post-window instant.
+//
 // Seeding and determinism follow the engine's invariants (DESIGN.md,
 // decision 8): the replication seed of cell c is derive_seed(base_seed, c,
 // replication) — each cell is its own stream, so no two cells in any sweep
@@ -66,6 +78,7 @@ enum class SweepMetric : std::uint8_t {
 ///     "d": [4, 8],
 ///     "protocols": ["flood", "push(3)+lossy(0.9)"],  // optional axis
 ///     "metrics": ["alive", "completion_step"],   // optional
+///     "observers": "expansion(8)+isolated",      // optional
 ///     "replications": 8,                          // optional
 ///     "seed": 12345,                              // optional
 ///     "max_in_degree": 0                          // optional
@@ -80,6 +93,10 @@ struct SweepSpec {
   /// non-empty entries override it.
   std::vector<std::string> protocols;
   std::vector<std::string> metrics = default_metrics();
+  /// Metric-observer set attached to every cell
+  /// (observe/observer_spec.hpp grammar); its metric columns are appended
+  /// after `metrics`. Empty = no observers.
+  std::string observers;
   std::uint64_t replications = 8;
   std::uint64_t base_seed = 12345;
   std::uint32_t max_in_degree = 0;
@@ -119,13 +136,18 @@ struct SweepCellKey {
 /// Everything a sweep produced: per-cell aggregates + the sample matrix.
 class SweepResult {
  public:
-  SweepResult(SweepSpec spec, std::vector<SweepCellKey> cells,
+  /// `metric_names` is the full column list: the spec's metrics followed
+  /// by the attached observers' metric columns (equal to spec.metrics when
+  /// no observers are attached).
+  SweepResult(SweepSpec spec, std::vector<std::string> metric_names,
+              std::vector<SweepCellKey> cells,
               std::vector<std::vector<std::vector<double>>> samples,
               double wall_seconds, unsigned threads_used);
 
   const SweepSpec& spec() const { return spec_; }
   const std::vector<SweepCellKey>& cells() const { return cells_; }
-  const std::vector<std::string>& metrics() const { return spec_.metrics; }
+  /// All metric columns: spec metrics, then observer metrics.
+  const std::vector<std::string>& metrics() const { return metric_names_; }
   /// samples()[c][r][m]: metric m of replication r in cell c (NaN =
   /// missing observation).
   const std::vector<std::vector<std::vector<double>>>& samples() const {
@@ -154,6 +176,7 @@ class SweepResult {
 
  private:
   SweepSpec spec_;
+  std::vector<std::string> metric_names_;
   std::vector<SweepCellKey> cells_;
   std::vector<std::vector<std::vector<double>>> samples_;
   std::vector<std::vector<OnlineStats>> stats_;  // [cell][metric]

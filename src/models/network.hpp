@@ -10,7 +10,11 @@
 // AnyNetwork type-erases the concept for runtime scenario selection (the
 // ScenarioRegistry hands out AnyNetwork instances chosen by name). It also
 // carries the model's flooding semantics, so `AnyNetwork::flood` runs the
-// generic frontier driver on whatever model is inside.
+// generic frontier driver on whatever model is inside. The observation
+// pipeline (observe/pipeline.hpp) drives this same surface — step() for
+// window rounds, snapshot() for the shared snapshot, flood()/disseminate()
+// for coverage observers — so metric observers attach to every model,
+// current and future, without per-model code.
 #pragma once
 
 #include <concepts>

@@ -1,0 +1,103 @@
+// Textual observer specs: the grammar sweeps and the repro CLI use to name
+// a set of metric observers, and the factory that instantiates one —
+// mirroring churn/churn_spec.hpp and protocols/protocol_spec.hpp for the
+// observation axis.
+//
+// Grammar (case-insensitive, optional whitespace; built on the shared
+// common/specgram.hpp machinery, so diagnostics match the other families):
+//
+//   spec     := observer ('+' observer)*
+//   observer := "expansion" ['(' k ')'] | "spectral" ['(' i ')']
+//               | "isolated" | "degrees" | "ages"
+//               | "coverage" ['(' f ')'] | "demography" ['(' w ')']
+//
+//   expansion(k)    vertex-expansion probe, k >= 1 random sets per probed
+//                   size (default 8) -> expansion_min_ratio,
+//                   expansion_argmin_size, expansion_sets_probed
+//   spectral(i)     lazy-walk spectral gap, i >= 1 power iterations
+//                   (default 500) -> spectral_gap, spectral_lambda2,
+//                   spectral_converged
+//   isolated        isolated-node census -> isolated_count,
+//                   isolated_fraction
+//   degrees         degree histogram -> degree_mean/min/max/p50/p90/p99
+//   ages            node-age histogram -> age_mean/p50/p90/max
+//   coverage(f)     dissemination coverage curve, target fraction
+//                   0 < f <= 1 (default 0.5) -> coverage_step,
+//                   coverage_final, coverage_auc
+//   demography(w)   alive-count trajectory over a w-round observation
+//                   window, w >= 1 (default 64) -> alive_mean/min/max
+//
+// An empty spec is valid and names the empty observer set. Each observer
+// family may appear at most once (duplicates would duplicate metric
+// columns). Malformed specs are rejected with a one-line reason, surfaced
+// verbatim by the sweep config loader and the CLIs.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <optional>
+#include <string>
+#include <string_view>
+#include <utility>
+#include <vector>
+
+#include "observe/observer.hpp"
+
+namespace churnet {
+
+struct ObserverSpec {
+  enum class Kind : std::uint8_t {
+    kExpansion,
+    kSpectral,
+    kIsolated,
+    kDegrees,
+    kAges,
+    kCoverage,
+    kDemography,
+  };
+
+  /// One "name(arg)" call of the spec; `a` is the single numeric argument
+  /// (k / i / f / w above), already defaulted and range-checked by parse.
+  struct Call {
+    Kind kind = Kind::kIsolated;
+    double a = 0.0;
+
+    friend bool operator==(const Call&, const Call&) = default;
+  };
+
+  std::vector<Call> calls;
+
+  bool empty() const { return calls.empty(); }
+
+  /// The spec in canonical text form ("expansion(8)+spectral+isolated");
+  /// each segment matches the instantiated observer's name(). Empty spec
+  /// canonicalizes to "".
+  std::string canonical() const;
+
+  /// Parses `text`; empty/whitespace text yields the empty spec. On
+  /// failure returns nullopt and, when `error` is non-null, stores a
+  /// one-line reason (unknown names list the catalog).
+  static std::optional<ObserverSpec> parse(std::string_view text,
+                                           std::string* error = nullptr);
+
+  /// True when `name` ("expansion" — the call name alone) names an
+  /// observer family of this grammar.
+  static bool is_known_name(std::string_view name);
+
+  /// One-line summary of the grammar's names for diagnostics.
+  static std::string known_names();
+
+  /// The observer catalog as (spelling, description) rows.
+  static std::vector<std::pair<std::string, std::string>> catalog();
+
+  friend bool operator==(const ObserverSpec&, const ObserverSpec&) = default;
+};
+
+/// Instantiates one observer per spec call, in spec order.
+std::vector<std::unique_ptr<MetricObserver>> make_observers(
+    const ObserverSpec& spec);
+
+/// The observers wrapped as a drivable ObserverSet.
+ObserverSet make_observer_set(const ObserverSpec& spec);
+
+}  // namespace churnet

@@ -1,0 +1,298 @@
+#include "observe/observers.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+
+#include "common/table.hpp"
+#include "graph/algorithms.hpp"
+
+namespace churnet {
+namespace {
+
+constexpr double kNan = std::numeric_limits<double>::quiet_NaN();
+
+/// Nearest-rank quantile over a sorted, non-empty range.
+template <typename T>
+double quantile(const std::vector<T>& sorted, double p) {
+  const std::size_t n = sorted.size();
+  const auto index = static_cast<std::size_t>(
+      p * static_cast<double>(n - 1) + 0.5);
+  return static_cast<double>(sorted[std::min(index, n - 1)]);
+}
+
+}  // namespace
+
+// ---- ExpansionObserver -----------------------------------------------------
+
+std::string ExpansionObserver::name() const {
+  return "expansion(" + fmt_int(options_.random_sets_per_size) + ")";
+}
+
+void ExpansionObserver::append_metric_names(
+    std::vector<std::string>& out) const {
+  out.push_back("expansion_min_ratio");
+  out.push_back("expansion_argmin_size");
+  out.push_back("expansion_sets_probed");
+}
+
+void ExpansionObserver::begin_trial(std::uint64_t seed) {
+  rng_ = Rng(seed);
+  last_ = ProbeResult{};
+  observed_ = false;
+}
+
+void ExpansionObserver::on_snapshot(const Snapshot& snapshot) {
+  last_ = probe_expansion(snapshot, rng_, options_);
+  observed_ = true;
+}
+
+void ExpansionObserver::append_values(std::vector<double>& out) const {
+  out.push_back(observed_ ? last_.min_ratio : kNan);
+  out.push_back(observed_ ? static_cast<double>(last_.argmin_size) : kNan);
+  out.push_back(observed_ ? static_cast<double>(last_.sets_probed) : kNan);
+}
+
+// ---- SpectralObserver ------------------------------------------------------
+
+std::string SpectralObserver::name() const {
+  return max_iterations_ == kDefaultIterations
+             ? "spectral"
+             : "spectral(" + fmt_int(max_iterations_) + ")";
+}
+
+void SpectralObserver::append_metric_names(
+    std::vector<std::string>& out) const {
+  out.push_back("spectral_gap");
+  out.push_back("spectral_lambda2");
+  out.push_back("spectral_converged");
+}
+
+void SpectralObserver::begin_trial(std::uint64_t seed) {
+  rng_ = Rng(seed);
+  last_ = SpectralResult{};
+  observed_ = false;
+}
+
+void SpectralObserver::on_snapshot(const Snapshot& snapshot) {
+  last_ = spectral_gap(snapshot, rng_, max_iterations_, tolerance_);
+  observed_ = true;
+}
+
+void SpectralObserver::append_values(std::vector<double>& out) const {
+  out.push_back(observed_ ? last_.spectral_gap : kNan);
+  out.push_back(observed_ ? last_.lambda2 : kNan);
+  out.push_back(observed_ ? (last_.converged ? 1.0 : 0.0) : kNan);
+}
+
+// ---- IsolatedObserver ------------------------------------------------------
+
+void IsolatedObserver::append_metric_names(
+    std::vector<std::string>& out) const {
+  out.push_back("isolated_count");
+  out.push_back("isolated_fraction");
+}
+
+void IsolatedObserver::begin_trial(std::uint64_t seed) {
+  rng_ = Rng(seed);
+  last_ = IsolatedCensus{};
+  observed_ = false;
+}
+
+void IsolatedObserver::on_snapshot(const Snapshot& snapshot) {
+  last_ = isolated_census(snapshot);
+  observed_ = true;
+}
+
+void IsolatedObserver::append_values(std::vector<double>& out) const {
+  out.push_back(observed_ ? static_cast<double>(last_.isolated_nodes) : kNan);
+  out.push_back(observed_ ? last_.fraction : kNan);
+}
+
+// ---- DegreeHistogramObserver -----------------------------------------------
+
+void DegreeHistogramObserver::append_metric_names(
+    std::vector<std::string>& out) const {
+  out.push_back("degree_mean");
+  out.push_back("degree_min");
+  out.push_back("degree_max");
+  out.push_back("degree_p50");
+  out.push_back("degree_p90");
+  out.push_back("degree_p99");
+}
+
+void DegreeHistogramObserver::begin_trial(std::uint64_t seed) {
+  rng_ = Rng(seed);
+  degrees_.clear();
+  mean_ = 0.0;
+  observed_ = false;
+}
+
+void DegreeHistogramObserver::on_snapshot(const Snapshot& snapshot) {
+  degrees_.clear();
+  degrees_.reserve(snapshot.node_count());
+  double sum = 0.0;
+  for (std::uint32_t v = 0; v < snapshot.node_count(); ++v) {
+    const std::uint32_t degree = snapshot.degree(v);
+    degrees_.push_back(degree);
+    sum += degree;
+  }
+  std::sort(degrees_.begin(), degrees_.end());
+  mean_ = degrees_.empty() ? 0.0 : sum / static_cast<double>(degrees_.size());
+  observed_ = !degrees_.empty();
+}
+
+void DegreeHistogramObserver::append_values(std::vector<double>& out) const {
+  if (!observed_) {
+    out.insert(out.end(), 6, kNan);
+    return;
+  }
+  out.push_back(mean_);
+  out.push_back(static_cast<double>(degrees_.front()));
+  out.push_back(static_cast<double>(degrees_.back()));
+  out.push_back(quantile(degrees_, 0.50));
+  out.push_back(quantile(degrees_, 0.90));
+  out.push_back(quantile(degrees_, 0.99));
+}
+
+// ---- AgeHistogramObserver --------------------------------------------------
+
+void AgeHistogramObserver::append_metric_names(
+    std::vector<std::string>& out) const {
+  out.push_back("age_mean");
+  out.push_back("age_p50");
+  out.push_back("age_p90");
+  out.push_back("age_max");
+}
+
+void AgeHistogramObserver::begin_trial(std::uint64_t seed) {
+  rng_ = Rng(seed);
+  ages_.clear();
+  mean_ = 0.0;
+  observed_ = false;
+}
+
+void AgeHistogramObserver::on_snapshot(const Snapshot& snapshot) {
+  ages_.clear();
+  ages_.reserve(snapshot.node_count());
+  double sum = 0.0;
+  for (std::uint32_t v = 0; v < snapshot.node_count(); ++v) {
+    const double age = snapshot.age(v);
+    ages_.push_back(age);
+    sum += age;
+  }
+  std::sort(ages_.begin(), ages_.end());
+  mean_ = ages_.empty() ? 0.0 : sum / static_cast<double>(ages_.size());
+  observed_ = !ages_.empty();
+}
+
+void AgeHistogramObserver::append_values(std::vector<double>& out) const {
+  if (!observed_) {
+    out.insert(out.end(), 4, kNan);
+    return;
+  }
+  out.push_back(mean_);
+  out.push_back(quantile(ages_, 0.50));
+  out.push_back(quantile(ages_, 0.90));
+  out.push_back(ages_.back());
+}
+
+// ---- CoverageObserver ------------------------------------------------------
+
+std::string CoverageObserver::name() const {
+  return "coverage(" + fmt_fixed(target_, 2) + ")";
+}
+
+void CoverageObserver::append_metric_names(
+    std::vector<std::string>& out) const {
+  out.push_back("coverage_step");
+  out.push_back("coverage_final");
+  out.push_back("coverage_auc");
+}
+
+void CoverageObserver::begin_trial(std::uint64_t seed) {
+  rng_ = Rng(seed);
+  step_ = kNan;
+  final_ = kNan;
+  auc_ = kNan;
+  observed_ = false;
+}
+
+void CoverageObserver::on_dissemination(const FloodTrace& trace,
+                                        const ProtocolStats* stats) {
+  (void)stats;
+  final_ = trace.final_fraction;
+  if (trace.informed_per_step.empty()) {
+    // The run recorded no series (FloodOptions::record_series off): the
+    // curve metrics are unobservable, only the final fraction is.
+    step_ = kNan;
+    auc_ = kNan;
+  } else {
+    const std::uint64_t step = trace.step_reaching_fraction(target_);
+    step_ = step == FloodTrace::kNever ? kNan : static_cast<double>(step);
+    double sum = 0.0;
+    std::size_t counted = 0;
+    for (std::size_t t = 0; t < trace.informed_per_step.size(); ++t) {
+      const std::uint64_t alive = trace.alive_per_step[t];
+      if (alive == 0) continue;
+      sum += static_cast<double>(trace.informed_per_step[t]) /
+             static_cast<double>(alive);
+      ++counted;
+    }
+    auc_ = counted == 0 ? kNan : sum / static_cast<double>(counted);
+  }
+  observed_ = true;
+}
+
+void CoverageObserver::append_values(std::vector<double>& out) const {
+  out.push_back(observed_ ? step_ : kNan);
+  out.push_back(observed_ ? final_ : kNan);
+  out.push_back(observed_ ? auc_ : kNan);
+}
+
+// ---- DemographyObserver ----------------------------------------------------
+
+std::string DemographyObserver::name() const {
+  return "demography(" + fmt_int(window_) + ")";
+}
+
+void DemographyObserver::append_metric_names(
+    std::vector<std::string>& out) const {
+  out.push_back("alive_mean");
+  out.push_back("alive_min");
+  out.push_back("alive_max");
+}
+
+void DemographyObserver::begin_trial(std::uint64_t seed) {
+  rng_ = Rng(seed);
+  rounds_seen_ = 0;
+  sum_ = 0.0;
+  min_ = 0;
+  max_ = 0;
+}
+
+void DemographyObserver::on_round(const DynamicGraph& graph, double now) {
+  (void)now;
+  const std::uint64_t alive = graph.alive_count();
+  if (rounds_seen_ == 0) {
+    min_ = alive;
+    max_ = alive;
+  } else {
+    min_ = std::min(min_, alive);
+    max_ = std::max(max_, alive);
+  }
+  sum_ += static_cast<double>(alive);
+  ++rounds_seen_;
+}
+
+void DemographyObserver::append_values(std::vector<double>& out) const {
+  if (rounds_seen_ == 0) {
+    out.insert(out.end(), 3, kNan);
+    return;
+  }
+  out.push_back(sum_ / static_cast<double>(rounds_seen_));
+  out.push_back(static_cast<double>(min_));
+  out.push_back(static_cast<double>(max_));
+}
+
+}  // namespace churnet

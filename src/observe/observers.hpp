@@ -1,0 +1,190 @@
+// Concrete metric observers wrapping the existing analyses (expansion/,
+// graph/algorithms, flooding traces) behind the MetricObserver interface.
+// Each one is the measurement previously hand-rolled inside a bench binary
+// (bench_expansion_*, bench_spectral_gap, bench_isolated_nodes, the
+// coverage benches), now attachable to any churn / flood / protocol run —
+// the benches call these directly and sweeps attach them via ObserverSpec.
+//
+// Seeding parity with the pre-port bench loops: begin_trial(s) seeds the
+// observer RNG as Rng(s) — exactly how the benches seeded their probe /
+// power-iteration RNGs — so an observer fed the same snapshot under the
+// same seed reproduces the pre-port values bit for bit
+// (tests/test_observers.cpp pins this).
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "expansion/expansion.hpp"
+#include "expansion/isolated.hpp"
+#include "expansion/spectral.hpp"
+#include "observe/observer.hpp"
+
+namespace churnet {
+
+/// Vertex-expansion probe over random/adversarial candidate set families
+/// (expansion/expansion.hpp). Metrics: expansion_min_ratio,
+/// expansion_argmin_size, expansion_sets_probed.
+class ExpansionObserver final : public MetricObserver {
+ public:
+  explicit ExpansionObserver(ProbeOptions options = {})
+      : options_(options) {}
+
+  /// Replaces the probe options (bench ports restrict the size window per
+  /// configuration); takes effect at the next on_snapshot.
+  void set_options(const ProbeOptions& options) { options_ = options; }
+  const ProbeOptions& options() const { return options_; }
+
+  /// The full probe result of the last on_snapshot (argmin family, ...).
+  const ProbeResult& last() const { return last_; }
+
+  std::string name() const override;
+  void append_metric_names(std::vector<std::string>& out) const override;
+  void begin_trial(std::uint64_t seed) override;
+  void on_snapshot(const Snapshot& snapshot) override;
+  bool wants_snapshot() const override { return true; }
+  void append_values(std::vector<double>& out) const override;
+
+ private:
+  ProbeOptions options_;
+  ProbeResult last_;
+  bool observed_ = false;
+};
+
+/// Spectral gap of the lazy random walk via deflated power iteration
+/// (expansion/spectral.hpp). Metrics: spectral_gap, spectral_lambda2,
+/// spectral_converged.
+class SpectralObserver final : public MetricObserver {
+ public:
+  static constexpr std::uint32_t kDefaultIterations = 500;
+
+  explicit SpectralObserver(std::uint32_t max_iterations = kDefaultIterations,
+                            double tolerance = 1e-9)
+      : max_iterations_(max_iterations), tolerance_(tolerance) {}
+
+  const SpectralResult& last() const { return last_; }
+
+  std::string name() const override;
+  void append_metric_names(std::vector<std::string>& out) const override;
+  void begin_trial(std::uint64_t seed) override;
+  void on_snapshot(const Snapshot& snapshot) override;
+  bool wants_snapshot() const override { return true; }
+  void append_values(std::vector<double>& out) const override;
+
+ private:
+  std::uint32_t max_iterations_;
+  double tolerance_;
+  SpectralResult last_;
+  bool observed_ = false;
+};
+
+/// Isolated-node census (expansion/isolated.hpp). Metrics: isolated_count,
+/// isolated_fraction.
+class IsolatedObserver final : public MetricObserver {
+ public:
+  const IsolatedCensus& last() const { return last_; }
+
+  std::string name() const override { return "isolated"; }
+  void append_metric_names(std::vector<std::string>& out) const override;
+  void begin_trial(std::uint64_t seed) override;
+  void on_snapshot(const Snapshot& snapshot) override;
+  bool wants_snapshot() const override { return true; }
+  void append_values(std::vector<double>& out) const override;
+
+ private:
+  IsolatedCensus last_;
+  bool observed_ = false;
+};
+
+/// Degree distribution summary. Metrics: degree_mean, degree_min,
+/// degree_max, degree_p50, degree_p90, degree_p99 (nearest-rank quantiles
+/// over the snapshot's degree multiset).
+class DegreeHistogramObserver final : public MetricObserver {
+ public:
+  std::string name() const override { return "degrees"; }
+  void append_metric_names(std::vector<std::string>& out) const override;
+  void begin_trial(std::uint64_t seed) override;
+  void on_snapshot(const Snapshot& snapshot) override;
+  bool wants_snapshot() const override { return true; }
+  void append_values(std::vector<double>& out) const override;
+
+ private:
+  std::vector<std::uint32_t> degrees_;  // reused across trials
+  double mean_ = 0.0;
+  bool observed_ = false;
+};
+
+/// Node-age distribution summary (ages in model time units at the
+/// snapshot instant). Metrics: age_mean, age_p50, age_p90, age_max.
+class AgeHistogramObserver final : public MetricObserver {
+ public:
+  std::string name() const override { return "ages"; }
+  void append_metric_names(std::vector<std::string>& out) const override;
+  void begin_trial(std::uint64_t seed) override;
+  void on_snapshot(const Snapshot& snapshot) override;
+  bool wants_snapshot() const override { return true; }
+  void append_values(std::vector<double>& out) const override;
+
+ private:
+  std::vector<double> ages_;  // reused across trials
+  double mean_ = 0.0;
+  bool observed_ = false;
+};
+
+/// Flooding / protocol coverage curve derivatives. Metrics: coverage_step
+/// (first step with informed >= target * alive; NaN if never reached or
+/// the trace recorded no series), coverage_final (informed/alive at stop),
+/// coverage_auc (mean informed/alive over the recorded steps — the
+/// normalized area under the coverage curve).
+class CoverageObserver final : public MetricObserver {
+ public:
+  static constexpr double kDefaultTarget = 0.5;
+
+  explicit CoverageObserver(double target_fraction = kDefaultTarget)
+      : target_(target_fraction) {}
+
+  double target_fraction() const { return target_; }
+
+  std::string name() const override;
+  void append_metric_names(std::vector<std::string>& out) const override;
+  void begin_trial(std::uint64_t seed) override;
+  void on_dissemination(const FloodTrace& trace,
+                        const ProtocolStats* stats) override;
+  bool wants_dissemination() const override { return true; }
+  void append_values(std::vector<double>& out) const override;
+
+ private:
+  double target_;
+  double step_ = 0.0;
+  double final_ = 0.0;
+  double auc_ = 0.0;
+  bool observed_ = false;
+};
+
+/// Alive-population trajectory over an observation window of churn rounds
+/// (the per-round hook's reference consumer). Metrics: alive_mean,
+/// alive_min, alive_max over the window's per-round alive counts.
+class DemographyObserver final : public MetricObserver {
+ public:
+  static constexpr std::uint32_t kDefaultWindow = 64;
+
+  explicit DemographyObserver(std::uint32_t window_rounds = kDefaultWindow)
+      : window_(window_rounds) {}
+
+  std::string name() const override;
+  void append_metric_names(std::vector<std::string>& out) const override;
+  void begin_trial(std::uint64_t seed) override;
+  void on_round(const DynamicGraph& graph, double now) override;
+  std::uint32_t observation_rounds() const override { return window_; }
+  void append_values(std::vector<double>& out) const override;
+
+ private:
+  std::uint32_t window_;
+  std::uint64_t rounds_seen_ = 0;
+  double sum_ = 0.0;
+  std::uint64_t min_ = 0;
+  std::uint64_t max_ = 0;
+};
+
+}  // namespace churnet

@@ -1,0 +1,57 @@
+#include "observe/pipeline.hpp"
+
+namespace churnet {
+namespace {
+
+/// Steps 1-3 of the pass (reset, window, shared snapshot); the caller
+/// optionally runs a dissemination before collecting values.
+void run_window_and_snapshot(AnyNetwork& net, ObserverSet& observers,
+                             std::uint64_t seed) {
+  observers.begin_trial(seed);
+  const std::uint32_t rounds = observers.observation_rounds();
+  for (std::uint32_t r = 0; r < rounds; ++r) {
+    net.step();
+    observers.on_round(net.graph(), net.now());
+  }
+  if (observers.wants_snapshot()) {
+    const Snapshot snapshot = net.snapshot();
+    observers.on_snapshot(snapshot);
+  }
+}
+
+std::vector<double> collect(const ObserverSet& observers) {
+  std::vector<double> values;
+  observers.append_values(values);
+  return values;
+}
+
+}  // namespace
+
+std::vector<double> observe_network(AnyNetwork& net, ObserverSet& observers,
+                                    std::uint64_t seed) {
+  run_window_and_snapshot(net, observers, seed);
+  return collect(observers);
+}
+
+std::vector<double> observe_flood(AnyNetwork& net, ObserverSet& observers,
+                                  std::uint64_t seed,
+                                  const FloodOptions& options,
+                                  FloodScratch& scratch) {
+  run_window_and_snapshot(net, observers, seed);
+  const FloodTrace trace = net.flood(options, scratch);
+  observers.on_dissemination(trace, /*stats=*/nullptr);
+  return collect(observers);
+}
+
+std::vector<double> observe_protocol(AnyNetwork& net, ObserverSet& observers,
+                                     std::uint64_t seed,
+                                     DisseminationProtocol& protocol,
+                                     const ProtocolOptions& options,
+                                     ProtocolScratch& scratch) {
+  run_window_and_snapshot(net, observers, seed);
+  const ProtocolResult result = net.disseminate(protocol, options, scratch);
+  observers.on_dissemination(result.trace, &result.stats);
+  return collect(observers);
+}
+
+}  // namespace churnet

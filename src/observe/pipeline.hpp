@@ -1,0 +1,54 @@
+// The observation pipeline driver: attaches an ObserverSet to one trial on
+// any network model (DESIGN.md §6). This is the one-call entry the ported
+// benches, examples and tests use; SweepRunner drives the same ObserverSet
+// hooks inline so observers share its snapshot and dissemination run.
+//
+// One observation pass over a warmed network is:
+//
+//   1. begin_trial(seed)         -- reset + reseed every observer (seeds
+//      routed per observer: derive_seed(seed, index, 0));
+//   2. the observation window    -- advance the network by the set's
+//      observation_rounds() churn steps, calling on_round after each
+//      (skipped entirely when no observer wants rounds);
+//   3. one shared snapshot       -- captured iff some observer wants it,
+//      then offered to every observer via on_snapshot;
+//   4. optionally one dissemination run (flood or any protocol), offered
+//      via on_dissemination;
+//   5. append_values             -- one value per declared metric column.
+//
+// The window intentionally runs *before* the snapshot: observers measure
+// the network after the window they asked for, and a set without round
+// observers measures the warmed network unchanged.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "models/network.hpp"
+#include "observe/observer.hpp"
+
+namespace churnet {
+
+/// Runs one observation pass (window + shared snapshot) on a warmed
+/// network and returns the set's metric values. Dissemination observers in
+/// the set report NaN (nothing spread); use the overloads below to observe
+/// a flood or protocol run.
+std::vector<double> observe_network(AnyNetwork& net, ObserverSet& observers,
+                                    std::uint64_t seed);
+
+/// As above, plus one flood run (the paper's process) between the snapshot
+/// and value collection; the trace is offered to dissemination observers.
+std::vector<double> observe_flood(AnyNetwork& net, ObserverSet& observers,
+                                  std::uint64_t seed,
+                                  const FloodOptions& options,
+                                  FloodScratch& scratch);
+
+/// As above with a dissemination protocol run instead of plain flooding;
+/// observers additionally see the run's message accounting.
+std::vector<double> observe_protocol(AnyNetwork& net, ObserverSet& observers,
+                                     std::uint64_t seed,
+                                     DisseminationProtocol& protocol,
+                                     const ProtocolOptions& options,
+                                     ProtocolScratch& scratch);
+
+}  // namespace churnet

@@ -83,6 +83,9 @@ int main(int argc, char** argv) {
                  "--list-protocols); empty = each scenario's own");
   cli.add_string("metrics", "",
                  "comma-separated metrics (see --list-metrics)");
+  cli.add_string("observers", "",
+                 "metric-observer set attached to every cell, e.g. "
+                 "'expansion(8)+spectral+isolated' (see --list-observers)");
   cli.add_int("reps", 0, "replications per cell (0 = config/default)");
   cli.add_int("seed", 0, "base seed (0 = config/default)");
   cli.add_int("max-in-degree", 0, "bounded-degree cap (0 = unbounded)");
@@ -92,40 +95,34 @@ int main(int argc, char** argv) {
   cli.add_flag("list-metrics", "print the metric catalog and exit");
   cli.add_flag("list-scenarios", "print the extended registry and exit");
   cli.add_flag("list-protocols", "print the protocol catalog and exit");
+  cli.add_flag("list-observers", "print the observer catalog and exit");
+  cli.add_flag("list-specs",
+               "print every spec catalog (scenarios, churn, protocols, "
+               "observers, metrics) and exit");
   cli.add_flag("quiet", "suppress the stdout summary table");
   if (!cli.parse(argc, argv)) return 0;
 
+  // Every listing goes through the shared spec-catalog helper
+  // (engine/spec_catalog.hpp), so churnet_sweep, churnet_repro and the
+  // error paths below always cite the same catalogs.
+  if (cli.get_flag("list-specs")) {
+    print_spec_catalogs(std::cout);
+    return 0;
+  }
   if (cli.get_flag("list-metrics")) {
-    std::printf("metrics (default: ");
-    bool first = true;
-    for (const std::string& name : SweepSpec::default_metrics()) {
-      std::printf("%s%s", first ? "" : ",", name.c_str());
-      first = false;
-    }
-    std::printf("):\n");
-    for (const std::string& name : SweepSpec::known_metrics()) {
-      std::printf("  %s\n", name.c_str());
-    }
+    print_metric_catalog(std::cout);
     return 0;
   }
   if (cli.get_flag("list-scenarios")) {
-    for (const Scenario& scenario :
-         ScenarioRegistry::extended().scenarios()) {
-      std::printf("  %-22s %s\n", scenario.name().c_str(),
-                  scenario.description().c_str());
-    }
-    std::printf(
-        "plus any BASE+spec composite: spec = stream | poisson | pareto(a) "
-        "| weibull(k) | bursty(b,p) | drift(g), optionally followed by a "
-        "protocol spec (see --list-protocols)\n");
+    print_scenario_catalog(std::cout, ScenarioRegistry::extended());
     return 0;
   }
   if (cli.get_flag("list-protocols")) {
-    for (const auto& [spelling, description] : ProtocolSpec::catalog()) {
-      std::printf("  %-14s %s\n", spelling.c_str(), description.c_str());
-    }
-    std::printf(
-        "compose as base+modifier(s), e.g. push(3)+lossy(0.9)+sources(2)\n");
+    print_protocol_catalog(std::cout);
+    return 0;
+  }
+  if (cli.get_flag("list-observers")) {
+    print_observer_catalog(std::cout);
     return 0;
   }
 
@@ -166,6 +163,9 @@ int main(int argc, char** argv) {
   if (!cli.get_string("metrics").empty()) {
     spec.metrics = split_spec_list(cli.get_string("metrics"));
   }
+  if (!cli.get_string("observers").empty()) {
+    spec.observers = cli.get_string("observers");
+  }
   if (cli.get_int("reps") > 0) {
     spec.replications = static_cast<std::uint64_t>(cli.get_int("reps"));
   }
@@ -185,6 +185,8 @@ int main(int argc, char** argv) {
   }
   if (const std::optional<std::string> reason = spec.validate()) {
     std::fprintf(stderr, "invalid sweep spec: %s\n", reason->c_str());
+    std::cerr << '\n';
+    print_spec_catalogs(std::cerr);
     return 1;
   }
 
