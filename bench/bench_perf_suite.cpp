@@ -89,6 +89,12 @@ int main(int argc, char** argv) {
   cli.add_int("steps", 300000, "churn steps per scenario");
   cli.add_int("flood-n", 4000, "network size per flooding replication");
   cli.add_int("flood-reps", 8, "flooding replications per scenario");
+  cli.add_int("large-n", 0,
+              "network size for the flood_large_n section (0 = by scale: "
+              "1M quick, 2M default, 10M full)");
+  cli.add_int("intra-threads", 1,
+              "intra-trial worker threads (genesis wiring + boundary "
+              "scans); deterministic fields are identical at every value");
   cli.add_string("out", "BENCH_core.json", "output JSON path");
   add_standard_options(cli);
   if (!cli.parse(argc, argv)) return 0;
@@ -106,6 +112,13 @@ int main(int argc, char** argv) {
       static_cast<std::uint64_t>(cli.get_int("flood-reps")),
       scale.rep_factor, 2);
   const std::uint64_t seed = seed_from_cli(cli);
+  const auto large_n = static_cast<std::uint32_t>(
+      cli.get_int("large-n") > 0 ? cli.get_int("large-n")
+      : scale.size_factor < 1.0 ? 1'000'000
+      : scale.size_factor > 1.0 ? 10'000'000
+                                : 2'000'000);
+  const auto intra_threads =
+      static_cast<std::uint32_t>(cli.get_int("intra-threads"));
 
   print_experiment_header(
       "perf trajectory suite",
@@ -206,6 +219,81 @@ int main(int argc, char** argv) {
   }
   json << "\n      }\n    },\n";
   flood_table.print(std::cout);
+
+  // --- section 2.5: ten-million-node trial (bitset frontier path) ---------
+  // One SDG trial at the tentpole scale, phase by phase: the n-round
+  // streaming growth (bulk-wired genesis), one complete flood from the
+  // next newborn, then a steady-state churn segment. Deterministic fields
+  // pin the realization (identical at every intra-thread count); the
+  // rates are the headline single-machine numbers in README's perf table.
+  {
+    std::printf("\n--- large-n flood (SDG, n=%u, d=8, intra=%u) ---\n",
+                large_n, intra_threads);
+    StreamingConfig config;
+    config.n = large_n;
+    config.d = 8;
+    config.policy = EdgePolicy::kNone;  // SDG
+    config.seed = derive_seed(seed, 4, 0);
+    config.intra_threads = intra_threads;
+    StreamingNetwork net(config);
+
+    const auto growth_start = std::chrono::steady_clock::now();
+    net.run_growth_phase();
+    const double growth_elapsed = seconds_since(growth_start);
+    const double growth_rate =
+        static_cast<double>(large_n) / growth_elapsed;
+
+    FloodOptions options;
+    options.max_steps = static_cast<std::uint64_t>(
+        30.0 * std::log2(static_cast<double>(large_n)));
+    options.intra_threads = intra_threads;
+    const auto flood_start = std::chrono::steady_clock::now();
+    const FloodTrace trace = flood_dynamic(net, options, scratch);
+    const double flood_elapsed = seconds_since(flood_start);
+
+    // Steady-state churn throughput at this scale (capped: the point is
+    // the per-round cost with a 10M-slot working set, not another n
+    // rounds of wall-clock).
+    const std::uint64_t churn_rounds =
+        std::min<std::uint64_t>(large_n, 1'000'000);
+    const auto churn_start = std::chrono::steady_clock::now();
+    net.run_rounds(churn_rounds);
+    const double churn_elapsed = seconds_since(churn_start);
+    const double churn_rate =
+        static_cast<double>(churn_rounds) / churn_elapsed;
+
+    Fnv series;
+    for (const std::uint64_t informed : trace.informed_per_step) {
+      series.add(informed);
+    }
+    for (const std::uint64_t alive : trace.alive_per_step) {
+      series.add(alive);
+    }
+    const std::uint64_t checksum = graph_checksum(net.graph());
+    std::printf("growth: %.2fs (%.2e rounds/sec)   flood: %llu steps in "
+                "%.2fs (frac %.4f)   steady churn: %.2e rounds/sec\n",
+                growth_elapsed, growth_rate,
+                static_cast<unsigned long long>(trace.steps), flood_elapsed,
+                trace.final_fraction, churn_rate);
+    json << "    \"flood_large_n\": {\n      \"config\": {\"n\": " << large_n
+         << ", \"d\": 8, \"scenario\": \"SDG\", \"churn_rounds\": "
+         << churn_rounds << "},\n"
+         << "      \"deterministic\": {\"alive\": "
+         << net.graph().alive_count()
+         << ", \"edges\": " << net.graph().edge_count()
+         << ", \"flood_steps\": " << trace.steps
+         << ", \"completed\": " << (trace.completed ? 1 : 0)
+         << ", \"peak_informed\": " << trace.peak_informed
+         << ", \"series_checksum\": \"" << hex(series.hash)
+         << "\", \"graph_checksum\": \"" << hex(checksum)
+         << "\"},\n      \"perf\": {\"intra_threads\": " << intra_threads
+         << ", \"growth_rounds_per_sec\": " << fmt_fixed(growth_rate, 1)
+         << ", \"churn_rounds_per_sec\": " << fmt_fixed(churn_rate, 1)
+         << ", \"growth_wall_seconds\": " << fmt_fixed(growth_elapsed, 4)
+         << ", \"flood_wall_seconds\": " << fmt_fixed(flood_elapsed, 4)
+         << ", \"churn_wall_seconds\": " << fmt_fixed(churn_elapsed, 4)
+         << "}\n    },\n";
+  }
 
   // --- section 3: sweep cells/sec ----------------------------------------
   SweepSpec spec;

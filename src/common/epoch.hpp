@@ -1,0 +1,28 @@
+// Checked epoch bumping for stamp-array membership sets.
+//
+// An epoch-stamped set treats stamp==epoch as "member" and relies on the
+// epoch never revisiting an old value: on wraparound every stale stamp from
+// 2^64 (or 2^32) trials ago silently reads as a member again. The core
+// flood sets now use Bitset64 (no epochs at all); the remaining epoch users
+// (TTL flood's per-run stamps, and any future ones) must bump through this
+// helper so a wrap aborts loudly instead of corrupting membership.
+#pragma once
+
+#include <cstdint>
+
+#include "common/assertx.hpp"
+
+namespace churnet {
+
+/// Increments `epoch` and returns the new value, aborting on wraparound
+/// (the counter would revisit 0 and stale stamps of 0 would alias as
+/// current members).
+template <typename UInt>
+inline UInt bump_epoch(UInt& epoch) {
+  static_assert(static_cast<UInt>(-1) > 0, "epoch counters are unsigned");
+  ++epoch;
+  CHURNET_EXPECTS(epoch != 0);
+  return epoch;
+}
+
+}  // namespace churnet

@@ -127,6 +127,7 @@ AnyNetwork Scenario::make(const ScenarioParams& params) const {
       config.policy = policy_;
       config.seed = params.seed;
       config.max_in_degree = params.max_in_degree;
+      config.intra_threads = params.intra_threads;
       return AnyNetwork(StreamingNetwork(config));
     }
     case ModelKind::kPoisson: {

@@ -186,11 +186,20 @@ std::optional<SweepSpec> SweepSpec::from_json(const JsonValue& json,
         return std::nullopt;
       }
       spec.max_in_degree = static_cast<std::uint32_t>(number);
+    } else if (key == "intra_threads") {
+      double number = 0.0;
+      if (!read_integer(value, "intra_threads", 0.0,
+                        static_cast<double>(
+                            std::numeric_limits<std::uint32_t>::max()),
+                        &number, error)) {
+        return std::nullopt;
+      }
+      spec.intra_threads = static_cast<std::uint32_t>(number);
     } else {
       if (error != nullptr) {
         *error = "unknown sweep key '" + key +
                  "'; known: scenarios, n, d, protocols, metrics, observers, "
-                 "replications, seed, max_in_degree";
+                 "replications, seed, max_in_degree, intra_threads";
       }
       return std::nullopt;
     }
@@ -468,11 +477,12 @@ SweepResult SweepRunner::run(unsigned threads,
 
   const std::uint64_t base_seed = spec_.base_seed;
   const std::uint32_t max_in_degree = spec_.max_in_degree;
+  const std::uint32_t intra_threads = spec_.intra_threads;
   const TrialResult flat = TrialRunner(options).run(
       metric_names,
       [&cells, &keys, &metrics, &observer_spec, &observer_key, has_observers,
-       needs_snapshot, needs_flood, reps, base_seed,
-       max_in_degree](const TrialContext& ctx) {
+       needs_snapshot, needs_flood, reps, base_seed, max_in_degree,
+       intra_threads](const TrialContext& ctx) {
         const std::uint64_t cell_index = ctx.replication / reps;
         const std::uint64_t replication = ctx.replication % reps;
         const Cell& cell = cells[cell_index];
@@ -482,6 +492,7 @@ SweepResult SweepRunner::run(unsigned threads,
         params.d = cell.d;
         params.seed = derive_seed(base_seed, cell_index, replication);
         params.max_in_degree = max_in_degree;
+        params.intra_threads = intra_threads;
         AnyNetwork net = cell.scenario->make_warmed(params);
 
         // Observer instances live per worker like protocol instances;
@@ -539,6 +550,7 @@ SweepResult SweepRunner::run(unsigned threads,
           }
           ProtocolOptions options = protocol_options(
               cell.protocol, derive_seed(params.seed, 1, 0));
+          options.flood.intra_threads = intra_threads;
           ProtocolResult run = net.disseminate(*protocol, options, scratch);
           if (has_observers) {
             observers.on_dissemination(run.trace, &run.stats);

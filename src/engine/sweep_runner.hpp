@@ -81,7 +81,8 @@ enum class SweepMetric : std::uint8_t {
 ///     "observers": "expansion(8)+isolated",      // optional
 ///     "replications": 8,                          // optional
 ///     "seed": 12345,                              // optional
-///     "max_in_degree": 0                          // optional
+///     "max_in_degree": 0,                         // optional
+///     "intra_threads": 1                          // optional
 ///   }
 struct SweepSpec {
   std::vector<std::string> scenarios;
@@ -100,6 +101,11 @@ struct SweepSpec {
   std::uint64_t replications = 8;
   std::uint64_t base_seed = 12345;
   std::uint32_t max_in_degree = 0;
+  /// Intra-trial worker threads per job (0 = one per hardware thread):
+  /// streaming genesis bulk wiring plus the sharded flood/gossip boundary
+  /// scans. Every value produces byte-identical CSV/JSON output — this is
+  /// purely a wall-clock knob, orthogonal to the across-trial pool.
+  std::uint32_t intra_threads = 1;
 
   std::size_t cell_count() const {
     return scenarios.size() * std::max<std::size_t>(protocols.size(), 1) *

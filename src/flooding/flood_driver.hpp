@@ -26,9 +26,14 @@
 // The driver installs its own network hooks for the duration of the call and
 // clears them on return; callers must not rely on hooks across a flood.
 //
-// All per-run state lives in a caller-supplied FloodScratch whose buffers
-// are epoch-stamped: repeated trials reuse the same allocations, so a
-// replication loop does zero per-trial allocation once warmed.
+// All per-run state lives in a caller-supplied FloodScratch whose membership
+// sets are word-packed bitsets (common/bitset64.hpp, DESIGN.md "Frontier
+// representation"): repeated trials reuse the same allocations, clears are
+// O(words) streams with no epoch counters to wrap, and the receiver-dedup
+// commit is a fused AND-NOT word scan. The flood-only fast path additionally
+// works in raw slots (no generation loads) and can shard the boundary scan
+// across a worker pool (FloodOptions::intra_threads) with byte-identical
+// output at every thread count (common/intra.hpp).
 #pragma once
 
 #include <algorithm>
@@ -37,6 +42,8 @@
 #include <vector>
 
 #include "common/assertx.hpp"
+#include "common/bitset64.hpp"
+#include "common/intra.hpp"
 #include "graph/dynamic_graph.hpp"
 #include "graph/node_id.hpp"
 #include "models/edge_policy.hpp"
@@ -54,6 +61,12 @@ struct FloodOptions {
   bool stop_on_die_out = true;
   /// Record per-step |I_t| and |N_t| series (cheap; on by default).
   bool record_series = true;
+  /// Worker threads for the boundary scan inside one trial (0 = one per
+  /// hardware thread). The result is byte-identical at every value — the
+  /// scan partitions the frontier into fixed-size chunks and merges in
+  /// chunk order — so this is purely a wall-clock knob; >1 only pays off
+  /// once frontiers reach ~10^5 nodes.
+  std::uint32_t intra_threads = 1;
 };
 
 /// Outcome of one flooding run.
@@ -88,42 +101,67 @@ struct CreatedEdge {
   NodeId target;
 };
 
-/// Reusable per-run state for the generic driver. Membership sets are dense
-/// slot-indexed stamp arrays: clearing is an epoch bump, not a memset, so a
-/// replication loop over same-sized networks allocates nothing after the
-/// first trial.
+/// Reusable per-run state for the generic drivers. Membership sets (the
+/// informed set, the per-step candidate set, the per-interval death set)
+/// are slot-indexed Bitset64s: one bit per slot, trial reset = O(words)
+/// clear, no epoch counters. Membership is keyed by slot alone — exactly
+/// the stamp-array semantics this replaced: the drivers unmark on death
+/// before a slot can be recycled, so a set bit always describes the slot's
+/// current occupant.
+///
+/// Two candidate representations coexist. The protocol driver records
+/// (sender, receiver) NodeId pairs in `candidates` (propose order is
+/// load-bearing: commit order, stats, and on_informed indices follow it),
+/// with `mark_candidate` bits deduplicating receivers on the flood fast
+/// path. The flood driver skips the pair list entirely: receivers are
+/// candidate *bits* only, and commit_candidates() turns them into the next
+/// frontier with one fused AND-NOT word scan.
 class FloodScratch {
  public:
+  using Word = Bitset64::Word;
+
   /// Prepares for a new flood over a graph whose slots are < slot_bound.
   void begin_trial(std::uint32_t slot_bound) {
     ensure(slot_bound);
-    ++informed_epoch_;
+    informed_.clear_all();
+    candidate_.clear_all();
+    death_.clear_all();
     informed_count_ = 0;
     frontier.clear();
+    frontier_slots.clear();
     created.clear();
     candidates.clear();
     deaths_.clear();
-    ++death_epoch_;
   }
+
+  /// Pre-grows the membership sets (a serial point before a parallel scan:
+  /// no worker may trigger a resize).
+  void ensure_slots(std::uint32_t slot_bound) { ensure(slot_bound); }
 
   // ---- informed set ----------------------------------------------------
 
-  bool is_informed(NodeId node) const {
-    return node.slot < informed_stamp_.size() &&
-           informed_stamp_[node.slot] == informed_epoch_;
+  bool is_informed(NodeId node) const { return informed_.test(node.slot); }
+  bool is_informed_slot(std::uint32_t slot) const {
+    return informed_.test(slot);
   }
   /// Marks `node` informed; returns true if it was not already.
   bool mark_informed(NodeId node) {
     ensure(node.slot + 1);
-    if (informed_stamp_[node.slot] == informed_epoch_) return false;
-    informed_stamp_[node.slot] = informed_epoch_;
+    if (!informed_.test_and_set(node.slot)) return false;
+    ++informed_count_;
+    return true;
+  }
+  /// Slot variant for the flood fast path; the slot must be in range
+  /// (ensure_slots ran this step).
+  bool mark_informed_slot(std::uint32_t slot) {
+    if (!informed_.test_and_set(slot)) return false;
     ++informed_count_;
     return true;
   }
   /// Un-marks `node` if informed (death of an informed node).
   void unmark_informed(NodeId node) {
-    if (!is_informed(node)) return;
-    informed_stamp_[node.slot] = 0;
+    if (!informed_.test(node.slot)) return;
+    informed_.reset(node.slot);
     CHURNET_ASSERT(informed_count_ > 0);
     --informed_count_;
   }
@@ -131,29 +169,68 @@ class FloodScratch {
 
   // ---- per-step candidate dedup (streaming semantics) ------------------
 
-  void begin_step() { ++candidate_epoch_; }
+  /// Starts a new proposal step for the protocol driver: clears the
+  /// previous step's candidate marks (walking the recorded pairs — O(step
+  /// candidates), not O(slots)) and the pair list itself.
+  void begin_step() {
+    for (const auto& [sender, receiver] : candidates) {
+      candidate_.reset(receiver.slot);
+    }
+    candidates.clear();
+  }
   /// Returns true the first time `node` is proposed this step.
   bool mark_candidate(NodeId node) {
     ensure(node.slot + 1);
-    if (candidate_stamp_[node.slot] == candidate_epoch_) return false;
-    candidate_stamp_[node.slot] = candidate_epoch_;
-    return true;
+    return candidate_.test_and_set(node.slot);
+  }
+  /// Flood fast path: membership-only candidate mark (in-range slot —
+  /// ensure_slots ran this step). The atomic variant is for workers of a
+  /// sharded scan marking concurrently: bitwise OR commutes, so the
+  /// resulting set is exact for every interleaving.
+  void mark_candidate_slot(std::uint32_t slot) { candidate_.set(slot); }
+  void mark_candidate_slot_atomic(std::uint32_t slot) {
+    candidate_.set_atomic(slot);
+  }
+
+  /// Flood fast path commit: I_t gains (candidates AND NOT deaths) in one
+  /// word scan; newly informed slots are appended to `frontier_out` in
+  /// slot order and the candidate set is consumed (left empty).
+  void commit_candidates(std::vector<std::uint32_t>& frontier_out) {
+    Word* cand = candidate_.words();
+    const Word* dead = death_.words();
+    Word* informed = informed_.words();
+    const std::uint64_t words = candidate_.word_count();
+    for (std::uint64_t w = 0; w < words; ++w) {
+      const Word add = cand[w] & ~dead[w];
+      cand[w] = 0;
+      if (add == 0) continue;
+      // Candidates were uninformed at scan time and nothing else informs.
+      CHURNET_ASSERT((informed[w] & add) == 0);
+      informed[w] |= add;
+      informed_count_ += std::popcount(add);
+      Word bits = add;
+      while (bits != 0) {
+        frontier_out.push_back(static_cast<std::uint32_t>(
+            w * Bitset64::kWordBits + std::countr_zero(bits)));
+        bits &= bits - 1;
+      }
+    }
   }
 
   // ---- deaths during the current churn interval ------------------------
 
   void clear_deaths() {
+    for (const NodeId dead : deaths_) death_.reset(dead.slot);
     deaths_.clear();
-    ++death_epoch_;
   }
   void note_death(NodeId node) {
     ensure(node.slot + 1);
-    death_stamp_[node.slot] = death_epoch_;
+    death_.set(node.slot);
     deaths_.push_back(node);
   }
-  bool died_this_step(NodeId node) const {
-    return node.slot < death_stamp_.size() &&
-           death_stamp_[node.slot] == death_epoch_;
+  bool died_this_step(NodeId node) const { return death_.test(node.slot); }
+  bool died_this_step_slot(std::uint32_t slot) const {
+    return death_.test(slot);
   }
   const std::vector<NodeId>& deaths() const { return deaths_; }
 
@@ -164,25 +241,33 @@ class FloodScratch {
   std::vector<CreatedEdge> created;
   std::vector<std::pair<NodeId, NodeId>> candidates;  // (sender, receiver)
 
+  // Flood fast-path buffers (slot-only mirrors of the above).
+  std::vector<std::uint32_t> frontier_slots;
+  std::vector<std::uint32_t> neighbor_slots;
+  // (sender, receiver) slots under pair-survival semantics.
+  std::vector<std::pair<std::uint32_t, std::uint32_t>> cand_pairs;
+  // Sharded-scan buffers: per-chunk pair outputs (merged in chunk order)
+  // and per-worker neighbor staging.
+  std::vector<std::vector<std::pair<std::uint32_t, std::uint32_t>>>
+      shard_pairs;
+  std::vector<std::vector<std::uint32_t>> shard_neighbors;
+
  private:
   void ensure(std::uint32_t slot_bound) {
-    if (slot_bound <= informed_stamp_.size()) return;
-    const std::size_t size = std::max<std::size_t>(
-        slot_bound, informed_stamp_.size() + informed_stamp_.size() / 2);
-    informed_stamp_.resize(size, 0);
-    candidate_stamp_.resize(size, 0);
-    death_stamp_.resize(size, 0);
+    if (slot_bound <= informed_.size()) return;
+    const std::uint64_t size = std::max<std::uint64_t>(
+        slot_bound, informed_.size() + informed_.size() / 2);
+    informed_.resize(size);
+    candidate_.resize(size);
+    death_.resize(size);
   }
 
-  // Epoch counters start at 1 and only grow, so a stamp of 0 never matches
-  // and stale stamps from earlier trials/steps are invalid by construction.
-  std::vector<std::uint64_t> informed_stamp_;
-  std::vector<std::uint64_t> candidate_stamp_;
-  std::vector<std::uint64_t> death_stamp_;
+  // All three are kept the same size by ensure(), so fused word scans
+  // never bounds-check.
+  Bitset64 informed_;
+  Bitset64 candidate_;
+  Bitset64 death_;
   std::vector<NodeId> deaths_;
-  std::uint64_t informed_epoch_ = 0;
-  std::uint64_t candidate_epoch_ = 0;
-  std::uint64_t death_epoch_ = 0;
   std::uint64_t informed_count_ = 0;
 };
 
@@ -245,6 +330,86 @@ inline void record_step(FloodTrace& trace, const FloodOptions& options,
   trace.alive_per_step.push_back(alive);
 }
 
+/// Frontier chunk size for the sharded boundary scan. Fixed — never a
+/// function of the thread count — so chunk boundaries, per-chunk outputs,
+/// and the chunk-order merge are identical at every intra_threads value.
+constexpr std::size_t kScanChunk = 4096;
+
+/// Scans the boundary of I_{t-1}: every uninformed neighbor of a frontier
+/// node becomes a candidate — a candidate bit under receiver-survival
+/// semantics, a (sender, receiver) slot pair under pair survival. Reads
+/// the graph and the informed set only; with intra > 1 the frontier is
+/// sharded over a worker pool (candidate bits commute; pairs are merged
+/// in chunk order, reproducing the sequential append order exactly).
+template <typename Semantics>
+void scan_boundary(const DynamicGraph& graph, FloodScratch& scratch,
+                   unsigned intra) {
+  const std::vector<std::uint32_t>& frontier = scratch.frontier_slots;
+  const std::size_t chunk_count =
+      (frontier.size() + kScanChunk - 1) / kScanChunk;
+  if (intra <= 1 || chunk_count < 2) {
+    auto& neighbors = scratch.neighbor_slots;
+    for (const std::uint32_t u : frontier) {
+      // Frontier members were alive and informed at last step's commit and
+      // nothing has advanced since; the bit doubles as a liveness check.
+      if (!scratch.is_informed_slot(u)) continue;
+      neighbors.clear();
+      graph.append_neighbor_slots(u, neighbors);
+      for (const std::uint32_t v : neighbors) {
+        if (scratch.is_informed_slot(v)) continue;
+        if constexpr (Semantics::kPairCandidates) {
+          scratch.cand_pairs.emplace_back(u, v);
+        } else {
+          scratch.mark_candidate_slot(v);
+        }
+      }
+    }
+    return;
+  }
+
+  const unsigned workers =
+      static_cast<unsigned>(std::min<std::size_t>(intra, chunk_count));
+  if (scratch.shard_neighbors.size() < workers) {
+    scratch.shard_neighbors.resize(workers);
+  }
+  if constexpr (Semantics::kPairCandidates) {
+    if (scratch.shard_pairs.size() < chunk_count) {
+      scratch.shard_pairs.resize(chunk_count);
+    }
+  }
+  for_each_chunk(intra, chunk_count, [&](std::size_t c, unsigned worker) {
+    auto& neighbors = scratch.shard_neighbors[worker];
+    std::vector<std::pair<std::uint32_t, std::uint32_t>>* pairs = nullptr;
+    if constexpr (Semantics::kPairCandidates) {
+      pairs = &scratch.shard_pairs[c];
+      pairs->clear();
+    }
+    const std::size_t begin = c * kScanChunk;
+    const std::size_t end = std::min(frontier.size(), begin + kScanChunk);
+    for (std::size_t i = begin; i < end; ++i) {
+      const std::uint32_t u = frontier[i];
+      if (!scratch.is_informed_slot(u)) continue;
+      neighbors.clear();
+      graph.append_neighbor_slots(u, neighbors);
+      for (const std::uint32_t v : neighbors) {
+        if (scratch.is_informed_slot(v)) continue;
+        if constexpr (Semantics::kPairCandidates) {
+          pairs->emplace_back(u, v);
+        } else {
+          scratch.mark_candidate_slot_atomic(v);
+        }
+      }
+    }
+  });
+  if constexpr (Semantics::kPairCandidates) {
+    for (std::size_t c = 0; c < chunk_count; ++c) {
+      const auto& pairs = scratch.shard_pairs[c];
+      scratch.cand_pairs.insert(scratch.cand_pairs.end(), pairs.begin(),
+                                pairs.end());
+    }
+  }
+}
+
 }  // namespace detail_flood
 
 /// Runs one flooding process on `net` under its declared flood semantics
@@ -257,6 +422,7 @@ FloodTrace flood_dynamic(Net& net, const FloodOptions& options,
   using Semantics = typename Net::flood_semantics;
   FloodTrace trace;
   scratch.begin_trial(net.graph().slot_upper_bound());
+  const unsigned intra = effective_intra_threads(options.intra_threads);
 
   NodeId source = kInvalidNode;
   NetworkHooks hooks;
@@ -284,48 +450,46 @@ FloodTrace flood_dynamic(Net& net, const FloodOptions& options,
   scratch.created.clear();
   scratch.clear_deaths();
   scratch.mark_informed(source);
-  scratch.frontier.push_back(source);
+  scratch.frontier_slots.push_back(source.slot);
 
   trace.peak_informed = 1;
   detail_flood::record_step(trace, options, 1, net.graph().alive_count());
 
   for (std::uint64_t step = 1; step <= options.max_steps; ++step) {
     const DynamicGraph& graph = net.graph();
+    // Serial point: no resize may happen inside the sharded scan.
+    scratch.ensure_slots(graph.slot_upper_bound());
 
     // Boundary of I_{t-1} in G_{t-1}, examined incrementally. Under
     // pair-candidate semantics every (sender, receiver) pair is kept (any
-    // surviving sender suffices); otherwise receivers are deduplicated.
-    scratch.candidates.clear();
-    if constexpr (!Semantics::kPairCandidates) scratch.begin_step();
-    auto consider = [&scratch](NodeId sender, NodeId receiver) {
-      if constexpr (Semantics::kPairCandidates) {
-        scratch.candidates.emplace_back(sender, receiver);
-      } else {
-        if (scratch.mark_candidate(receiver)) {
-          scratch.candidates.emplace_back(sender, receiver);
-        }
-      }
-    };
-    for (const NodeId u : scratch.frontier) {
-      if (!graph.is_alive(u)) continue;  // died in a previous interval
-      scratch.neighbors.clear();
-      graph.append_neighbors(u, scratch.neighbors);
-      for (const NodeId v : scratch.neighbors) {
-        if (!scratch.is_informed(v)) consider(u, v);
-      }
-    }
+    // surviving sender suffices); otherwise receivers are deduplicated as
+    // candidate bits.
+    if constexpr (Semantics::kPairCandidates) scratch.cand_pairs.clear();
+    detail_flood::scan_boundary<Semantics>(graph, scratch, intra);
     for (const CreatedEdge& edge : scratch.created) {
       // An edge created in the previous interval counts from now on,
       // provided it still exists (both endpoints alive).
       if (!graph.is_alive(edge.owner) || !graph.is_alive(edge.target)) {
         continue;
       }
-      const bool owner_informed = scratch.is_informed(edge.owner);
-      const bool target_informed = scratch.is_informed(edge.target);
+      const bool owner_informed = scratch.is_informed_slot(edge.owner.slot);
+      const bool target_informed =
+          scratch.is_informed_slot(edge.target.slot);
+      std::uint32_t sender = 0;
+      std::uint32_t receiver = 0;
       if (owner_informed && !target_informed) {
-        consider(edge.owner, edge.target);
+        sender = edge.owner.slot;
+        receiver = edge.target.slot;
       } else if (target_informed && !owner_informed) {
-        consider(edge.target, edge.owner);
+        sender = edge.target.slot;
+        receiver = edge.owner.slot;
+      } else {
+        continue;
+      }
+      if constexpr (Semantics::kPairCandidates) {
+        scratch.cand_pairs.emplace_back(sender, receiver);
+      } else {
+        scratch.mark_candidate_slot(receiver);
       }
     }
     scratch.created.clear();
@@ -339,15 +503,21 @@ FloodTrace flood_dynamic(Net& net, const FloodOptions& options,
     }
 
     // I_t = (I_{t-1} ∪ ∂(I_{t-1})) ∩ N_t.
-    scratch.frontier.clear();
-    for (const auto& [u, v] : scratch.candidates) {
-      if constexpr (Semantics::kPairCandidates) {
-        if (scratch.died_this_step(u) || scratch.died_this_step(v)) continue;
-        CHURNET_ASSERT(net.graph().is_alive(v));
-      } else {
-        if (!net.graph().is_alive(v)) continue;  // the interval's death
+    scratch.frontier_slots.clear();
+    if constexpr (Semantics::kPairCandidates) {
+      for (const auto& [u, v] : scratch.cand_pairs) {
+        if (scratch.died_this_step_slot(u) ||
+            scratch.died_this_step_slot(v)) {
+          continue;
+        }
+        CHURNET_ASSERT(net.graph().slot_alive(v));
+        if (scratch.mark_informed_slot(v)) scratch.frontier_slots.push_back(v);
       }
-      if (scratch.mark_informed(v)) scratch.frontier.push_back(v);
+    } else {
+      // The interval's deaths are subtracted word-wise: a newborn reusing
+      // a victim's slot is filtered exactly like the stamp path filtered
+      // it via the generation mismatch.
+      scratch.commit_candidates(scratch.frontier_slots);
     }
 
     trace.steps = step;
@@ -377,7 +547,7 @@ FloodTrace flood_dynamic(Net& net, const FloodOptions& options,
     if constexpr (Semantics::kChurnFree) {
       // No churn can ever create a new boundary edge: an empty frontier is
       // a fixed point (the graph's reachable set is exhausted, BFS-style).
-      if (scratch.frontier.empty()) break;
+      if (scratch.frontier_slots.empty()) break;
     }
   }
 

@@ -317,6 +317,44 @@ class DynamicGraph {
     }
   }
 
+  /// Slot-only variant for the flood fast path: appends neighbor *slots*
+  /// (out-targets then in-sources, with multiplicity — the exact
+  /// append_neighbors order) without touching the peers' generation words.
+  /// Live peers are alive by construction, so slot identity is enough for
+  /// membership tests keyed by slot; the scan never drags the peers' hot
+  /// records through the cache.
+  void append_neighbor_slots(std::uint32_t slot,
+                             std::vector<std::uint32_t>& out) const {
+    const SlotCore& core = core_[slot];
+    for (std::uint32_t i = 0; i < core.out_count; ++i) {
+      const std::uint32_t peer = out_pool_[core.out_base + i].peer;
+      if (peer != NodeId::kInvalidSlot) out.push_back(peer);
+    }
+    for (std::uint32_t i = 0; i < core.in_count; ++i) {
+      out.push_back(in_pool_[core.in_base + i].peer);
+    }
+  }
+
+  /// Whether the slot currently hosts an alive node (generation-blind
+  /// liveness for slot-keyed fast paths).
+  bool slot_alive(std::uint32_t slot) const {
+    return slot < core_.size() && core_[slot].alive != 0;
+  }
+
+  /// Bulk genesis wiring (src/graph/bulk_wiring.cpp): installs the edge
+  /// list of a pure-growth phase — edge e points out-slot (e % out_slots)
+  /// of slot (e / out_slots) at slot targets[e], kInvalidSlot entries
+  /// dangle — producing per-node adjacency *contents* identical to issuing
+  /// the same set_out_edge calls in ascending e order. Requires a freshly
+  /// grown graph: every slot alive at generation 0 with `out_slots`
+  /// dangling out-edges and an empty in-list. Radix-buckets edges by
+  /// target block so in-list inserts are cache-resident, and shards the
+  /// passes over `intra_threads` workers with thread-count-invariant
+  /// results.
+  void bulk_wire_genesis(std::uint32_t out_slots,
+                         std::span<const std::uint32_t> targets,
+                         unsigned intra_threads);
+
   /// Total number of (directed) edges currently present.
   std::uint64_t edge_count() const { return edge_count_; }
 

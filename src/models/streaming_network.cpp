@@ -1,5 +1,8 @@
 #include "models/streaming_network.hpp"
 
+#include <vector>
+
+#include "common/intra.hpp"
 #include "models/wiring.hpp"
 
 namespace churnet {
@@ -57,9 +60,57 @@ void StreamingNetwork::run_until(double time) {
   while (now() < time) step();
 }
 
+void StreamingNetwork::run_growth_phase() {
+  CHURNET_EXPECTS(churn_.round() == 0 && graph_.alive_count() == 0);
+  const bool hooked = static_cast<bool>(hooks_.on_birth) ||
+                      static_cast<bool>(hooks_.on_death) ||
+                      static_cast<bool>(hooks_.on_edge_created);
+  if (config_.max_in_degree != 0 || hooked) {
+    // Bounded wiring interleaves draws with in-degree reads, and hooks
+    // observe per-edge order within the round: both need the exact
+    // sequential round loop.
+    run_rounds(config_.n);
+    return;
+  }
+
+  // Phase 1 (serial): replay rounds 1..n exactly — churn bookkeeping,
+  // births, and the wiring RNG draws — but only *record* each draw. During
+  // pure growth round r the newborn takes slot r-1 (appended last in the
+  // alive list, alive_slots_[i] == i), so random_alive_other over the r-1
+  // other nodes is exactly rng.below(r-1) naming the target slot, never
+  // entering the skip-the-owner branch; round 1 has no other node and
+  // consumes no draw (the requests dangle). Tiling in wire_uniform_tiled
+  // does not reorder draws, so the RNG stream here is byte-identical to
+  // the sequential path's.
+  const std::uint32_t n = config_.n;
+  const std::uint32_t d = config_.d;
+  std::vector<std::uint32_t> targets(static_cast<std::size_t>(n) * d,
+                                     NodeId::kInvalidSlot);
+  for (std::uint32_t r = 1; r <= n; ++r) {
+    const ChurnProcess::Step event = churn_.next(graph_.alive_count());
+    CHURNET_ASSERT(event.is_birth);  // pure growth: deaths need a full ring
+    const NodeId born = graph_.add_node(d, event.time);
+    CHURNET_ASSERT(born.slot == r - 1 && born.generation == 0);
+    const std::uint32_t others = r - 1;
+    if (others > 0 && d > 0) {
+      std::uint32_t* row = targets.data() + static_cast<std::size_t>(r - 1) * d;
+      for (std::uint32_t t = 0; t < d; ++t) {
+        row[t] = static_cast<std::uint32_t>(rng_.below(others));
+      }
+    }
+    churn_.on_birth(born, event.time);
+  }
+
+  // Phase 2: install the recorded edge list in cache-blocked bulk.
+  graph_.bulk_wire_genesis(d, targets,
+                           effective_intra_threads(config_.intra_threads));
+  CHURNET_ENSURES(graph_.alive_count() == config_.n);
+}
+
 void StreamingNetwork::warm_up() {
   CHURNET_EXPECTS(churn_.round() == 0);
-  run_rounds(2ull * config_.n);
+  run_growth_phase();
+  run_rounds(config_.n);
   CHURNET_ENSURES(graph_.alive_count() == config_.n);
 }
 

@@ -37,6 +37,10 @@ struct StreamingConfig {
   /// in-degrees, enforced by redrawing requests. 0 = unlimited (the paper's
   /// models). See WiringLimits in models/wiring.hpp.
   std::uint32_t max_in_degree = 0;
+  /// Worker threads for the bulk genesis wiring inside run_growth_phase
+  /// (0 = one per hardware thread). Purely a wall-clock knob: results are
+  /// byte-identical at every value.
+  std::uint32_t intra_threads = 1;
 };
 
 class StreamingNetwork {
@@ -63,12 +67,23 @@ class StreamingNetwork {
   /// run-to-time primitive; streaming time is the integer round count).
   void run_until(double time);
 
+  /// Runs rounds 1..n — the pure-growth phase in which every round is a
+  /// birth and nobody dies. Produces a graph (and RNG/churn state)
+  /// identical to run_rounds(n) from round 0, but in the paper's unbounded
+  /// models with no hooks installed it records the n·d wiring draws
+  /// serially and installs them through DynamicGraph::bulk_wire_genesis —
+  /// a cache-blocked streaming pass (optionally sharded over
+  /// config.intra_threads workers) instead of n·d random-access inserts.
+  /// Callable only from round 0.
+  void run_growth_phase();
+
   /// Runs the initial 2n rounds: after n rounds the network reaches its
   /// pinned size n, and after another n rounds every founder that joined a
   /// smaller-than-n network (with correspondingly skewed wiring) has died.
   /// From round 2n on, every alive node issued its d requests into a
   /// full-size network -- the regime all of the paper's analyses assume.
-  /// Callable only from round 0.
+  /// Callable only from round 0. The first n rounds go through
+  /// run_growth_phase (same state, bulk-wired when eligible).
   void warm_up();
 
   /// Age in rounds of an alive node: 0 for this round's newborn, up to n-1.

@@ -125,11 +125,13 @@ ProtocolResult disseminate_dynamic(Net& net, DisseminationProtocol& protocol,
   detail_flood::record_step(trace, options.flood, fs.informed_count(),
                             net.graph().alive_count());
 
+  const unsigned intra = effective_intra_threads(options.flood.intra_threads);
   for (std::uint64_t step = 1; step <= options.flood.max_steps; ++step) {
-    fs.candidates.clear();
-    if (dedup) fs.begin_step();
+    // Serial point: workers of a sharded propose may not trigger a resize.
+    fs.ensure_slots(net.graph().slot_upper_bound());
+    fs.begin_step();  // clears last step's candidate marks + pair list
     StepView view(net.graph(), scratch, stats, dedup, delivery_q,
-                  &protocol.rng(), step);
+                  &protocol.rng(), step, intra);
     protocol.propose(view);
     fs.created.clear();
     fs.clear_deaths();

@@ -91,7 +91,7 @@ struct ProtocolOptions {
   std::uint32_t sources = 1;
 };
 
-/// Reusable per-run state: the flood driver's epoch-stamped scratch plus
+/// Reusable per-run state: the flood driver's bitset-backed scratch plus
 /// the protocol layer's buffers. Zero allocation after the first trial of
 /// a replication loop, like FloodScratch itself.
 struct ProtocolScratch {
@@ -101,6 +101,12 @@ struct ProtocolScratch {
   std::vector<NodeId> informed;
   /// Reusable alive-node buffer for PULL-style full scans.
   std::vector<NodeId> alive;
+  /// Sharded-propose buffers (frontier-driven protocols with
+  /// intra_threads > 1): per-chunk (sender, receiver) outputs, merged in
+  /// chunk order so the send() sequence matches the sequential scan, and
+  /// per-worker neighbor staging.
+  std::vector<std::vector<std::pair<NodeId, NodeId>>> shard_pairs;
+  std::vector<std::vector<NodeId>> shard_neighbors;
 };
 
 /// Outcome of one dissemination run: the flood-compatible trace plus the
@@ -117,14 +123,15 @@ class StepView {
  public:
   StepView(const DynamicGraph& graph, ProtocolScratch& scratch,
            ProtocolStats& stats, bool dedup_receivers, double delivery_q,
-           Rng* loss_rng, std::uint64_t step)
+           Rng* loss_rng, std::uint64_t step, unsigned intra_threads = 1)
       : graph_(graph),
         scratch_(scratch),
         stats_(stats),
         dedup_(dedup_receivers),
         delivery_q_(delivery_q),
         loss_rng_(loss_rng),
-        step_(step) {}
+        step_(step),
+        intra_threads_(intra_threads) {}
 
   const DynamicGraph& graph() const { return graph_; }
   /// 1-based index of the step being proposed.
@@ -147,6 +154,19 @@ class StepView {
   /// Reusable buffers (cleared by the caller before use).
   std::vector<NodeId>& neighbor_buffer() { return scratch_.flood.neighbors; }
   std::vector<NodeId>& alive_buffer() { return scratch_.alive; }
+
+  /// Intra-trial worker budget for sharded proposes (>= 1). Protocols
+  /// whose scan is read-only over the frontier may shard it into
+  /// fixed-size chunks (shard buffers below) and replay send() in chunk
+  /// order — output is then byte-identical at every thread count.
+  /// RNG-sequential protocols (PUSH/PULL) must ignore this.
+  unsigned intra_threads() const { return intra_threads_; }
+  std::vector<std::vector<std::pair<NodeId, NodeId>>>& shard_pair_buffers() {
+    return scratch_.shard_pairs;
+  }
+  std::vector<std::vector<NodeId>>& shard_neighbor_buffers() {
+    return scratch_.shard_neighbors;
+  }
 
   /// Offers one rumor transmission sender -> receiver. Applies the lossy
   /// coin and (on the lossless flood fast path) receiver deduplication.
@@ -183,6 +203,7 @@ class StepView {
   double delivery_q_;
   Rng* loss_rng_;
   std::uint64_t step_;
+  unsigned intra_threads_;
 };
 
 /// A dissemination protocol: proposes each step's transmission attempts

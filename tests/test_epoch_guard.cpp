@@ -1,0 +1,47 @@
+// Regression tests for the epoch wrap guard (common/epoch.hpp): epoch
+// counters behind stamp arrays (TtlFloodProtocol's informed stamps) must
+// abort on wrap-around instead of silently aliasing stale stamps as
+// current — a wrapped epoch would resurrect every node stamped two full
+// cycles ago.
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <limits>
+
+#include "common/epoch.hpp"
+
+namespace churnet {
+namespace {
+
+TEST(EpochGuard, BumpIncrementsAndReturnsNewValue) {
+  std::uint64_t epoch = 0;
+  EXPECT_EQ(bump_epoch(epoch), 1u);
+  EXPECT_EQ(epoch, 1u);
+  EXPECT_EQ(bump_epoch(epoch), 2u);
+  EXPECT_EQ(epoch, 2u);
+}
+
+TEST(EpochGuard, WorksAcrossUnsignedWidths) {
+  std::uint8_t narrow = 7;
+  EXPECT_EQ(bump_epoch(narrow), 8);
+  std::uint32_t wide = 41;
+  EXPECT_EQ(bump_epoch(wide), 42u);
+}
+
+TEST(EpochGuard, ReachesMaxWithoutTripping) {
+  // The last representable epoch is still valid; only the wrap to 0 is a
+  // contract violation.
+  std::uint8_t epoch = std::numeric_limits<std::uint8_t>::max() - 1;
+  EXPECT_EQ(bump_epoch(epoch), std::numeric_limits<std::uint8_t>::max());
+}
+
+TEST(EpochGuardDeathTest, AbortsOnWrap) {
+  ::testing::FLAGS_gtest_death_test_style = "threadsafe";
+  std::uint8_t epoch = std::numeric_limits<std::uint8_t>::max();
+  EXPECT_DEATH(bump_epoch(epoch), "");
+  std::uint16_t epoch16 = std::numeric_limits<std::uint16_t>::max();
+  EXPECT_DEATH(bump_epoch(epoch16), "");
+}
+
+}  // namespace
+}  // namespace churnet

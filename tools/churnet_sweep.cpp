@@ -90,6 +90,9 @@ int main(int argc, char** argv) {
   cli.add_int("seed", 0, "base seed (0 = config/default)");
   cli.add_int("max-in-degree", 0, "bounded-degree cap (0 = unbounded)");
   cli.add_int("threads", 1, "worker threads (0 = all cores)");
+  cli.add_int("intra-threads", 0,
+              "intra-trial worker threads per job (0 = config/default); "
+              "output is byte-identical at every value");
   cli.add_string("csv", "", "write long-format CSV here ('-' = stdout)");
   cli.add_string("json", "", "write JSON summary here ('-' = stdout)");
   cli.add_flag("list-metrics", "print the metric catalog and exit");
@@ -175,6 +178,10 @@ int main(int argc, char** argv) {
   if (cli.get_int("max-in-degree") > 0) {
     spec.max_in_degree =
         static_cast<std::uint32_t>(cli.get_int("max-in-degree"));
+  }
+  if (cli.get_int("intra-threads") > 0) {
+    spec.intra_threads =
+        static_cast<std::uint32_t>(cli.get_int("intra-threads"));
   }
 
   if (spec.scenarios.empty()) {

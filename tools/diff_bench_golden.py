@@ -7,10 +7,19 @@ must be identical on every machine, so any difference is silent behavior
 drift — a changed RNG consumption pattern, a reordered event, a modified
 sample — and fails CI.
 
-Usage: diff_bench_golden.py <golden.json> <candidate.json>
-Exit code 0 when the deterministic content matches, 1 otherwise.
+Perf rates ("*_per_sec" fields inside "perf" objects) are additionally
+compared WARN-ONLY: a rate more than --perf-tolerance (default 0.5, i.e.
+50%) below the golden's prints a warning so large regressions are visible
+in the CI log, but never changes the exit code — the golden's rates come
+from whatever machine last regenerated it, so they are a coarse floor,
+not a contract.
+
+Usage: diff_bench_golden.py [--perf-tolerance FRAC] <golden> <candidate>
+Exit code 0 when the deterministic content matches, 1 otherwise (perf
+drift never affects the exit code).
 """
 
+import argparse
 import json
 import sys
 
@@ -36,14 +45,56 @@ def flatten(node, prefix=""):
         yield prefix, node
 
 
+def perf_rates(node, prefix="", inside_perf=False):
+    """Yields (path, rate) for every numeric "*_per_sec" field inside a
+    "perf" object."""
+    if isinstance(node, dict):
+        for key in sorted(node):
+            yield from perf_rates(node[key], f"{prefix}/{key}",
+                                  inside_perf or key == "perf")
+    elif (inside_perf and prefix.rsplit("/", 1)[-1].endswith("_per_sec")
+          and isinstance(node, (int, float))):
+        yield prefix, float(node)
+
+
+def warn_perf_drift(golden, candidate, tolerance):
+    """Prints warn-only perf-rate comparisons; returns the warning count."""
+    golden_rates = dict(perf_rates(golden))
+    candidate_rates = dict(perf_rates(candidate))
+    warnings = 0
+    for path in sorted(set(golden_rates) & set(candidate_rates)):
+        expected = golden_rates[path]
+        actual = candidate_rates[path]
+        if expected <= 0.0:
+            continue
+        drift = actual / expected - 1.0
+        if drift < -tolerance:
+            print(f"PERF WARNING (non-fatal): {path} is {-drift:.0%} below "
+                  f"golden ({actual:.4g} vs {expected:.4g} per sec, "
+                  f"tolerance {tolerance:.0%})")
+            warnings += 1
+    if warnings == 0:
+        print(f"perf rates within {tolerance:.0%} of golden "
+              f"({len(golden_rates)} rate(s) checked, warn-only)")
+    return warnings
+
+
 def main():
-    if len(sys.argv) != 3:
-        print(__doc__, file=sys.stderr)
-        return 2
-    with open(sys.argv[1]) as f:
-        golden = strip_perf(json.load(f))
-    with open(sys.argv[2]) as f:
-        candidate = strip_perf(json.load(f))
+    parser = argparse.ArgumentParser(
+        description=__doc__,
+        formatter_class=argparse.RawDescriptionHelpFormatter)
+    parser.add_argument("golden")
+    parser.add_argument("candidate")
+    parser.add_argument("--perf-tolerance", type=float, default=0.5,
+                        help="warn when a perf rate falls more than this "
+                             "fraction below the golden's (default 0.5)")
+    args = parser.parse_args()
+    with open(args.golden) as f:
+        golden_full = json.load(f)
+    with open(args.candidate) as f:
+        candidate_full = json.load(f)
+    golden = strip_perf(golden_full)
+    candidate = strip_perf(candidate_full)
 
     golden_flat = dict(flatten(golden))
     candidate_flat = dict(flatten(candidate))
@@ -54,9 +105,13 @@ def main():
         if expected != actual:
             drift.append((path, expected, actual))
 
+    # Perf comparison is informational only: report before the verdict so
+    # the warning is adjacent to the numbers in CI logs either way.
+    warn_perf_drift(golden_full, candidate_full, args.perf_tolerance)
+
     if drift:
         print(f"BEHAVIOR DRIFT: {len(drift)} deterministic field(s) differ "
-              f"from {sys.argv[1]}:")
+              f"from {args.golden}:")
         for path, expected, actual in drift:
             print(f"  {path}: golden={expected!r} candidate={actual!r}")
         print("\nIf the change is intentional (new RNG draws, new workload "
