@@ -62,6 +62,13 @@ class WalkOverlay {
   Rng& rng() { return rng_; }
   void set_hooks(NetworkHooks hooks) { hooks_ = std::move(hooks); }
 
+  /// Attaches a caller-owned change feed to the underlying graph so every
+  /// churn mutation records a GraphDelta (graph/change_feed.hpp);
+  /// nullptr detaches.
+  void attach_change_feed(ChangeFeed* feed) {
+    graph_.attach_change_feed(feed);
+  }
+
   /// Sampling walks that ended on the walker itself or found no usable
   /// endpoint (request left dangling).
   std::uint64_t failed_walks() const { return failed_walks_; }

@@ -14,6 +14,7 @@
 #include "common/sinks.hpp"
 #include "engine/trial_runner.hpp"
 #include "graph/algorithms.hpp"
+#include "graph/change_feed.hpp"
 #include "observe/observer_spec.hpp"
 #include "protocols/protocol_spec.hpp"
 
@@ -162,6 +163,14 @@ std::optional<SweepSpec> SweepSpec::from_json(const JsonValue& json,
         return std::nullopt;
       }
       spec.observers = value.as_string();
+    } else if (key == "incremental_observers") {
+      if (!value.is_bool()) {
+        if (error != nullptr) {
+          *error = "incremental_observers must be a boolean";
+        }
+        return std::nullopt;
+      }
+      spec.incremental_observers = value.as_bool();
     } else if (key == "replications") {
       double number = 0.0;
       if (!read_integer(value, "replications", 1.0, 1e15, &number, error)) {
@@ -199,7 +208,8 @@ std::optional<SweepSpec> SweepSpec::from_json(const JsonValue& json,
       if (error != nullptr) {
         *error = "unknown sweep key '" + key +
                  "'; known: scenarios, n, d, protocols, metrics, observers, "
-                 "replications, seed, max_in_degree, intra_threads";
+                 "incremental_observers, replications, seed, max_in_degree, "
+                 "intra_threads";
       }
       return std::nullopt;
     }
@@ -478,11 +488,12 @@ SweepResult SweepRunner::run(unsigned threads,
   const std::uint64_t base_seed = spec_.base_seed;
   const std::uint32_t max_in_degree = spec_.max_in_degree;
   const std::uint32_t intra_threads = spec_.intra_threads;
+  const bool incremental = spec_.incremental_observers && has_observers;
   const TrialResult flat = TrialRunner(options).run(
       metric_names,
       [&cells, &keys, &metrics, &observer_spec, &observer_key, has_observers,
-       needs_snapshot, needs_flood, reps, base_seed, max_in_degree,
-       intra_threads](const TrialContext& ctx) {
+       incremental, needs_snapshot, needs_flood, reps, base_seed,
+       max_in_degree, intra_threads](const TrialContext& ctx) {
         const std::uint64_t cell_index = ctx.replication / reps;
         const std::uint64_t replication = ctx.replication % reps;
         const Cell& cell = cells[cell_index];
@@ -509,11 +520,30 @@ SweepResult SweepRunner::run(unsigned threads,
             observers = make_observer_set(observer_spec);
             observers_key = observer_key;
           }
-          observers.begin_trial(derive_seed(params.seed, 2, 0));
-          const std::uint32_t window = observers.observation_rounds();
-          for (std::uint32_t r = 0; r < window; ++r) {
-            net.step();
-            observers.on_round(net.graph(), net.now());
+          const std::uint64_t trial_seed = derive_seed(params.seed, 2, 0);
+          if (incremental) {
+            // Delta-fed mode: the per-worker feed is attached for the
+            // window only (dissemination churn is not observed) and
+            // retains capacity across jobs — zero-allocation steady state.
+            thread_local ChangeFeed feed;
+            net.attach_change_feed(&feed);
+            observers.begin_incremental_trial(trial_seed, net.graph(),
+                                              net.now());
+            const std::uint32_t window = observers.observation_rounds();
+            for (std::uint32_t r = 0; r < window; ++r) {
+              feed.clear();
+              net.step();
+              observers.on_round(net.graph(), net.now());
+              observers.on_deltas(net.graph(), feed.deltas(), net.now());
+            }
+            net.attach_change_feed(nullptr);
+          } else {
+            observers.begin_trial(trial_seed);
+            const std::uint32_t window = observers.observation_rounds();
+            for (std::uint32_t r = 0; r < window; ++r) {
+              net.step();
+              observers.on_round(net.graph(), net.now());
+            }
           }
         }
 
@@ -521,14 +551,22 @@ SweepResult SweepRunner::run(unsigned threads,
             static_cast<double>(net.graph().alive_count());
         DegreeStats degrees;
         Components components;
-        if (needs_snapshot ||
-            (has_observers && observers.wants_snapshot())) {
-          const Snapshot snap = net.snapshot();
-          if (needs_snapshot) {
-            degrees = degree_stats(snap);
-            components = connected_components(snap);
-          }
-          if (has_observers) observers.on_snapshot(snap);
+        // The observer set's one shared snapshot (built only when some
+        // observer needs the dense form) doubles as the engine metrics'
+        // snapshot; a local capture covers the no-observer /
+        // delta-fed-only cases. Capture itself is RNG-free, so this
+        // restructuring changes no measured value.
+        const Snapshot* snap =
+            has_observers ? observers.observe(net.graph(), net.now())
+                          : nullptr;
+        Snapshot local;
+        if (needs_snapshot && snap == nullptr) {
+          local = net.snapshot();
+          snap = &local;
+        }
+        if (needs_snapshot) {
+          degrees = degree_stats(*snap);
+          components = connected_components(*snap);
         }
         FloodTrace trace;
         ProtocolStats proto_stats;

@@ -79,6 +79,7 @@ enum class SweepMetric : std::uint8_t {
 ///     "protocols": ["flood", "push(3)+lossy(0.9)"],  // optional axis
 ///     "metrics": ["alive", "completion_step"],   // optional
 ///     "observers": "expansion(8)+isolated",      // optional
+///     "incremental_observers": false,             // optional
 ///     "replications": 8,                          // optional
 ///     "seed": 12345,                              // optional
 ///     "max_in_degree": 0,                         // optional
@@ -98,6 +99,15 @@ struct SweepSpec {
   /// (observe/observer_spec.hpp grammar); its metric columns are appended
   /// after `metrics`. Empty = no observers.
   std::string observers;
+  /// Run the observer set delta-fed (DESIGN.md §6, decision 15): a
+  /// ChangeFeed is attached for the observation window and observers
+  /// measure from running state instead of a fresh snapshot. Purely a
+  /// wall-clock knob for single-observation trials — every sweep cell
+  /// observes once per replication, and the first observation of an
+  /// incremental trial is bit-identical to the from-scratch one, so the
+  /// CSV/JSON output is byte-identical either way (the release-smoke CI
+  /// job cmp's them).
+  bool incremental_observers = false;
   std::uint64_t replications = 8;
   std::uint64_t base_seed = 12345;
   std::uint32_t max_in_degree = 0;

@@ -53,6 +53,9 @@ void DynamicGraph::bulk_wire_genesis(std::uint32_t out_slots,
   CHURNET_EXPECTS(out_slots > 0 && edges % out_slots == 0);
   CHURNET_EXPECTS(edges / out_slots == core_.size());
   CHURNET_EXPECTS(edges <= NodeId::kInvalidSlot);  // edge ids fit u32
+  // Bulk wiring bypasses the per-edge mutators and emits no deltas; a
+  // consumer expecting the feed must use the sequential path instead.
+  CHURNET_EXPECTS(feed_ == nullptr && "bulk wiring does not record deltas");
 
   const std::uint32_t slot_count = static_cast<std::uint32_t>(core_.size());
   const std::size_t block_count =

@@ -35,6 +35,7 @@
 #include <vector>
 
 #include "common/rng.hpp"
+#include "graph/change_feed.hpp"
 #include "graph/node_id.hpp"
 
 namespace churnet {
@@ -92,7 +93,9 @@ class DynamicGraph {
     birth_seqs_[slot_index] = next_birth_seq_++;
     birth_times_[slot_index] = birth_time;
     alive_slots_.push_back(slot_index);
-    return NodeId{slot_index, core.generation};
+    const NodeId id{slot_index, core.generation};
+    if (feed_ != nullptr) feed_->record_birth(id, out_slots, birth_time);
+    return id;
   }
 
   /// Kills the node: detaches all incident edges, recycles the slot, the
@@ -124,6 +127,10 @@ class DynamicGraph {
     for (std::uint32_t i = 0; i < core.out_count; ++i) {
       OutEdge& edge = out_pool_[core.out_base + i];
       if (edge.peer == NodeId::kInvalidSlot) continue;
+      if (feed_ != nullptr) {
+        feed_->record_edge_clear(node, i,
+                                 NodeId{edge.peer, core_[edge.peer].generation});
+      }
       detach_in_entry(core_[edge.peer], edge.in_pos);
       edge.peer = NodeId::kInvalidSlot;
       --edge_count_;
@@ -140,8 +147,11 @@ class DynamicGraph {
       CHURNET_ASSERT(out_edge.peer == node.slot);
       out_edge.peer = NodeId::kInvalidSlot;
       --edge_count_;
-      scratch.orphans.push_back(OutSlotRef{
-          NodeId{in_edge.peer, source_core.generation}, in_edge.out_index});
+      const NodeId source{in_edge.peer, source_core.generation};
+      if (feed_ != nullptr) {
+        feed_->record_edge_clear(source, in_edge.out_index, node);
+      }
+      scratch.orphans.push_back(OutSlotRef{source, in_edge.out_index});
     }
     if (core.in_cap > 0) {
       release_in_chunk(core.in_base, core.in_cap);
@@ -162,6 +172,7 @@ class DynamicGraph {
     core.out_base = 0;
     core.out_count = 0;
     free_slots_.push_back(node.slot);
+    if (feed_ != nullptr) feed_->record_death(node);
   }
 
   /// Convenience wrapper allocating a fresh orphan vector per call. Hot
@@ -188,6 +199,7 @@ class DynamicGraph {
         InEdge{owner.slot, index};
     ++target_core.in_count;
     ++edge_count_;
+    if (feed_ != nullptr) feed_->record_edge_set(owner, index, target);
   }
 
   /// Makes out-slot `index` of `owner` dangling, detaching it from its
@@ -198,6 +210,10 @@ class DynamicGraph {
     CHURNET_EXPECTS(index < owner_core.out_count);
     OutEdge& edge = out_pool_[owner_core.out_base + index];
     CHURNET_EXPECTS(edge.peer != NodeId::kInvalidSlot);
+    if (feed_ != nullptr) {
+      feed_->record_edge_clear(owner, index,
+                               NodeId{edge.peer, core_[edge.peer].generation});
+    }
     detach_in_entry(core_[edge.peer], edge.in_pos);
     edge.peer = NodeId::kInvalidSlot;
     --edge_count_;
@@ -355,6 +371,15 @@ class DynamicGraph {
                          std::span<const std::uint32_t> targets,
                          unsigned intra_threads);
 
+  /// Attaches a caller-owned change feed: every subsequent mutation records
+  /// a GraphDelta (see graph/change_feed.hpp for the delta contract).
+  /// nullptr detaches. The feed must outlive the attachment; recording is a
+  /// branch-plus-append per mutation, zero when detached.
+  void attach_change_feed(ChangeFeed* feed) { feed_ = feed; }
+
+  /// The currently attached feed, nullptr when detached.
+  const ChangeFeed* change_feed() const { return feed_; }
+
   /// Total number of (directed) edges currently present.
   std::uint64_t edge_count() const { return edge_count_; }
 
@@ -462,6 +487,7 @@ class DynamicGraph {
   std::vector<std::uint32_t> free_slots_;
   std::uint64_t next_birth_seq_ = 0;
   std::uint64_t edge_count_ = 0;
+  ChangeFeed* feed_ = nullptr;  // optional delta recording (attach_change_feed)
 };
 
 }  // namespace churnet

@@ -40,11 +40,12 @@ namespace churnet {
 /// discrete models, t is a round count.
 template <typename Net>
 concept DynamicNetwork = requires(Net& net, const Net& cnet, double time,
-                                  NetworkHooks hooks) {
+                                  NetworkHooks hooks, ChangeFeed* feed) {
   net.step();
   net.run_until(time);
   net.warm_up();
   net.set_hooks(std::move(hooks));
+  net.attach_change_feed(feed);
   { net.rng() } -> std::same_as<Rng&>;
   { cnet.graph() } -> std::same_as<const DynamicGraph&>;
   { cnet.now() } -> std::convertible_to<double>;
@@ -78,6 +79,9 @@ class AnyNetwork {
   void run_until(double time) { checked().run_until(time); }
   void warm_up() { checked().warm_up(); }
   void set_hooks(NetworkHooks hooks) { checked().set_hooks(std::move(hooks)); }
+  void attach_change_feed(ChangeFeed* feed) {
+    checked().attach_change_feed(feed);
+  }
   Rng& rng() { return checked().rng(); }
   const DynamicGraph& graph() const { return checked().graph(); }
   double now() const { return checked().now(); }
@@ -124,6 +128,7 @@ class AnyNetwork {
     virtual void run_until(double time) = 0;
     virtual void warm_up() = 0;
     virtual void set_hooks(NetworkHooks hooks) = 0;
+    virtual void attach_change_feed(ChangeFeed* feed) = 0;
     virtual Rng& rng() = 0;
     virtual const DynamicGraph& graph() const = 0;
     virtual double now() const = 0;
@@ -143,6 +148,9 @@ class AnyNetwork {
     void warm_up() override { net.warm_up(); }
     void set_hooks(NetworkHooks hooks) override {
       net.set_hooks(std::move(hooks));
+    }
+    void attach_change_feed(ChangeFeed* feed) override {
+      net.attach_change_feed(feed);
     }
     Rng& rng() override { return net.rng(); }
     const DynamicGraph& graph() const override { return net.graph(); }

@@ -102,6 +102,13 @@ class PoissonNetwork {
 
   void set_hooks(NetworkHooks hooks) { hooks_ = std::move(hooks); }
 
+  /// Attaches a caller-owned change feed to the underlying graph so every
+  /// churn mutation records a GraphDelta (graph/change_feed.hpp);
+  /// nullptr detaches.
+  void attach_change_feed(ChangeFeed* feed) {
+    graph_.attach_change_feed(feed);
+  }
+
  private:
   EventReport apply(const ChurnProcess::Step& event);
   /// Samples (and counts) the next event into pending_.

@@ -64,6 +64,13 @@ class StaticNetwork {
   /// Hooks are accepted for interface parity but never fire (no churn).
   void set_hooks(NetworkHooks hooks) { hooks_ = std::move(hooks); }
 
+  /// Attaches a caller-owned change feed to the underlying graph so every
+  /// churn mutation records a GraphDelta (graph/change_feed.hpp);
+  /// nullptr detaches.
+  void attach_change_feed(ChangeFeed* feed) {
+    graph_.attach_change_feed(feed);
+  }
+
  private:
   StaticConfig config_;
   DynamicGraph graph_;

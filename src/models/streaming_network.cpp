@@ -65,9 +65,11 @@ void StreamingNetwork::run_growth_phase() {
   const bool hooked = static_cast<bool>(hooks_.on_birth) ||
                       static_cast<bool>(hooks_.on_death) ||
                       static_cast<bool>(hooks_.on_edge_created);
-  if (config_.max_in_degree != 0 || hooked) {
-    // Bounded wiring interleaves draws with in-degree reads, and hooks
-    // observe per-edge order within the round: both need the exact
+  if (config_.max_in_degree != 0 || hooked ||
+      graph_.change_feed() != nullptr) {
+    // Bounded wiring interleaves draws with in-degree reads, hooks observe
+    // per-edge order within the round, and an attached change feed records
+    // per-edge deltas the bulk path cannot emit: all three need the exact
     // sequential round loop.
     run_rounds(config_.n);
     return;

@@ -101,6 +101,13 @@ class StreamingNetwork {
   /// Installs observer hooks (replacing any previous ones).
   void set_hooks(NetworkHooks hooks) { hooks_ = std::move(hooks); }
 
+  /// Attaches a caller-owned change feed to the underlying graph so every
+  /// churn mutation records a GraphDelta (graph/change_feed.hpp);
+  /// nullptr detaches.
+  void attach_change_feed(ChangeFeed* feed) {
+    graph_.attach_change_feed(feed);
+  }
+
  private:
   StreamingConfig config_;
   StreamingChurn churn_;

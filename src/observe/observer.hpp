@@ -35,10 +35,26 @@
 //   * append_values appends exactly one value per declared metric name;
 //     NaN marks a metric whose input was never observed this trial (e.g. a
 //     coverage column when no dissemination ran).
+//
+// Incremental observation (DESIGN.md §6, decision 15): a driver that
+// attaches a ChangeFeed to its network can run observers delta-fed instead
+// of from-scratch. The incremental lifecycle is
+//
+//   begin_incremental_trial(seed, graph, now)   -- reset + full baseline scan
+//   per churn round:  on_round(...); on_deltas(graph, round_deltas, now)
+//   per observation:  observe(graph, now)       -- the measurement point
+//
+// observe() builds/updates the set's one shared dense Snapshot only when at
+// least one attached observer still needs the dense form
+// (needs_dense_snapshot()); delta-fed observers answer from running state
+// in on_observe. The from-scratch path uses the same observe() entry with
+// begin_trial, where it captures a fresh snapshot — so drivers are written
+// once and the two modes differ only in which begin_* they call.
 #pragma once
 
 #include <cstdint>
 #include <memory>
+#include <span>
 #include <string>
 #include <vector>
 
@@ -77,6 +93,42 @@ class MetricObserver {
 
   /// Per-snapshot hook: called once with the trial's shared snapshot.
   virtual void on_snapshot(const Snapshot& snapshot) { (void)snapshot; }
+
+  // ---- incremental lifecycle (all optional; defaults = from-scratch) ----
+
+  /// Incremental-trial baseline: called once after begin_trial, before any
+  /// deltas, with the warmed network. Delta-fed observers seed their
+  /// running state with one full scan here; from-scratch observers ignore
+  /// it (and then behave identically in both modes).
+  virtual void on_trial_start(const DynamicGraph& graph, double now) {
+    (void)graph;
+    (void)now;
+  }
+
+  /// Delta hook: the graph mutations since the previous on_deltas call (or
+  /// since on_trial_start), in mutation order (graph/change_feed.hpp for
+  /// the contract). `graph` is the post-mutation state.
+  virtual void on_deltas(const DynamicGraph& graph,
+                         std::span<const GraphDelta> deltas, double now) {
+    (void)graph;
+    (void)deltas;
+    (void)now;
+  }
+
+  /// Measurement point for delta-fed observers: called by
+  /// ObserverSet::observe after on_snapshot (if a dense snapshot was
+  /// built). Running-state observers publish their values here.
+  virtual void on_observe(const DynamicGraph& graph, double now) {
+    (void)graph;
+    (void)now;
+  }
+
+  /// True while this observer needs the dense Snapshot to measure. An
+  /// observer running on delta-fed counters returns false after
+  /// on_trial_start, letting ObserverSet::observe skip the snapshot
+  /// build/update entirely when no attached observer needs it. Defaults to
+  /// wants_snapshot().
+  virtual bool needs_dense_snapshot() const { return wants_snapshot(); }
 
   /// Dissemination hook: the trial's flood/protocol run. `stats` is
   /// nullptr for a plain flood run (no message accounting).
@@ -155,12 +207,69 @@ class ObserverSet {
     for (std::size_t i = 0; i < observers_.size(); ++i) {
       observers_[i]->begin_trial(derive_seed(trial_seed, i, 0));
     }
+    incremental_ = false;
+    snapshot_valid_ = false;
+    pending_births_.clear();
   }
+
+  /// Incremental-mode trial start: begin_trial plus the per-observer
+  /// baseline scan of the warmed network. After this, feed every round's
+  /// deltas through on_deltas and measure with observe().
+  void begin_incremental_trial(std::uint64_t trial_seed,
+                               const DynamicGraph& graph, double now) {
+    begin_trial(trial_seed);
+    for (const auto& observer : observers_) {
+      observer->on_trial_start(graph, now);
+    }
+    incremental_ = true;
+  }
+
   void on_round(const DynamicGraph& graph, double now) {
     for (const auto& observer : observers_) observer->on_round(graph, now);
   }
   void on_snapshot(const Snapshot& snapshot) {
     for (const auto& observer : observers_) observer->on_snapshot(snapshot);
+  }
+
+  /// Forwards one round's deltas to every observer and banks the births the
+  /// set's own snapshot update will need at the next observe().
+  void on_deltas(const DynamicGraph& graph,
+                 std::span<const GraphDelta> deltas, double now) {
+    for (const GraphDelta& delta : deltas) {
+      if (delta.kind == GraphDelta::Kind::kBirth) {
+        pending_births_.push_back(delta);
+      }
+    }
+    for (const auto& observer : observers_) {
+      observer->on_deltas(graph, deltas, now);
+    }
+  }
+
+  /// The measurement point: builds (or, in incremental mode, updates in
+  /// place) the set's one shared dense snapshot iff some observer still
+  /// needs the dense form, runs on_snapshot for the snapshot observers and
+  /// on_observe for everyone. Returns the shared snapshot, or nullptr when
+  /// no dense form was needed — callers wanting snapshot-derived engine
+  /// metrics can reuse it instead of capturing their own.
+  const Snapshot* observe(const DynamicGraph& graph, double now) {
+    bool dense = false;
+    for (const auto& observer : observers_) {
+      dense = dense || observer->needs_dense_snapshot();
+    }
+    if (dense) {
+      if (incremental_ && snapshot_valid_) {
+        Snapshot::update(graph, pending_births_, now, snapshot_, scratch_);
+      } else {
+        snapshot_ = Snapshot::capture(graph, now);
+      }
+      snapshot_valid_ = true;
+      for (const auto& observer : observers_) {
+        if (observer->wants_snapshot()) observer->on_snapshot(snapshot_);
+      }
+    }
+    pending_births_.clear();
+    for (const auto& observer : observers_) observer->on_observe(graph, now);
+    return dense ? &snapshot_ : nullptr;
   }
   void on_dissemination(const FloodTrace& trace, const ProtocolStats* stats) {
     for (const auto& observer : observers_) {
@@ -173,6 +282,13 @@ class ObserverSet {
 
  private:
   std::vector<std::unique_ptr<MetricObserver>> observers_;
+  // The set's shared dense snapshot, reused across observations (updated in
+  // place from banked birth deltas in incremental mode).
+  Snapshot snapshot_;
+  SnapshotScratch scratch_;
+  std::vector<GraphDelta> pending_births_;
+  bool snapshot_valid_ = false;
+  bool incremental_ = false;
 };
 
 }  // namespace churnet

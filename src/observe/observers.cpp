@@ -4,6 +4,7 @@
 #include <cmath>
 #include <limits>
 
+#include "common/assertx.hpp"
 #include "common/table.hpp"
 #include "graph/algorithms.hpp"
 
@@ -40,11 +41,125 @@ void ExpansionObserver::begin_trial(std::uint64_t seed) {
   rng_ = Rng(seed);
   last_ = ProbeResult{};
   observed_ = false;
+  live_ = false;
+  sets_.clear();
+  slot_masks_.clear();
+}
+
+void ExpansionObserver::on_trial_start(const DynamicGraph& graph,
+                                       double now) {
+  (void)graph;
+  (void)now;
+  live_ = true;
+}
+
+void ExpansionObserver::sample_persistent_sets(const Snapshot& snapshot) {
+  const std::uint32_t n = snapshot.node_count();
+  if (n < 2) return;
+  const std::uint32_t min_size = std::max(options_.min_size, 1u);
+  const std::uint32_t max_size = std::max(
+      min_size,
+      std::min(options_.max_size == 0 ? n / 2 : options_.max_size, n / 2));
+  const std::uint32_t count =
+      std::min(std::max(options_.size_steps, 1u), kMaxPersistentSets);
+
+  sets_.assign(count, {});
+  slot_masks_.clear();
+  const double log_ratio =
+      std::log(static_cast<double>(max_size) /
+               static_cast<double>(min_size));
+  for (std::uint32_t k = 0; k < count; ++k) {
+    // The probe's geometric size grid between min and max.
+    const double t = count == 1 ? 0.0
+                                : static_cast<double>(k) /
+                                      static_cast<double>(count - 1);
+    const auto size = static_cast<std::uint32_t>(std::llround(
+        static_cast<double>(min_size) * std::exp(log_ratio * t)));
+    const std::uint32_t target =
+        std::clamp(size, min_size, max_size);
+    std::vector<NodeId>& set = sets_[k];
+    set.reserve(target);
+    const std::uint32_t bit = 1u << k;
+    while (set.size() < target) {
+      const std::uint32_t v = static_cast<std::uint32_t>(rng_.below(n));
+      const NodeId id = snapshot.node_id(v);
+      if (id.slot >= slot_masks_.size()) {
+        slot_masks_.resize(id.slot + 1, 0);
+      }
+      if ((slot_masks_[id.slot] & bit) != 0) continue;  // already a member
+      slot_masks_[id.slot] |= bit;
+      set.push_back(id);
+    }
+  }
+}
+
+void ExpansionObserver::on_deltas(const DynamicGraph& graph,
+                                  std::span<const GraphDelta> deltas,
+                                  double now) {
+  (void)now;
+  if (sets_.empty()) return;  // no persistent sets before first observation
+  for (const GraphDelta& delta : deltas) {
+    if (delta.kind != GraphDelta::Kind::kDeath) continue;
+    const std::uint32_t slot = delta.node.slot;
+    if (slot >= slot_masks_.size()) continue;
+    std::uint32_t mask = slot_masks_[slot];
+    if (mask == 0) continue;
+    slot_masks_[slot] = 0;
+    for (std::uint32_t k = 0; mask != 0; ++k, mask >>= 1) {
+      if ((mask & 1u) == 0) continue;
+      std::vector<NodeId>& set = sets_[k];
+      const auto member = std::find_if(
+          set.begin(), set.end(),
+          [slot](NodeId id) { return id.slot == slot; });
+      CHURNET_ASSERT(member != set.end());
+      // Repair-on-death: redraw the lost member uniformly from the current
+      // population, rejecting nodes already in this set.
+      const std::uint32_t bit = 1u << k;
+      bool repaired = false;
+      for (int attempt = 0; attempt < 64 && graph.alive_count() > 0;
+           ++attempt) {
+        const NodeId pick = graph.random_alive(rng_);
+        if (pick.slot >= slot_masks_.size()) {
+          slot_masks_.resize(pick.slot + 1, 0);
+        }
+        if ((slot_masks_[pick.slot] & bit) != 0) continue;
+        slot_masks_[pick.slot] |= bit;
+        *member = pick;
+        repaired = true;
+        break;
+      }
+      if (!repaired) {
+        // Population too small to keep the set at size: drop the member.
+        *member = set.back();
+        set.pop_back();
+      }
+    }
+  }
 }
 
 void ExpansionObserver::on_snapshot(const Snapshot& snapshot) {
-  last_ = probe_expansion(snapshot, rng_, options_);
-  observed_ = true;
+  if (!live_ || !observed_) {
+    // From-scratch probe — also the first observation of an incremental
+    // trial, which is therefore bit-identical to the from-scratch path.
+    last_ = probe_expansion(snapshot, rng_, options_);
+    observed_ = true;
+    if (live_) sample_persistent_sets(snapshot);
+    return;
+  }
+  // Subsequent incremental observations: re-measure the maintained sets.
+  ProbeResult result;
+  for (const std::vector<NodeId>& set : sets_) {
+    if (set.empty()) continue;
+    set_indices_.clear();
+    for (const NodeId id : set) {
+      const auto index = snapshot.index_of(id);
+      CHURNET_ASSERT(index.has_value());
+      set_indices_.push_back(*index);
+    }
+    result.observe(expansion_ratio(snapshot, set_indices_),
+                   static_cast<std::uint32_t>(set.size()), "persistent");
+  }
+  last_ = result;
 }
 
 void ExpansionObserver::append_values(std::vector<double>& out) const {
@@ -72,10 +187,30 @@ void SpectralObserver::begin_trial(std::uint64_t seed) {
   rng_ = Rng(seed);
   last_ = SpectralResult{};
   observed_ = false;
+  live_ = false;
+  warm_.reset();
+}
+
+void SpectralObserver::on_trial_start(const DynamicGraph& graph, double now) {
+  (void)graph;
+  (void)now;
+  live_ = true;
 }
 
 void SpectralObserver::on_snapshot(const Snapshot& snapshot) {
-  last_ = spectral_gap(snapshot, rng_, max_iterations_, tolerance_);
+  // Warm-started in incremental mode: the first probe of a trial is
+  // draw-for-draw the cold path (warm_ starts invalid, full budget), later
+  // probes seed power iteration from the previous snapshot's eigenvector
+  // under the reduced continuation budget (see the class comment).
+  if (!live_) {
+    last_ = spectral_gap(snapshot, rng_, max_iterations_, tolerance_);
+  } else {
+    const std::uint32_t budget =
+        warm_.valid ? std::max(kWarmContinuationFloor,
+                               max_iterations_ / kWarmBudgetDivisor)
+                    : max_iterations_;
+    last_ = spectral_gap_warm(snapshot, rng_, warm_, budget, tolerance_);
+  }
   observed_ = true;
 }
 
@@ -97,10 +232,79 @@ void IsolatedObserver::begin_trial(std::uint64_t seed) {
   rng_ = Rng(seed);
   last_ = IsolatedCensus{};
   observed_ = false;
+  live_ = false;
+  isolated_ = 0;
+  alive_ = 0;
+}
+
+void IsolatedObserver::on_trial_start(const DynamicGraph& graph, double now) {
+  (void)now;
+  live_ = true;
+  slot_degrees_.assign(graph.slot_upper_bound(), 0);
+  isolated_ = 0;
+  scan_scratch_.clear();
+  graph.append_alive_nodes(scan_scratch_);
+  for (const NodeId id : scan_scratch_) {
+    const std::uint32_t degree = graph.degree(id);
+    slot_degrees_[id.slot] = degree;
+    if (degree == 0) ++isolated_;
+  }
+  alive_ = graph.alive_count();
+}
+
+void IsolatedObserver::on_deltas(const DynamicGraph& graph,
+                                 std::span<const GraphDelta> deltas,
+                                 double now) {
+  (void)graph;
+  (void)now;
+  if (!live_) return;
+  auto ensure = [this](std::uint32_t slot) {
+    if (slot >= slot_degrees_.size()) slot_degrees_.resize(slot + 1, 0);
+  };
+  for (const GraphDelta& delta : deltas) {
+    switch (delta.kind) {
+      case GraphDelta::Kind::kBirth:
+        ensure(delta.node.slot);
+        slot_degrees_[delta.node.slot] = 0;
+        ++alive_;
+        ++isolated_;
+        break;
+      case GraphDelta::Kind::kDeath:
+        // The victim's edge clears precede its death (feed contract), so
+        // its tracked degree is already zero.
+        CHURNET_ASSERT(slot_degrees_[delta.node.slot] == 0);
+        --alive_;
+        --isolated_;
+        break;
+      case GraphDelta::Kind::kEdgeSet:
+        ensure(delta.node.slot);
+        ensure(delta.target.slot);
+        if (slot_degrees_[delta.node.slot]++ == 0) --isolated_;
+        if (slot_degrees_[delta.target.slot]++ == 0) --isolated_;
+        break;
+      case GraphDelta::Kind::kEdgeClear:
+        if (--slot_degrees_[delta.node.slot] == 0) ++isolated_;
+        if (--slot_degrees_[delta.target.slot] == 0) ++isolated_;
+        break;
+    }
+  }
 }
 
 void IsolatedObserver::on_snapshot(const Snapshot& snapshot) {
+  if (live_) return;  // delta-fed: measured in on_observe, snapshot unused
   last_ = isolated_census(snapshot);
+  observed_ = true;
+}
+
+void IsolatedObserver::on_observe(const DynamicGraph& graph, double now) {
+  (void)graph;
+  (void)now;
+  if (!live_) return;
+  last_.isolated_nodes = isolated_;
+  last_.total_nodes = alive_;
+  last_.fraction = alive_ == 0 ? 0.0
+                               : static_cast<double>(isolated_) /
+                                     static_cast<double>(alive_);
   observed_ = true;
 }
 
@@ -124,11 +328,85 @@ void DegreeHistogramObserver::append_metric_names(
 void DegreeHistogramObserver::begin_trial(std::uint64_t seed) {
   rng_ = Rng(seed);
   degrees_.clear();
-  mean_ = 0.0;
+  summary_ = Summary{};
   observed_ = false;
+  live_ = false;
+  degree_sum_ = 0;
+  alive_ = 0;
+}
+
+void DegreeHistogramObserver::on_trial_start(const DynamicGraph& graph,
+                                             double now) {
+  (void)now;
+  live_ = true;
+  slot_degrees_.assign(graph.slot_upper_bound(), 0);
+  hist_.assign(1, 0);
+  degree_sum_ = 0;
+  scan_scratch_.clear();
+  graph.append_alive_nodes(scan_scratch_);
+  for (const NodeId id : scan_scratch_) {
+    const std::uint32_t degree = graph.degree(id);
+    slot_degrees_[id.slot] = degree;
+    if (degree >= hist_.size()) hist_.resize(degree + 1, 0);
+    ++hist_[degree];
+    degree_sum_ += degree;
+  }
+  alive_ = graph.alive_count();
+}
+
+void DegreeHistogramObserver::on_deltas(const DynamicGraph& graph,
+                                        std::span<const GraphDelta> deltas,
+                                        double now) {
+  (void)graph;
+  (void)now;
+  if (!live_) return;
+  auto ensure_slot = [this](std::uint32_t slot) {
+    if (slot >= slot_degrees_.size()) slot_degrees_.resize(slot + 1, 0);
+  };
+  auto add_edge_end = [this](std::uint32_t slot) {
+    std::uint32_t& degree = slot_degrees_[slot];
+    --hist_[degree];
+    ++degree;
+    if (degree >= hist_.size()) hist_.resize(degree + 1, 0);
+    ++hist_[degree];
+    ++degree_sum_;
+  };
+  auto drop_edge_end = [this](std::uint32_t slot) {
+    std::uint32_t& degree = slot_degrees_[slot];
+    --hist_[degree];
+    --degree;
+    ++hist_[degree];
+    --degree_sum_;
+  };
+  for (const GraphDelta& delta : deltas) {
+    switch (delta.kind) {
+      case GraphDelta::Kind::kBirth:
+        ensure_slot(delta.node.slot);
+        slot_degrees_[delta.node.slot] = 0;
+        ++hist_[0];
+        ++alive_;
+        break;
+      case GraphDelta::Kind::kDeath:
+        CHURNET_ASSERT(slot_degrees_[delta.node.slot] == 0);
+        --hist_[0];
+        --alive_;
+        break;
+      case GraphDelta::Kind::kEdgeSet:
+        ensure_slot(delta.node.slot);
+        ensure_slot(delta.target.slot);
+        add_edge_end(delta.node.slot);
+        add_edge_end(delta.target.slot);
+        break;
+      case GraphDelta::Kind::kEdgeClear:
+        drop_edge_end(delta.node.slot);
+        drop_edge_end(delta.target.slot);
+        break;
+    }
+  }
 }
 
 void DegreeHistogramObserver::on_snapshot(const Snapshot& snapshot) {
+  if (live_) return;  // delta-fed: measured in on_observe off the histogram
   degrees_.clear();
   degrees_.reserve(snapshot.node_count());
   double sum = 0.0;
@@ -138,8 +416,59 @@ void DegreeHistogramObserver::on_snapshot(const Snapshot& snapshot) {
     sum += degree;
   }
   std::sort(degrees_.begin(), degrees_.end());
-  mean_ = degrees_.empty() ? 0.0 : sum / static_cast<double>(degrees_.size());
   observed_ = !degrees_.empty();
+  if (!observed_) {
+    summary_ = Summary{};
+    return;
+  }
+  summary_.mean = sum / static_cast<double>(degrees_.size());
+  summary_.min = static_cast<double>(degrees_.front());
+  summary_.max = static_cast<double>(degrees_.back());
+  summary_.p50 = quantile(degrees_, 0.50);
+  summary_.p90 = quantile(degrees_, 0.90);
+  summary_.p99 = quantile(degrees_, 0.99);
+}
+
+void DegreeHistogramObserver::on_observe(const DynamicGraph& graph,
+                                         double now) {
+  (void)graph;
+  (void)now;
+  if (!live_) return;
+  const std::uint64_t n = alive_;
+  observed_ = n > 0;
+  if (!observed_) {
+    summary_ = Summary{};
+    return;
+  }
+  // Nearest-rank quantile of the sorted degree multiset, read off the
+  // cumulative histogram — the element at sorted position `index` is the
+  // smallest degree whose cumulative count exceeds it.
+  auto hist_quantile = [this, n](double p) {
+    const auto index = std::min(
+        static_cast<std::uint64_t>(
+            p * static_cast<double>(n - 1) + 0.5),
+        n - 1);
+    std::uint64_t cumulative = 0;
+    for (std::size_t g = 0; g < hist_.size(); ++g) {
+      cumulative += hist_[g];
+      if (cumulative > index) return static_cast<double>(g);
+    }
+    CHURNET_ASSERT(false && "histogram count < population");
+    return 0.0;
+  };
+  // The integer degree sum is exact in double far past any reachable edge
+  // count, so this mean equals the from-scratch accumulation bit for bit.
+  summary_.mean = static_cast<double>(degree_sum_) / static_cast<double>(n);
+  summary_.min = hist_quantile(0.0);
+  summary_.max = [this] {
+    for (std::size_t g = hist_.size(); g-- > 0;) {
+      if (hist_[g] != 0) return static_cast<double>(g);
+    }
+    return 0.0;
+  }();
+  summary_.p50 = hist_quantile(0.50);
+  summary_.p90 = hist_quantile(0.90);
+  summary_.p99 = hist_quantile(0.99);
 }
 
 void DegreeHistogramObserver::append_values(std::vector<double>& out) const {
@@ -147,12 +476,12 @@ void DegreeHistogramObserver::append_values(std::vector<double>& out) const {
     out.insert(out.end(), 6, kNan);
     return;
   }
-  out.push_back(mean_);
-  out.push_back(static_cast<double>(degrees_.front()));
-  out.push_back(static_cast<double>(degrees_.back()));
-  out.push_back(quantile(degrees_, 0.50));
-  out.push_back(quantile(degrees_, 0.90));
-  out.push_back(quantile(degrees_, 0.99));
+  out.push_back(summary_.mean);
+  out.push_back(summary_.min);
+  out.push_back(summary_.max);
+  out.push_back(summary_.p50);
+  out.push_back(summary_.p90);
+  out.push_back(summary_.p99);
 }
 
 // ---- AgeHistogramObserver --------------------------------------------------
@@ -168,11 +497,72 @@ void AgeHistogramObserver::append_metric_names(
 void AgeHistogramObserver::begin_trial(std::uint64_t seed) {
   rng_ = Rng(seed);
   ages_.clear();
-  mean_ = 0.0;
+  summary_ = Summary{};
   observed_ = false;
+  live_ = false;
+  log_.clear();
+  live_count_ = 0;
+}
+
+void AgeHistogramObserver::on_trial_start(const DynamicGraph& graph,
+                                          double now) {
+  (void)now;
+  live_ = true;
+  log_.clear();
+  slot_to_log_.assign(graph.slot_upper_bound(), 0);
+  std::vector<NodeId> nodes;
+  graph.append_alive_nodes(nodes);
+  // Seed the log in birth order (ascending birth sequence) — the snapshot
+  // index order, which appends then preserve.
+  std::sort(nodes.begin(), nodes.end(), [&](NodeId a, NodeId b) {
+    return graph.birth_seq(a) < graph.birth_seq(b);
+  });
+  log_.reserve(nodes.size());
+  for (const NodeId id : nodes) {
+    slot_to_log_[id.slot] = log_.size();
+    log_.push_back(LogEntry{graph.birth_time(id), id.slot, 1});
+  }
+  live_count_ = log_.size();
+}
+
+void AgeHistogramObserver::compact_log() {
+  std::size_t kept = 0;
+  for (const LogEntry& entry : log_) {
+    if (entry.alive == 0) continue;
+    slot_to_log_[entry.slot] = kept;
+    log_[kept++] = entry;
+  }
+  log_.resize(kept);
+}
+
+void AgeHistogramObserver::on_deltas(const DynamicGraph& graph,
+                                     std::span<const GraphDelta> deltas,
+                                     double now) {
+  (void)graph;
+  (void)now;
+  if (!live_) return;
+  for (const GraphDelta& delta : deltas) {
+    if (delta.kind == GraphDelta::Kind::kBirth) {
+      if (delta.node.slot >= slot_to_log_.size()) {
+        slot_to_log_.resize(delta.node.slot + 1, 0);
+      }
+      slot_to_log_[delta.node.slot] = log_.size();
+      log_.push_back(LogEntry{delta.time, delta.node.slot, 1});
+      ++live_count_;
+    } else if (delta.kind == GraphDelta::Kind::kDeath) {
+      LogEntry& entry = log_[slot_to_log_[delta.node.slot]];
+      CHURNET_ASSERT(entry.slot == delta.node.slot && entry.alive != 0);
+      entry.alive = 0;
+      --live_count_;
+    }
+  }
+  // Keep the tombstone overhead bounded: compact once dead entries
+  // outnumber live ones (amortized O(1) per delta).
+  if (log_.size() > 2 * live_count_ + 64) compact_log();
 }
 
 void AgeHistogramObserver::on_snapshot(const Snapshot& snapshot) {
+  if (live_) return;  // delta-fed: measured in on_observe off the log
   ages_.clear();
   ages_.reserve(snapshot.node_count());
   double sum = 0.0;
@@ -181,9 +571,51 @@ void AgeHistogramObserver::on_snapshot(const Snapshot& snapshot) {
     ages_.push_back(age);
     sum += age;
   }
-  std::sort(ages_.begin(), ages_.end());
-  mean_ = ages_.empty() ? 0.0 : sum / static_cast<double>(ages_.size());
   observed_ = !ages_.empty();
+  if (!observed_) {
+    summary_ = Summary{};
+    return;
+  }
+  summary_.mean = sum / static_cast<double>(ages_.size());
+  std::sort(ages_.begin(), ages_.end());
+  summary_.p50 = quantile(ages_, 0.50);
+  summary_.p90 = quantile(ages_, 0.90);
+  summary_.max = ages_.back();
+}
+
+void AgeHistogramObserver::on_observe(const DynamicGraph& graph, double now) {
+  (void)graph;
+  if (!live_) return;
+  observed_ = live_count_ > 0;
+  if (!observed_) {
+    summary_ = Summary{};
+    return;
+  }
+  // Walk the live log oldest-first: exactly the snapshot index order, so
+  // the float sum matches the from-scratch accumulation bit for bit; and
+  // ages along the walk are non-increasing (birth times ascend), so the
+  // ascending-sorted multiset is this walk reversed.
+  ages_.clear();
+  ages_.reserve(live_count_);
+  double sum = 0.0;
+  for (const LogEntry& entry : log_) {
+    if (entry.alive == 0) continue;
+    const double age = now - entry.birth_time;
+    ages_.push_back(age);
+    sum += age;
+  }
+  const std::size_t n = ages_.size();
+  CHURNET_ASSERT(n == live_count_);
+  auto sorted_at = [this, n](double p) {
+    const auto index = std::min(
+        static_cast<std::size_t>(p * static_cast<double>(n - 1) + 0.5),
+        n - 1);
+    return ages_[n - 1 - index];  // descending walk, ascending quantile
+  };
+  summary_.mean = sum / static_cast<double>(n);
+  summary_.p50 = sorted_at(0.50);
+  summary_.p90 = sorted_at(0.90);
+  summary_.max = ages_.front();
 }
 
 void AgeHistogramObserver::append_values(std::vector<double>& out) const {
@@ -191,10 +623,10 @@ void AgeHistogramObserver::append_values(std::vector<double>& out) const {
     out.insert(out.end(), 4, kNan);
     return;
   }
-  out.push_back(mean_);
-  out.push_back(quantile(ages_, 0.50));
-  out.push_back(quantile(ages_, 0.90));
-  out.push_back(ages_.back());
+  out.push_back(summary_.mean);
+  out.push_back(summary_.p50);
+  out.push_back(summary_.p90);
+  out.push_back(summary_.max);
 }
 
 // ---- CoverageObserver ------------------------------------------------------

@@ -26,8 +26,20 @@ namespace churnet {
 /// Vertex-expansion probe over random/adversarial candidate set families
 /// (expansion/expansion.hpp). Metrics: expansion_min_ratio,
 /// expansion_argmin_size, expansion_sets_probed.
+///
+/// Incremental mode: the first observation of a trial runs the full probe
+/// (bit-identical to the from-scratch path); it also samples a family of
+/// persistent candidate sets, which later observations re-measure instead
+/// of resampling, with members lost to churn repaired from the observer's
+/// own RNG (repair-on-death). Deaths arrive through on_deltas; each
+/// repaired set stays a uniform-ish set of the same size, and every ratio
+/// reported is an exact expansion_ratio of the current snapshot.
 class ExpansionObserver final : public MetricObserver {
  public:
+  /// Persistent candidate sets maintained across rounds (one per probed
+  /// size step, at most this many).
+  static constexpr std::uint32_t kMaxPersistentSets = 32;
+
   explicit ExpansionObserver(ProbeOptions options = {})
       : options_(options) {}
 
@@ -39,25 +51,56 @@ class ExpansionObserver final : public MetricObserver {
   /// The full probe result of the last on_snapshot (argmin family, ...).
   const ProbeResult& last() const { return last_; }
 
+  /// The persistent sets (incremental mode, after the first observation) —
+  /// exposed so the equivalence suite can recount their boundaries with
+  /// the from-scratch oracle.
+  const std::vector<std::vector<NodeId>>& persistent_sets() const {
+    return sets_;
+  }
+
   std::string name() const override;
   void append_metric_names(std::vector<std::string>& out) const override;
   void begin_trial(std::uint64_t seed) override;
+  void on_trial_start(const DynamicGraph& graph, double now) override;
+  void on_deltas(const DynamicGraph& graph,
+                 std::span<const GraphDelta> deltas, double now) override;
   void on_snapshot(const Snapshot& snapshot) override;
   bool wants_snapshot() const override { return true; }
   void append_values(std::vector<double>& out) const override;
 
  private:
+  void sample_persistent_sets(const Snapshot& snapshot);
+
   ProbeOptions options_;
   ProbeResult last_;
   bool observed_ = false;
+  bool live_ = false;
+  std::vector<std::vector<NodeId>> sets_;   // persistent candidate sets
+  std::vector<std::uint32_t> slot_masks_;   // slot -> set-membership bitmask
+  std::vector<std::uint32_t> set_indices_;  // scratch for ratio calls
 };
 
 /// Spectral gap of the lazy random walk via deflated power iteration
 /// (expansion/spectral.hpp). Metrics: spectral_gap, spectral_lambda2,
 /// spectral_converged.
+///
+/// Incremental mode: the first probe of a trial is draw-for-draw the cold
+/// path; later probes warm-start from the previous snapshot's eigenvector
+/// AND run under a reduced iteration budget (max_iterations /
+/// kWarmBudgetDivisor, floored at kWarmContinuationFloor). The clustered
+/// bulk spectrum of these graphs means a tight tolerance rarely triggers
+/// before the budget, so the budget IS the estimator: a warm continuation
+/// accumulates power-iteration work across the trial's windows instead of
+/// restarting the full budget from a random vector each time. Deterministic
+/// (pure function of seed + snapshot sequence), pinned by the fixed-budget
+/// convention of decision 15.
 class SpectralObserver final : public MetricObserver {
  public:
   static constexpr std::uint32_t kDefaultIterations = 500;
+  /// Warm continuation probes run max_iterations_ / this.
+  static constexpr std::uint32_t kWarmBudgetDivisor = 16;
+  /// ... but never fewer iterations than this.
+  static constexpr std::uint32_t kWarmContinuationFloor = 32;
 
   explicit SpectralObserver(std::uint32_t max_iterations = kDefaultIterations,
                             double tolerance = 1e-9)
@@ -68,6 +111,7 @@ class SpectralObserver final : public MetricObserver {
   std::string name() const override;
   void append_metric_names(std::vector<std::string>& out) const override;
   void begin_trial(std::uint64_t seed) override;
+  void on_trial_start(const DynamicGraph& graph, double now) override;
   void on_snapshot(const Snapshot& snapshot) override;
   bool wants_snapshot() const override { return true; }
   void append_values(std::vector<double>& out) const override;
@@ -77,10 +121,16 @@ class SpectralObserver final : public MetricObserver {
   double tolerance_;
   SpectralResult last_;
   bool observed_ = false;
+  bool live_ = false;            // incremental mode: warm-start the probe
+  SpectralWarmState warm_;       // previous snapshot's eigenvector
 };
 
 /// Isolated-node census (expansion/isolated.hpp). Metrics: isolated_count,
 /// isolated_fraction.
+///
+/// Incremental mode: a running degree-0 counter updated from edge deltas —
+/// no snapshot needed at all (needs_dense_snapshot() turns false), and the
+/// published census is exactly isolated_census of the same instant.
 class IsolatedObserver final : public MetricObserver {
  public:
   const IsolatedCensus& last() const { return last_; }
@@ -88,48 +138,115 @@ class IsolatedObserver final : public MetricObserver {
   std::string name() const override { return "isolated"; }
   void append_metric_names(std::vector<std::string>& out) const override;
   void begin_trial(std::uint64_t seed) override;
+  void on_trial_start(const DynamicGraph& graph, double now) override;
+  void on_deltas(const DynamicGraph& graph,
+                 std::span<const GraphDelta> deltas, double now) override;
   void on_snapshot(const Snapshot& snapshot) override;
+  void on_observe(const DynamicGraph& graph, double now) override;
   bool wants_snapshot() const override { return true; }
+  bool needs_dense_snapshot() const override { return !live_; }
   void append_values(std::vector<double>& out) const override;
 
  private:
   IsolatedCensus last_;
   bool observed_ = false;
+  bool live_ = false;
+  std::vector<std::uint32_t> slot_degrees_;  // undirected degree per slot
+  std::uint64_t isolated_ = 0;
+  std::uint64_t alive_ = 0;
+  std::vector<NodeId> scan_scratch_;
 };
 
 /// Degree distribution summary. Metrics: degree_mean, degree_min,
 /// degree_max, degree_p50, degree_p90, degree_p99 (nearest-rank quantiles
 /// over the snapshot's degree multiset).
+///
+/// Incremental mode: a counting histogram over per-slot degrees updated
+/// from edge deltas; observation reads mean/min/max/quantiles off the
+/// histogram with no snapshot and no sort, exactly equal to the
+/// from-scratch summary (integer degree sums are exact in double well past
+/// any reachable edge count, and a cumulative histogram walk is the
+/// nearest-rank quantile of the sorted multiset).
 class DegreeHistogramObserver final : public MetricObserver {
  public:
   std::string name() const override { return "degrees"; }
   void append_metric_names(std::vector<std::string>& out) const override;
   void begin_trial(std::uint64_t seed) override;
+  void on_trial_start(const DynamicGraph& graph, double now) override;
+  void on_deltas(const DynamicGraph& graph,
+                 std::span<const GraphDelta> deltas, double now) override;
   void on_snapshot(const Snapshot& snapshot) override;
+  void on_observe(const DynamicGraph& graph, double now) override;
   bool wants_snapshot() const override { return true; }
+  bool needs_dense_snapshot() const override { return !live_; }
   void append_values(std::vector<double>& out) const override;
 
  private:
-  std::vector<std::uint32_t> degrees_;  // reused across trials
-  double mean_ = 0.0;
+  struct Summary {
+    double mean = 0.0;
+    double min = 0.0;
+    double max = 0.0;
+    double p50 = 0.0;
+    double p90 = 0.0;
+    double p99 = 0.0;
+  };
+
+  std::vector<std::uint32_t> degrees_;  // from-scratch scratch, reused
+  Summary summary_;
   bool observed_ = false;
+  bool live_ = false;
+  std::vector<std::uint32_t> slot_degrees_;
+  std::vector<std::uint64_t> hist_;  // hist_[g] = #alive nodes of degree g
+  std::uint64_t degree_sum_ = 0;
+  std::uint64_t alive_ = 0;
+  std::vector<NodeId> scan_scratch_;
 };
 
 /// Node-age distribution summary (ages in model time units at the
 /// snapshot instant). Metrics: age_mean, age_p50, age_p90, age_max.
+///
+/// Incremental mode: an append-only birth log (ascending birth sequence,
+/// i.e. snapshot index order) with death tombstones and periodic
+/// compaction. Observation walks the live log oldest-first — the exact
+/// order the from-scratch path sums ages in, so the floating-point mean is
+/// bit-identical — and ages along the walk are non-increasing, so sorted
+/// quantile positions map to walk positions directly.
 class AgeHistogramObserver final : public MetricObserver {
  public:
   std::string name() const override { return "ages"; }
   void append_metric_names(std::vector<std::string>& out) const override;
   void begin_trial(std::uint64_t seed) override;
+  void on_trial_start(const DynamicGraph& graph, double now) override;
+  void on_deltas(const DynamicGraph& graph,
+                 std::span<const GraphDelta> deltas, double now) override;
   void on_snapshot(const Snapshot& snapshot) override;
+  void on_observe(const DynamicGraph& graph, double now) override;
   bool wants_snapshot() const override { return true; }
+  bool needs_dense_snapshot() const override { return !live_; }
   void append_values(std::vector<double>& out) const override;
 
  private:
-  std::vector<double> ages_;  // reused across trials
-  double mean_ = 0.0;
+  struct Summary {
+    double mean = 0.0;
+    double p50 = 0.0;
+    double p90 = 0.0;
+    double max = 0.0;
+  };
+  struct LogEntry {
+    double birth_time = 0.0;
+    std::uint32_t slot = 0;
+    std::uint32_t alive = 0;
+  };
+
+  void compact_log();
+
+  std::vector<double> ages_;  // reused across trials / observations
+  Summary summary_;
   bool observed_ = false;
+  bool live_ = false;
+  std::vector<LogEntry> log_;            // birth order == snapshot order
+  std::vector<std::size_t> slot_to_log_;
+  std::size_t live_count_ = 0;
 };
 
 /// Flooding / protocol coverage curve derivatives. Metrics: coverage_step

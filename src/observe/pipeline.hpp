@@ -10,8 +10,11 @@
 //   2. the observation window    -- advance the network by the set's
 //      observation_rounds() churn steps, calling on_round after each
 //      (skipped entirely when no observer wants rounds);
-//   3. one shared snapshot       -- captured iff some observer wants it,
-//      then offered to every observer via on_snapshot;
+//   3. ObserverSet::observe      -- the set builds its one shared dense
+//      snapshot iff some observer needs it, offers it via on_snapshot, and
+//      lets delta-fed observers publish via on_observe; the same shared
+//      snapshot serves the dissemination-start census in the flood /
+//      protocol entries instead of a second capture;
 //   4. optionally one dissemination run (flood or any protocol), offered
 //      via on_dissemination;
 //   5. append_values             -- one value per declared metric column.
@@ -19,6 +22,14 @@
 // The window intentionally runs *before* the snapshot: observers measure
 // the network after the window they asked for, and a set without round
 // observers measures the warmed network unchanged.
+//
+// With incremental = true the pass runs delta-fed (DESIGN.md §6, decision
+// 15): a ChangeFeed is attached to the network for the window, the trial
+// starts with begin_incremental_trial, and every round's deltas are
+// forwarded through on_deltas before the next step. Values remain a pure
+// function of (seed, trial inputs); the first observation of a trial is
+// bit-identical to the from-scratch pass (tests/test_incremental_observe
+// pins this).
 #pragma once
 
 #include <cstdint>
@@ -34,14 +45,16 @@ namespace churnet {
 /// the set report NaN (nothing spread); use the overloads below to observe
 /// a flood or protocol run.
 std::vector<double> observe_network(AnyNetwork& net, ObserverSet& observers,
-                                    std::uint64_t seed);
+                                    std::uint64_t seed,
+                                    bool incremental = false);
 
 /// As above, plus one flood run (the paper's process) between the snapshot
 /// and value collection; the trace is offered to dissemination observers.
 std::vector<double> observe_flood(AnyNetwork& net, ObserverSet& observers,
                                   std::uint64_t seed,
                                   const FloodOptions& options,
-                                  FloodScratch& scratch);
+                                  FloodScratch& scratch,
+                                  bool incremental = false);
 
 /// As above with a dissemination protocol run instead of plain flooding;
 /// observers additionally see the run's message accounting.
@@ -49,6 +62,7 @@ std::vector<double> observe_protocol(AnyNetwork& net, ObserverSet& observers,
                                      std::uint64_t seed,
                                      DisseminationProtocol& protocol,
                                      const ProtocolOptions& options,
-                                     ProtocolScratch& scratch);
+                                     ProtocolScratch& scratch,
+                                     bool incremental = false);
 
 }  // namespace churnet

@@ -78,6 +78,13 @@ class P2pNetwork {
   Rng& rng() { return rng_; }
   void set_hooks(NetworkHooks hooks) { hooks_ = std::move(hooks); }
 
+  /// Attaches a caller-owned change feed to the underlying graph so every
+  /// churn mutation records a GraphDelta (graph/change_feed.hpp);
+  /// nullptr detaches.
+  void attach_change_feed(ChangeFeed* feed) {
+    graph_.attach_change_feed(feed);
+  }
+
   // ---- overlay health metrics -----------------------------------------
 
   /// Dials that failed (stale address or full callee) since construction.

@@ -7,10 +7,17 @@
 // runs this suite, so the arena recycling (strided out runs, capacity-class
 // in chunks) is exercised under full memory instrumentation.
 //
+// Part 1 also keeps a ChangeFeed attached and replays the delta stream
+// into a second, feed-only adjacency after every batch — the replayed
+// adjacency must equal the shadow model's, which pins the change-feed
+// contract (graph/change_feed.hpp) under the same randomized interleave.
+//
 // Part 2 verifies the PR's zero-allocation contract with a counting global
 // allocator: after warm-up plus one conditioning window (which absorbs any
 // residual free-list high-water growth), a steady-state churn window on
-// both streaming and Poisson models must perform ZERO heap allocations.
+// both streaming and Poisson models must perform ZERO heap allocations —
+// including with a ChangeFeed attached and cleared per round (delta
+// recording reuses the feed's capacity).
 #include "graph/dynamic_graph.hpp"
 
 #include <gtest/gtest.h>
@@ -22,6 +29,7 @@
 #include <vector>
 
 #include "common/rng.hpp"
+#include "graph/change_feed.hpp"
 #include "models/poisson_network.hpp"
 #include "models/streaming_network.hpp"
 
@@ -89,6 +97,54 @@ TEST_P(GraphStressTest, InterleavedOpsPreserveInvariants) {
   RemovalScratch scratch;
   std::unordered_map<NodeId, ShadowNode> shadow;
   std::vector<NodeId> alive;  // insertion order; mirror of shadow keys
+
+  // The feed-replay oracle: an adjacency reconstructed purely from the
+  // recorded delta stream, which must match the shadow model after every
+  // batch (the change-feed contract under the same interleave).
+  ChangeFeed feed;
+  graph.attach_change_feed(&feed);
+  std::unordered_map<NodeId, std::vector<NodeId>> replayed;
+  const auto replay_feed = [&] {
+    for (const GraphDelta& delta : feed.deltas()) {
+      switch (delta.kind) {
+        case GraphDelta::Kind::kBirth:
+          ASSERT_EQ(replayed.count(delta.node), 0u);
+          replayed[delta.node].assign(delta.index, kInvalidNode);
+          break;
+        case GraphDelta::Kind::kDeath: {
+          const auto it = replayed.find(delta.node);
+          ASSERT_NE(it, replayed.end());
+          // Every edge clear of a dying node precedes its kDeath.
+          for (const NodeId target : it->second) {
+            ASSERT_EQ(target, kInvalidNode);
+          }
+          replayed.erase(it);
+          break;
+        }
+        case GraphDelta::Kind::kEdgeSet: {
+          std::vector<NodeId>& out = replayed.at(delta.node);
+          ASSERT_LT(delta.index, out.size());
+          ASSERT_EQ(out[delta.index], kInvalidNode);
+          out[delta.index] = delta.target;
+          break;
+        }
+        case GraphDelta::Kind::kEdgeClear: {
+          std::vector<NodeId>& out = replayed.at(delta.node);
+          ASSERT_LT(delta.index, out.size());
+          ASSERT_EQ(out[delta.index], delta.target);
+          out[delta.index] = kInvalidNode;
+          break;
+        }
+      }
+    }
+    feed.clear();
+    ASSERT_EQ(replayed.size(), shadow.size());
+    for (const auto& [node, out] : replayed) {
+      const auto it = shadow.find(node);
+      ASSERT_NE(it, shadow.end());
+      ASSERT_EQ(out, it->second.out);
+    }
+  };
 
   const auto verify_against_shadow = [&] {
     ASSERT_TRUE(graph.check_consistency());
@@ -202,9 +258,13 @@ TEST_P(GraphStressTest, InterleavedOpsPreserveInvariants) {
         break;
       }
     }
-    if ((op + 1) % kBatch == 0) verify_against_shadow();
+    if ((op + 1) % kBatch == 0) {
+      verify_against_shadow();
+      replay_feed();
+    }
   }
   verify_against_shadow();
+  replay_feed();
 }
 
 INSTANTIATE_TEST_SUITE_P(Seeds, GraphStressTest,
@@ -229,6 +289,37 @@ TEST(GraphAllocation, StreamingChurnLoopIsAllocationFree) {
   const std::uint64_t during = g_allocations.load() - before;
   EXPECT_EQ(during, 0u)
       << during << " heap allocations in the steady-state streaming loop";
+}
+
+TEST(GraphAllocation, StreamingChurnWithChangeFeedIsAllocationFree) {
+  StreamingConfig config;
+  config.n = 2000;
+  config.d = 8;
+  config.policy = EdgePolicy::kRegenerate;
+  config.seed = 7;
+  StreamingNetwork net(config);
+  net.warm_up();
+
+  // The incremental-observation driver shape: feed attached after warm-up,
+  // cleared at the top of every round. The conditioning window lets the
+  // feed's vector reach its per-round high-water capacity.
+  ChangeFeed feed;
+  net.attach_change_feed(&feed);
+  for (std::uint64_t round = 0; round < 2ull * config.n; ++round) {
+    feed.clear();
+    net.step();
+  }
+
+  const std::uint64_t before = g_allocations.load();
+  for (std::uint64_t round = 0; round < 4ull * config.n; ++round) {
+    feed.clear();
+    net.step();
+    ASSERT_FALSE(feed.empty());  // every streaming round churns
+  }
+  const std::uint64_t during = g_allocations.load() - before;
+  EXPECT_EQ(during, 0u)
+      << during << " heap allocations while recording the change feed";
+  net.attach_change_feed(nullptr);
 }
 
 TEST(GraphAllocation, PoissonChurnLoopIsAllocationFree) {

@@ -86,6 +86,9 @@ int main(int argc, char** argv) {
   cli.add_string("observers", "",
                  "metric-observer set attached to every cell, e.g. "
                  "'expansion(8)+spectral+isolated' (see --list-observers)");
+  cli.add_flag("incremental-observers",
+               "run the observer set delta-fed (wall-clock knob; output is "
+               "byte-identical to the from-scratch path)");
   cli.add_int("reps", 0, "replications per cell (0 = config/default)");
   cli.add_int("seed", 0, "base seed (0 = config/default)");
   cli.add_int("max-in-degree", 0, "bounded-degree cap (0 = unbounded)");
@@ -168,6 +171,9 @@ int main(int argc, char** argv) {
   }
   if (!cli.get_string("observers").empty()) {
     spec.observers = cli.get_string("observers");
+  }
+  if (cli.get_flag("incremental-observers")) {
+    spec.incremental_observers = true;
   }
   if (cli.get_int("reps") > 0) {
     spec.replications = static_cast<std::uint64_t>(cli.get_int("reps"));
