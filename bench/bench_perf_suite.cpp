@@ -462,7 +462,86 @@ int main(int argc, char** argv) {
        << hex(samples.hash) << "\"},\n"
        << "      \"perf\": {\"cells_per_sec\": " << fmt_fixed(cell_rate, 3)
        << ", \"wall_seconds\": " << fmt_fixed(sweep.wall_seconds(), 4)
-       << "}\n    }\n  }\n}\n";
+       << "}\n    },\n";
+
+  // --- section 4: telemetry overhead --------------------------------------
+  // Two contracts pinned here (src/telemetry/telemetry.hpp):
+  //   * off-path: the exact same seeds produce the exact same graphs and
+  //     sweep samples with span recording on or off (checksum equality is
+  //     a deterministic field);
+  //   * cheap: runtime-enabled spans add < 3% to the steady churn loop
+  //     (spans wrap loops, never steps — the per-step cost is one
+  //     thread-local counter add, paid in both modes).
+  // The enabled sweep rerun also yields the per-phase wall breakdown for
+  // the perf section (where a trial actually spends its time).
+  std::printf("\n--- telemetry overhead (runtime spans on vs off) ---\n");
+  const auto churn_loop = [&](bool enabled) {
+    telemetry::set_enabled(enabled);
+    ScenarioParams params;
+    params.n = n;
+    params.d = 8;
+    params.seed = derive_seed(seed, 4, 0);
+    AnyNetwork net = registry.at("SDGR").make_warmed(params);
+    const auto start = std::chrono::steady_clock::now();
+    {
+      const telemetry::PhaseTimer span(telemetry::Phase::kChurn);
+      for (std::uint64_t i = 0; i < steps; ++i) net.step();
+    }
+    const double elapsed = seconds_since(start);
+    telemetry::set_enabled(false);
+    struct Run {
+      double rate;
+      std::uint64_t checksum;
+    };
+    return Run{static_cast<double>(steps) / elapsed,
+               graph_checksum(net.graph())};
+  };
+  const auto tel_off = churn_loop(false);
+  const auto tel_on = churn_loop(true);
+  const double overhead_pct = (tel_off.rate / tel_on.rate - 1.0) * 100.0;
+
+  // The instrumented sweep rerun: same spec, same seeds, spans recording.
+  // Its samples checksum must equal section 3's (telemetry never touches
+  // any RNG); the recorder slice is the phase breakdown.
+  telemetry::set_enabled(true);
+  const telemetry::TrialRecorder recorder;
+  const SweepResult sweep_on = SweepRunner(spec).run(/*threads=*/1);
+  const telemetry::Totals totals = recorder.finish();
+  telemetry::set_enabled(false);
+  Fnv samples_on;
+  for (const auto& cell : sweep_on.samples()) {
+    for (const auto& rep : cell) {
+      for (const double value : rep) samples_on.add_double(value);
+    }
+  }
+  const bool churn_match = tel_on.checksum == tel_off.checksum;
+  const bool sweep_match = samples_on.hash == samples.hash;
+  std::printf("churn events/sec: %.3g off, %.3g on (overhead %.2f%%)\n",
+              tel_off.rate, tel_on.rate, overhead_pct);
+  std::printf("checksums with telemetry on: churn %s, sweep samples %s\n",
+              churn_match ? "identical" : "DIFFERENT (BUG)",
+              sweep_match ? "identical" : "DIFFERENT (BUG)");
+  json << "    \"telemetry_overhead\": {\n      \"config\": {\"n\": " << n
+       << ", \"d\": 8, \"steps\": " << steps << "},\n"
+       << "      \"deterministic\": {\"churn_checksum\": \""
+       << hex(tel_off.checksum) << "\", \"churn_checksum_match\": "
+       << (churn_match ? "true" : "false")
+       << ", \"sweep_samples_checksum_match\": "
+       << (sweep_match ? "true" : "false") << "},\n"
+       << "      \"perf\": {\"events_off_per_sec\": "
+       << fmt_fixed(tel_off.rate, 1)
+       << ", \"events_on_per_sec\": " << fmt_fixed(tel_on.rate, 1)
+       << ", \"overhead_pct\": " << fmt_fixed(overhead_pct, 2)
+       << ",\n        \"sweep_phase_seconds\": {";
+  bool first_phase = true;
+  for (std::size_t p = 0; p < telemetry::kPhaseCount; ++p) {
+    json << (first_phase ? "" : ", ") << '"'
+         << telemetry::phase_name(static_cast<telemetry::Phase>(p))
+         << "\": "
+         << fmt_fixed(static_cast<double>(totals.phase_ns[p]) * 1e-9, 4);
+    first_phase = false;
+  }
+  json << "}\n      }\n    }\n  }\n}\n";
 
   const std::string out_path = cli.get_string("out");
   std::ofstream out(out_path);

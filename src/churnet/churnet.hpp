@@ -57,3 +57,5 @@
 #include "protocols/gossip.hpp"            // IWYU pragma: export
 #include "protocols/protocol.hpp"          // IWYU pragma: export
 #include "protocols/protocol_spec.hpp"     // IWYU pragma: export
+#include "telemetry/telemetry.hpp"         // IWYU pragma: export
+#include "telemetry/trace_sink.hpp"        // IWYU pragma: export

@@ -10,6 +10,7 @@
 #include "models/poisson_network.hpp"
 #include "models/static_network.hpp"
 #include "models/streaming_network.hpp"
+#include "telemetry/telemetry.hpp"
 
 namespace churnet {
 namespace {
@@ -167,6 +168,7 @@ AnyNetwork Scenario::make(const ScenarioParams& params) const {
 }
 
 AnyNetwork Scenario::make_warmed(const ScenarioParams& params) const {
+  const telemetry::PhaseTimer span(telemetry::Phase::kGenesis);
   AnyNetwork net = make(params);
   net.warm_up();
   return net;

@@ -1,11 +1,13 @@
 #include "engine/sweep_runner.hpp"
 
+#include <chrono>
 #include <cmath>
 #include <cstdio>
 #include <cstdlib>
 #include <limits>
 #include <memory>
 #include <ostream>
+#include <sstream>
 #include <utility>
 
 #include "common/assertx.hpp"
@@ -17,6 +19,7 @@
 #include "graph/change_feed.hpp"
 #include "observe/observer_spec.hpp"
 #include "protocols/protocol_spec.hpp"
+#include "telemetry/trace_sink.hpp"
 
 namespace churnet {
 namespace {
@@ -109,6 +112,48 @@ bool read_string_list(const JsonValue& value, const char* key,
     out->push_back(item.as_string());
   }
   return true;
+}
+
+/// Spec provenance for the sweep_begin trace event.
+std::string sweep_spec_json(const SweepSpec& spec) {
+  std::ostringstream os;
+  const auto write_string_array = [&os](const char* key,
+                                        const std::vector<std::string>& xs) {
+    write_json_string(os, key);
+    os << ":[";
+    for (std::size_t i = 0; i < xs.size(); ++i) {
+      if (i > 0) os << ',';
+      write_json_string(os, xs[i]);
+    }
+    os << ']';
+  };
+  const auto write_u32_array = [&os](const char* key,
+                                     const std::vector<std::uint32_t>& xs) {
+    write_json_string(os, key);
+    os << ":[";
+    for (std::size_t i = 0; i < xs.size(); ++i) {
+      if (i > 0) os << ',';
+      os << xs[i];
+    }
+    os << ']';
+  };
+  os << '{';
+  write_string_array("scenarios", spec.scenarios);
+  os << ',';
+  write_u32_array("n", spec.n_values);
+  os << ',';
+  write_u32_array("d", spec.d_values);
+  os << ',';
+  write_string_array("protocols", spec.protocols);
+  os << ",\"observers\":";
+  write_json_string(os, spec.observers);
+  os << ",\"incremental_observers\":"
+     << (spec.incremental_observers ? "true" : "false")
+     << ",\"replications\":" << spec.replications
+     << ",\"seed\":" << spec.base_seed
+     << ",\"max_in_degree\":" << spec.max_in_degree
+     << ",\"intra_threads\":" << spec.intra_threads << '}';
+  return os.str();
 }
 
 }  // namespace
@@ -489,6 +534,12 @@ SweepResult SweepRunner::run(unsigned threads,
   const std::uint32_t max_in_degree = spec_.max_in_degree;
   const std::uint32_t intra_threads = spec_.intra_threads;
   const bool incremental = spec_.incremental_observers && has_observers;
+
+  telemetry::TraceSink* const sweep_sink = telemetry::TraceSink::global();
+  if (sweep_sink != nullptr) {
+    sweep_sink->sweep_begin("sweep", cells.size(), reps, jobs, threads,
+                            sweep_spec_json(spec_));
+  }
   const TrialResult flat = TrialRunner(options).run(
       metric_names,
       [&cells, &keys, &metrics, &observer_spec, &observer_key, has_observers,
@@ -497,6 +548,14 @@ SweepResult SweepRunner::run(unsigned threads,
         const std::uint64_t cell_index = ctx.replication / reps;
         const std::uint64_t replication = ctx.replication % reps;
         const Cell& cell = cells[cell_index];
+
+        // Telemetry slice for this job: thread-local snapshot-diff around
+        // the body (reads the steady clock only — no RNG, no effect on any
+        // computed value). Emitted to the installed sink, if any, at the
+        // bottom of the lambda.
+        telemetry::TraceSink* const sink = telemetry::TraceSink::global();
+        const telemetry::TrialRecorder recorder;
+        const auto job_start = std::chrono::steady_clock::now();
 
         ScenarioParams params;
         params.n = cell.n;
@@ -530,19 +589,30 @@ SweepResult SweepRunner::run(unsigned threads,
             observers.begin_incremental_trial(trial_seed, net.graph(),
                                               net.now());
             const std::uint32_t window = observers.observation_rounds();
-            for (std::uint32_t r = 0; r < window; ++r) {
-              feed.clear();
-              net.step();
-              observers.on_round(net.graph(), net.now());
-              observers.on_deltas(net.graph(), feed.deltas(), net.now());
+            {
+              // One span over the whole window (never per step: two clock
+              // reads per churn round would blow the <3% overhead budget).
+              // on_deltas' own delta_fold span nests inside.
+              const telemetry::PhaseTimer churn_span(
+                  telemetry::Phase::kChurn);
+              for (std::uint32_t r = 0; r < window; ++r) {
+                feed.clear();
+                net.step();
+                observers.on_round(net.graph(), net.now());
+                observers.on_deltas(net.graph(), feed.deltas(), net.now());
+              }
             }
             net.attach_change_feed(nullptr);
           } else {
             observers.begin_trial(trial_seed);
             const std::uint32_t window = observers.observation_rounds();
-            for (std::uint32_t r = 0; r < window; ++r) {
-              net.step();
-              observers.on_round(net.graph(), net.now());
+            {
+              const telemetry::PhaseTimer churn_span(
+                  telemetry::Phase::kChurn);
+              for (std::uint32_t r = 0; r < window; ++r) {
+                net.step();
+                observers.on_round(net.graph(), net.now());
+              }
             }
           }
         }
@@ -653,8 +723,29 @@ SweepResult SweepRunner::run(unsigned threads,
           }
         }
         if (has_observers) observers.append_values(values);
+        if (sink != nullptr) {
+          const double wall = std::chrono::duration<double>(
+                                  std::chrono::steady_clock::now() -
+                                  job_start)
+                                  .count();
+          const SweepCellKey& key = keys[cell_index];
+          std::ostringstream identity;
+          identity << "\"scenario\":";
+          write_json_string(identity, key.scenario);
+          identity << ",\"churn\":";
+          write_json_string(identity, key.churn);
+          identity << ",\"protocol\":";
+          write_json_string(identity, key.protocol);
+          identity << ",\"n\":" << key.n << ",\"d\":" << key.d;
+          sink->job(cell_index, replication, params.seed, wall,
+                    recorder.finish(), identity.str());
+        }
         return values;
       });
+
+  if (sweep_sink != nullptr) {
+    sweep_sink->sweep_end("sweep", flat.wall_seconds());
+  }
 
   // Regroup the flat job samples per cell (job order == fold order, so the
   // regrouping is deterministic too).

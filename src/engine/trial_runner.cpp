@@ -13,6 +13,7 @@
 #include "common/assertx.hpp"
 #include "common/rng.hpp"
 #include "common/sinks.hpp"
+#include "telemetry/trace_sink.hpp"
 
 namespace churnet {
 namespace {
@@ -145,6 +146,11 @@ TrialResult TrialRunner::run(std::vector<std::string> metrics,
       TrialContext ctx;
       ctx.replication = rep;
       ctx.seed = derive_seed(options_.base_seed, options_.stream, rep);
+      // Pool progress for the installed trace sink (if any): feeds the
+      // heartbeat's jobs-done / threads-busy gauges. Never touches the job
+      // body's inputs, so results are identical with or without a sink.
+      telemetry::TraceSink* const sink = telemetry::TraceSink::global();
+      if (sink != nullptr) sink->job_started();
       try {
         std::vector<double> row = body(ctx);
         CHURNET_ASSERT(row.size() == metrics.size());
@@ -155,6 +161,7 @@ TrialResult TrialRunner::run(std::vector<std::string> metrics,
         next.store(replications, std::memory_order_relaxed);  // drain
         return;
       }
+      if (sink != nullptr) sink->job_finished();
     }
   };
 

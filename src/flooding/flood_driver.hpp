@@ -47,6 +47,7 @@
 #include "graph/dynamic_graph.hpp"
 #include "graph/node_id.hpp"
 #include "models/edge_policy.hpp"
+#include "telemetry/telemetry.hpp"
 
 namespace churnet {
 
@@ -420,6 +421,7 @@ template <typename Net>
 FloodTrace flood_dynamic(Net& net, const FloodOptions& options,
                          FloodScratch& scratch) {
   using Semantics = typename Net::flood_semantics;
+  const telemetry::PhaseTimer phase_span(telemetry::Phase::kDissemination);
   FloodTrace trace;
   scratch.begin_trial(net.graph().slot_upper_bound());
   const unsigned intra = effective_intra_threads(options.intra_threads);

@@ -37,6 +37,7 @@
 #include "common/rng.hpp"
 #include "graph/change_feed.hpp"
 #include "graph/node_id.hpp"
+#include "telemetry/telemetry.hpp"
 
 namespace churnet {
 
@@ -73,6 +74,7 @@ class DynamicGraph {
   /// Creates a node with `out_slots` (initially dangling) out-edge slots.
   /// `birth_time` is the model-level timestamp (round or continuous time).
   NodeId add_node(std::uint32_t out_slots, double birth_time) {
+    telemetry::count(telemetry::Counter::kChurnEvents);
     std::uint32_t slot_index;
     if (!free_slots_.empty()) {
       slot_index = free_slots_.back();
@@ -105,6 +107,7 @@ class DynamicGraph {
   /// given the graph state (in-list order, identical to the historical
   /// vector-returning API).
   void remove_node(NodeId node, RemovalScratch& scratch) {
+    telemetry::count(telemetry::Counter::kChurnEvents);
     SlotCore& core = core_of(node);
     CHURNET_EXPECTS(core.alive != 0);
 

@@ -4,10 +4,23 @@
 #include <numeric>
 
 #include "common/assertx.hpp"
+#include "telemetry/telemetry.hpp"
 
 namespace churnet {
+namespace {
+
+/// Bytes materialized into a snapshot's arrays (telemetry accounting only).
+std::uint64_t snapshot_bytes(std::size_t nodes, std::size_t adjacency) {
+  return static_cast<std::uint64_t>(
+      nodes * (sizeof(NodeId) + sizeof(std::uint64_t) + sizeof(double)) +
+      (nodes + 1) * sizeof(std::uint64_t) +
+      adjacency * sizeof(std::uint32_t));
+}
+
+}  // namespace
 
 Snapshot Snapshot::capture(const DynamicGraph& graph, double now) {
+  const telemetry::PhaseTimer span(telemetry::Phase::kSnapshot);
   Snapshot snap;
   snap.time_ = now;
   graph.append_alive_nodes(snap.node_ids_);
@@ -66,12 +79,17 @@ Snapshot Snapshot::capture(const DynamicGraph& graph, double now) {
       snap.adjacency_[cursor[j]++] = i;
     }
   }
+  telemetry::count(telemetry::Counter::kSnapshots);
+  telemetry::count(telemetry::Counter::kSnapshotBytes,
+                   snapshot_bytes(snap.node_ids_.size(),
+                                  snap.adjacency_.size()));
   return snap;
 }
 
 void Snapshot::update(const DynamicGraph& graph,
                       std::span<const GraphDelta> deltas, double now,
                       Snapshot& snap, SnapshotScratch& scratch) {
+  const telemetry::PhaseTimer span(telemetry::Phase::kSnapshot);
   snap.time_ = now;
 
   // Compact the node list in place: survivors keep their relative order,
@@ -136,6 +154,10 @@ void Snapshot::update(const DynamicGraph& graph,
       snap.adjacency_[scratch.cursor[j]++] = i;
     }
   }
+  telemetry::count(telemetry::Counter::kSnapshots);
+  telemetry::count(telemetry::Counter::kSnapshotBytes,
+                   snapshot_bytes(snap.node_ids_.size(),
+                                  snap.adjacency_.size()));
 }
 
 Snapshot Snapshot::from_edges(

@@ -4,6 +4,7 @@
 
 #include "common/intra.hpp"
 #include "models/wiring.hpp"
+#include "telemetry/telemetry.hpp"
 
 namespace churnet {
 
@@ -61,6 +62,8 @@ void StreamingNetwork::run_until(double time) {
 }
 
 void StreamingNetwork::run_growth_phase() {
+  // Depth-guarded: records only when not already inside a make_warmed span.
+  const telemetry::PhaseTimer span(telemetry::Phase::kGenesis);
   CHURNET_EXPECTS(churn_.round() == 0 && graph_.alive_count() == 0);
   const bool hooked = static_cast<bool>(hooks_.on_birth) ||
                       static_cast<bool>(hooks_.on_death) ||

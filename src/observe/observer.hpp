@@ -62,6 +62,7 @@
 #include "flooding/flood_driver.hpp"
 #include "graph/dynamic_graph.hpp"
 #include "graph/snapshot.hpp"
+#include "telemetry/telemetry.hpp"
 
 namespace churnet {
 
@@ -235,6 +236,7 @@ class ObserverSet {
   /// set's own snapshot update will need at the next observe().
   void on_deltas(const DynamicGraph& graph,
                  std::span<const GraphDelta> deltas, double now) {
+    const telemetry::PhaseTimer span(telemetry::Phase::kDeltaFold);
     for (const GraphDelta& delta : deltas) {
       if (delta.kind == GraphDelta::Kind::kBirth) {
         pending_births_.push_back(delta);
@@ -252,6 +254,8 @@ class ObserverSet {
   /// no dense form was needed — callers wanting snapshot-derived engine
   /// metrics can reuse it instead of capturing their own.
   const Snapshot* observe(const DynamicGraph& graph, double now) {
+    const telemetry::PhaseTimer span(telemetry::Phase::kObserve);
+    telemetry::count(telemetry::Counter::kObservations);
     bool dense = false;
     for (const auto& observer : observers_) {
       dense = dense || observer->needs_dense_snapshot();

@@ -25,6 +25,7 @@
 #include "common/assertx.hpp"
 #include "models/edge_policy.hpp"
 #include "protocols/protocol.hpp"
+#include "telemetry/telemetry.hpp"
 
 namespace churnet {
 
@@ -62,6 +63,7 @@ ProtocolResult disseminate_dynamic(Net& net, DisseminationProtocol& protocol,
                                    const ProtocolOptions& options,
                                    ProtocolScratch& scratch) {
   using Semantics = typename Net::flood_semantics;
+  const telemetry::PhaseTimer phase_span(telemetry::Phase::kDissemination);
   ProtocolResult result;
   FloodTrace& trace = result.trace;
   ProtocolStats& stats = result.stats;
@@ -211,6 +213,7 @@ ProtocolResult disseminate_dynamic(Net& net, DisseminationProtocol& protocol,
   stats.rounds = trace.steps;
   stats.completed = trace.completed;
   stats.final_coverage = trace.final_fraction;
+  telemetry::count(telemetry::Counter::kMessages, stats.total_messages());
   return result;
 }
 

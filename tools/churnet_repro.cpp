@@ -22,6 +22,7 @@
 // r) exactly as churnet_sweep would; observers and protocols draw from
 // streams derived per replication, never from the network's RNG
 // (DESIGN.md, decisions 8-12).
+#include <chrono>
 #include <cstdio>
 #include <cstdlib>
 #include <filesystem>
@@ -193,7 +194,9 @@ std::string git_sha() {
 
 void write_manifest(std::ostream& os, const ReproTarget& target,
                     const SweepSpec& spec, const SweepResult& result,
-                    bool quick, const std::string& sha) {
+                    bool quick, const std::string& sha,
+                    double target_wall_seconds,
+                    const std::string& trace_path) {
   const PrecisionGuard precision(os);
   os << "{\"target\":";
   write_json_string(os, target.name);
@@ -208,7 +211,15 @@ void write_manifest(std::ostream& os, const ReproTarget& target,
      << ",\"cells\":" << result.cells().size()
      << ",\"replications\":" << spec.replications
      << ",\"threads\":" << result.threads_used()
-     << ",\"wall_seconds\":" << result.wall_seconds() << ",\"scenarios\":[";
+     << ",\"wall_seconds\":" << result.wall_seconds()
+     << ",\"target_wall_seconds\":" << target_wall_seconds
+     << ",\"telemetry_trace\":";
+  if (trace_path.empty()) {
+    os << "null";
+  } else {
+    write_json_string(os, trace_path);
+  }
+  os << ",\"scenarios\":[";
   for (std::size_t i = 0; i < spec.scenarios.size(); ++i) {
     if (i > 0) os << ',';
     write_json_string(os, spec.scenarios[i]);
@@ -259,6 +270,12 @@ int main(int argc, char** argv) {
   cli.add_flag("quick",
                "pinned small-scale variants (seconds, bit-identical at any "
                "--threads; the CI smoke surface)");
+  cli.add_string("telemetry", "",
+                 "stream an NDJSON telemetry trace here (one trace for the "
+                 "whole run, one span per target; never changes the data)");
+  cli.add_flag("progress",
+               "print heartbeat progress lines ([jobs/total] eta) to "
+               "stderr while targets run");
   cli.add_flag("list", "list every target with its paper reference and exit");
   cli.add_flag("list-specs",
                "print every spec catalog (scenarios, churn, protocols, "
@@ -327,6 +344,29 @@ int main(int argc, char** argv) {
   }
   const std::string sha = git_sha();
 
+  // Telemetry: one trace for the whole run, one span per target. The sink
+  // reads clocks only — every CSV/JSON/manifest byte below is identical
+  // with or without it, at any --threads.
+  const std::string telemetry_path = cli.get_string("telemetry");
+  const bool progress = cli.get_flag("progress");
+  std::ofstream trace_file;
+  if (!telemetry_path.empty()) {
+    trace_file.open(telemetry_path);
+    if (!trace_file) {
+      std::fprintf(stderr, "cannot open telemetry file '%s'\n",
+                   telemetry_path.c_str());
+      return 1;
+    }
+  }
+  std::optional<telemetry::ScopedTraceSink> scoped_sink;
+  if (trace_file.is_open() || progress) {
+    telemetry::TraceSink::Options options;
+    options.out = trace_file.is_open() ? &trace_file : nullptr;
+    options.progress = progress;
+    options.tool = "churnet_repro";
+    scoped_sink.emplace(options);
+  }
+
   for (const ReproTarget* target : selected) {
     SweepSpec spec = quick ? target->quick : target->full;
     spec.base_seed = seed;
@@ -335,6 +375,10 @@ int main(int argc, char** argv) {
                   target->name.c_str(), target->paper_ref.c_str(),
                   spec.cell_count(),
                   static_cast<unsigned long long>(spec.replications));
+    }
+    const auto target_start = std::chrono::steady_clock::now();
+    if (scoped_sink.has_value()) {
+      scoped_sink->sink().span_begin(target->name);
     }
     const SweepResult result = SweepRunner(spec).run(threads);
 
@@ -351,9 +395,17 @@ int main(int argc, char** argv) {
       std::ofstream json = open_or_die(json_path, "JSON");
       result.write_json(json);
     }
+    if (scoped_sink.has_value()) {
+      scoped_sink->sink().span_end(target->name);
+    }
+    const double target_wall =
+        std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                      target_start)
+            .count();
     {
       std::ofstream manifest = open_or_die(manifest_path, "manifest");
-      write_manifest(manifest, *target, spec, result, quick, sha);
+      write_manifest(manifest, *target, spec, result, quick, sha,
+                     target_wall, telemetry_path);
     }
     if (!quiet) {
       result.to_table().print(std::cout);

@@ -98,6 +98,12 @@ int main(int argc, char** argv) {
               "output is byte-identical at every value");
   cli.add_string("csv", "", "write long-format CSV here ('-' = stdout)");
   cli.add_string("json", "", "write JSON summary here ('-' = stdout)");
+  cli.add_string("telemetry", "",
+                 "stream an NDJSON telemetry trace here (phase timers, "
+                 "counters, heartbeats; results stay byte-identical)");
+  cli.add_flag("progress",
+               "print heartbeat progress lines ([jobs/total] eta) to "
+               "stderr while the sweep runs");
   cli.add_flag("list-metrics", "print the metric catalog and exit");
   cli.add_flag("list-scenarios", "print the extended registry and exit");
   cli.add_flag("list-protocols", "print the protocol catalog and exit");
@@ -214,7 +220,31 @@ int main(int argc, char** argv) {
                 static_cast<unsigned long long>(spec.replications));
   }
 
+  // Telemetry: optional NDJSON trace and/or stderr heartbeat. The sink is
+  // off-path by construction (no RNG, clocks only) — CSV/JSON results are
+  // byte-identical with or without it, at any thread count.
+  const std::string telemetry_path = cli.get_string("telemetry");
+  const bool progress = cli.get_flag("progress");
+  std::ofstream trace_file;
+  if (!telemetry_path.empty()) {
+    trace_file.open(telemetry_path);
+    if (!trace_file) {
+      std::fprintf(stderr, "cannot open telemetry file '%s'\n",
+                   telemetry_path.c_str());
+      return 1;
+    }
+  }
+  std::optional<telemetry::ScopedTraceSink> scoped_sink;
+  if (trace_file.is_open() || progress) {
+    telemetry::TraceSink::Options options;
+    options.out = trace_file.is_open() ? &trace_file : nullptr;
+    options.progress = progress;
+    options.tool = "churnet_sweep";
+    scoped_sink.emplace(options);
+  }
+
   const SweepResult result = SweepRunner(spec).run(threads);
+  scoped_sink.reset();  // flush trace_end before reporting
 
   if (!cli.get_flag("quiet")) {
     result.to_table().print(std::cout);

@@ -14,9 +14,18 @@ in the CI log, but never changes the exit code — the golden's rates come
 from whatever machine last regenerated it, so they are a coarse floor,
 not a contract.
 
-Usage: diff_bench_golden.py [--perf-tolerance FRAC] <golden> <candidate>
-Exit code 0 when the deterministic content matches, 1 otherwise (perf
-drift never affects the exit code).
+--perf-fail FRAC upgrades the perf comparison into a tolerance-band gate:
+a rate more than FRAC below the golden's fails the run (exit 1). FRAC
+should be generous (CI uses 0.9, i.e. a 10x slowdown) — it catches
+catastrophic regressions (accidental O(n^2), a debug build slipping into
+the suite) while staying insensitive to machine variance. Rates inside
+the band still print the --perf-tolerance warnings. Without --perf-fail
+the behavior is unchanged: perf drift never affects the exit code.
+
+Usage: diff_bench_golden.py [--perf-tolerance FRAC] [--perf-fail FRAC]
+                            <golden> <candidate>
+Exit code 0 when the deterministic content matches (and, with
+--perf-fail, every rate is inside the band), 1 otherwise.
 """
 
 import argparse
@@ -57,26 +66,35 @@ def perf_rates(node, prefix="", inside_perf=False):
         yield prefix, float(node)
 
 
-def warn_perf_drift(golden, candidate, tolerance):
-    """Prints warn-only perf-rate comparisons; returns the warning count."""
+def check_perf_drift(golden, candidate, tolerance, fail_band):
+    """Prints perf-rate comparisons; returns the count of FAILING rates
+    (always 0 when fail_band is None — warnings never fail)."""
     golden_rates = dict(perf_rates(golden))
     candidate_rates = dict(perf_rates(candidate))
     warnings = 0
+    failures = 0
     for path in sorted(set(golden_rates) & set(candidate_rates)):
         expected = golden_rates[path]
         actual = candidate_rates[path]
         if expected <= 0.0:
             continue
         drift = actual / expected - 1.0
-        if drift < -tolerance:
+        if fail_band is not None and drift < -fail_band:
+            print(f"PERF FAILURE: {path} is {-drift:.0%} below golden "
+                  f"({actual:.4g} vs {expected:.4g} per sec, fail band "
+                  f"{fail_band:.0%})")
+            failures += 1
+        elif drift < -tolerance:
             print(f"PERF WARNING (non-fatal): {path} is {-drift:.0%} below "
                   f"golden ({actual:.4g} vs {expected:.4g} per sec, "
                   f"tolerance {tolerance:.0%})")
             warnings += 1
-    if warnings == 0:
+    if warnings == 0 and failures == 0:
+        gate = (f"fail band {fail_band:.0%}" if fail_band is not None
+                else "warn-only")
         print(f"perf rates within {tolerance:.0%} of golden "
-              f"({len(golden_rates)} rate(s) checked, warn-only)")
-    return warnings
+              f"({len(golden_rates)} rate(s) checked, {gate})")
+    return failures
 
 
 def main():
@@ -88,6 +106,11 @@ def main():
     parser.add_argument("--perf-tolerance", type=float, default=0.5,
                         help="warn when a perf rate falls more than this "
                              "fraction below the golden's (default 0.5)")
+    parser.add_argument("--perf-fail", type=float, default=None,
+                        metavar="FRAC",
+                        help="fail (exit 1) when a perf rate falls more "
+                             "than this fraction below the golden's; "
+                             "default: never fail on perf")
     args = parser.parse_args()
     with open(args.golden) as f:
         golden_full = json.load(f)
@@ -105,9 +128,11 @@ def main():
         if expected != actual:
             drift.append((path, expected, actual))
 
-    # Perf comparison is informational only: report before the verdict so
-    # the warning is adjacent to the numbers in CI logs either way.
-    warn_perf_drift(golden_full, candidate_full, args.perf_tolerance)
+    # Perf comparison first: report before the verdict so the warning is
+    # adjacent to the numbers in CI logs either way. Only --perf-fail band
+    # violations affect the exit code.
+    perf_failures = check_perf_drift(golden_full, candidate_full,
+                                     args.perf_tolerance, args.perf_fail)
 
     if drift:
         print(f"BEHAVIOR DRIFT: {len(drift)} deterministic field(s) differ "
@@ -121,7 +146,7 @@ def main():
         return 1
     print(f"deterministic fields match golden "
           f"({len(golden_flat)} fields compared)")
-    return 0
+    return 1 if perf_failures else 0
 
 
 if __name__ == "__main__":
