@@ -15,9 +15,12 @@
 //                      diffed — they ARE the trajectory.
 //
 // Engineering bench only; reproduces no paper claim.
+#include <unistd.h>
+
 #include <cmath>
 #include <cstdio>
 #include <chrono>
+#include <filesystem>
 #include <fstream>
 #include <iostream>
 #include <sstream>
@@ -463,6 +466,95 @@ int main(int argc, char** argv) {
        << "      \"perf\": {\"cells_per_sec\": " << fmt_fixed(cell_rate, 3)
        << ", \"wall_seconds\": " << fmt_fixed(sweep.wall_seconds(), 4)
        << "}\n    },\n";
+
+  // --- section 3.5: sweep service (workers + checkpoint) -------------------
+  // Section 3's spec through the campaign service (engine/sweep_service):
+  // forked worker processes and the checkpoint journal. The deterministic
+  // fields pin the byte-identity contract — every mode must reproduce
+  // section 3's samples checksum — separately from the rates, which are
+  // the multi-process scaling trajectory and the journal's overhead.
+  {
+    const auto service_checksum = [](const SweepResult& result) {
+      Fnv fnv;
+      for (const auto& cell : result.samples()) {
+        for (const auto& rep : cell) {
+          for (const double value : rep) fnv.add_double(value);
+        }
+      }
+      return fnv.hash;
+    };
+    std::printf("\n--- sweep service (forked workers + checkpoint) ---\n");
+    Table service_table({"mode", "cells/sec", "wall s", "samples match"});
+    constexpr unsigned kWorkerCounts[] = {1, 2, 4};
+    double rates[3] = {};
+    bool matches[3] = {};
+    double base_wall = 0.0;
+    for (std::size_t i = 0; i < 3; ++i) {
+      SweepServiceOptions options;
+      options.workers = kWorkerCounts[i];
+      const SweepResult result = SweepService(spec, options).run();
+      rates[i] = static_cast<double>(result.cells().size()) /
+                 result.wall_seconds();
+      matches[i] = service_checksum(result) == samples.hash;
+      if (i == 0) base_wall = result.wall_seconds();
+      char mode[32];
+      std::snprintf(mode, sizeof(mode), "workers=%u", kWorkerCounts[i]);
+      service_table.add_row({mode, fmt_fixed(rates[i], 2),
+                             fmt_fixed(result.wall_seconds(), 4),
+                             matches[i] ? "yes" : "NO (BUG)"});
+    }
+
+    const std::filesystem::path ckpt_dir =
+        std::filesystem::temp_directory_path() /
+        ("churnet_bench_ckpt_" + std::to_string(::getpid()));
+    std::filesystem::remove_all(ckpt_dir);
+    SweepServiceOptions journaled_options;
+    journaled_options.checkpoint_dir = ckpt_dir.string();
+    const SweepResult journaled =
+        SweepService(spec, journaled_options).run();
+    const bool checkpoint_match = service_checksum(journaled) == samples.hash;
+    const double checkpoint_overhead_pct =
+        base_wall > 0.0 ? (journaled.wall_seconds() / base_wall - 1.0) * 100.0
+                        : 0.0;
+    SweepServiceOptions resume_options = journaled_options;
+    resume_options.resume = true;
+    SweepServiceReport resume_report;
+    const SweepResult resumed =
+        SweepService(spec, resume_options)
+            .run(ScenarioRegistry::extended(), &resume_report);
+    const bool resume_match = service_checksum(resumed) == samples.hash &&
+                              resume_report.jobs_run == 0;
+    std::filesystem::remove_all(ckpt_dir);
+    service_table.add_row({"checkpoint", fmt_fixed(
+                               static_cast<double>(journaled.cells().size()) /
+                                   journaled.wall_seconds(), 2),
+                           fmt_fixed(journaled.wall_seconds(), 4),
+                           checkpoint_match ? "yes" : "NO (BUG)"});
+    service_table.print(std::cout);
+    const double scaling = rates[0] > 0.0 ? rates[2] / rates[0] : 0.0;
+    std::printf("scaling 1->4 workers: %.2fx   checkpoint overhead: %.2f%%   "
+                "resume replayed %llu job(s): %s\n",
+                scaling, checkpoint_overhead_pct,
+                static_cast<unsigned long long>(resume_report.jobs_resumed),
+                resume_match ? "identical" : "DIFFERENT (BUG)");
+    json << "    \"sweep_service\": {\n      \"config\": {\"cells\": "
+         << spec.cell_count() << ", \"replications\": " << spec.replications
+         << ", \"base_seed\": " << spec.base_seed << "},\n"
+         << "      \"deterministic\": {\"workers1_samples_match\": "
+         << (matches[0] ? "true" : "false")
+         << ", \"workers2_samples_match\": " << (matches[1] ? "true" : "false")
+         << ", \"workers4_samples_match\": " << (matches[2] ? "true" : "false")
+         << ", \"checkpoint_samples_match\": "
+         << (checkpoint_match ? "true" : "false")
+         << ", \"resume_samples_match\": " << (resume_match ? "true" : "false")
+         << "},\n      \"perf\": {\"workers1_cells_per_sec\": "
+         << fmt_fixed(rates[0], 3)
+         << ", \"workers2_cells_per_sec\": " << fmt_fixed(rates[1], 3)
+         << ", \"workers4_cells_per_sec\": " << fmt_fixed(rates[2], 3)
+         << ", \"scaling_1_to_4\": " << fmt_fixed(scaling, 2)
+         << ", \"checkpoint_overhead_pct\": "
+         << fmt_fixed(checkpoint_overhead_pct, 2) << "}\n    },\n";
+  }
 
   // --- section 4: telemetry overhead --------------------------------------
   // Two contracts pinned here (src/telemetry/telemetry.hpp):

@@ -30,9 +30,12 @@
 #include "common/specgram.hpp"             // IWYU pragma: export
 #include "common/stats.hpp"                // IWYU pragma: export
 #include "common/table.hpp"                // IWYU pragma: export
+#include "engine/result_stream.hpp"        // IWYU pragma: export
 #include "engine/scenario.hpp"             // IWYU pragma: export
 #include "engine/spec_catalog.hpp"         // IWYU pragma: export
+#include "engine/sweep_journal.hpp"        // IWYU pragma: export
 #include "engine/sweep_runner.hpp"         // IWYU pragma: export
+#include "engine/sweep_service.hpp"        // IWYU pragma: export
 #include "engine/trial_runner.hpp"         // IWYU pragma: export
 #include "expansion/expansion.hpp"         // IWYU pragma: export
 #include "expansion/isolated.hpp"          // IWYU pragma: export

@@ -1,0 +1,75 @@
+#include "engine/result_stream.hpp"
+
+#include <ostream>
+#include <sstream>
+
+#include "common/sinks.hpp"
+
+namespace churnet {
+namespace {
+
+void append_hex_u64(std::ostream& os, std::uint64_t value) {
+  constexpr char kHex[] = "0123456789abcdef";
+  os << "0x";
+  for (int shift = 60; shift >= 0; shift -= 4) {
+    os << kHex[(value >> shift) & 0xF];
+  }
+}
+
+}  // namespace
+
+ResultStream::ResultStream(std::ostream& out, const SweepPlan& plan)
+    : out_(out), plan_(plan) {}
+
+void ResultStream::begin(std::uint64_t resumed_jobs, unsigned workers,
+                         std::string_view tool) {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  out_ << "{\"ev\":\"sweep_header\",\"schema\":1,\"tool\":";
+  write_json_string(out_, tool);
+  out_ << ",\"fingerprint\":\"";
+  append_hex_u64(out_, plan_.fingerprint());
+  out_ << "\",\"cells\":" << plan_.keys().size()
+       << ",\"replications\":" << plan_.replications()
+       << ",\"jobs\":" << plan_.job_count() << ",\"resumed\":" << resumed_jobs
+       << ",\"workers\":" << workers << ",\"metrics\":[";
+  const std::vector<std::string>& metrics = plan_.metric_names();
+  for (std::size_t m = 0; m < metrics.size(); ++m) {
+    if (m > 0) out_ << ',';
+    write_json_string(out_, metrics[m]);
+  }
+  out_ << "],\"spec\":" << plan_.spec_json() << "}\n";
+  out_.flush();
+}
+
+void ResultStream::row(std::uint64_t job, const std::vector<double>& values,
+                       bool resumed) {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  const PrecisionGuard precision(out_);
+  const std::uint64_t cell = plan_.job_cell(job);
+  const SweepCellKey& key = plan_.keys()[cell];
+  out_ << "{\"ev\":\"row\",\"job\":" << job << ",\"cell\":" << cell
+       << ",\"replication\":" << plan_.job_replication(job)
+       << ",\"seed\":" << plan_.job_seed(job)
+       << ",\"resumed\":" << (resumed ? "true" : "false")
+       << ",\"scenario\":";
+  write_json_string(out_, key.scenario);
+  out_ << ",\"churn\":";
+  write_json_string(out_, key.churn);
+  out_ << ",\"protocol\":";
+  write_json_string(out_, key.protocol);
+  out_ << ",\"n\":" << key.n << ",\"d\":" << key.d << ",\"values\":[";
+  for (std::size_t m = 0; m < values.size(); ++m) {
+    if (m > 0) out_ << ',';
+    write_json_number(out_, values[m]);
+  }
+  out_ << "]}\n";
+  out_.flush();
+}
+
+void ResultStream::end(std::uint64_t jobs_done) {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  out_ << "{\"ev\":\"sweep_footer\",\"jobs_done\":" << jobs_done << "}\n";
+  out_.flush();
+}
+
+}  // namespace churnet

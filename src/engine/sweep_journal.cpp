@@ -1,0 +1,257 @@
+#include "engine/sweep_journal.hpp"
+
+#include <fcntl.h>
+#include <unistd.h>
+
+#include <algorithm>
+#include <cerrno>
+#include <cmath>
+#include <cstring>
+#include <filesystem>
+#include <fstream>
+#include <map>
+#include <sstream>
+#include <stdexcept>
+
+#include "common/json.hpp"
+
+namespace churnet {
+namespace {
+
+std::string hex_u64(std::uint64_t value) {
+  constexpr char kHex[] = "0123456789abcdef";
+  std::string out = "0x";
+  for (int shift = 60; shift >= 0; shift -= 4) {
+    out.push_back(kHex[(value >> shift) & 0xF]);
+  }
+  return out;
+}
+
+bool parse_hex_u64(std::string_view text, std::uint64_t* out) {
+  if (text.size() < 3 || text.size() > 18 || text[0] != '0' ||
+      text[1] != 'x') {
+    return false;
+  }
+  std::uint64_t value = 0;
+  for (const char c : text.substr(2)) {
+    value <<= 4;
+    if (c >= '0' && c <= '9') {
+      value |= static_cast<std::uint64_t>(c - '0');
+    } else if (c >= 'a' && c <= 'f') {
+      value |= static_cast<std::uint64_t>(c - 'a' + 10);
+    } else {
+      return false;
+    }
+  }
+  *out = value;
+  return true;
+}
+
+std::string hex_double(double value) {
+  std::uint64_t bits = 0;
+  std::memcpy(&bits, &value, sizeof bits);
+  return hex_u64(bits);
+}
+
+bool parse_hex_double(std::string_view text, double* out) {
+  std::uint64_t bits = 0;
+  if (!parse_hex_u64(text, &bits)) return false;
+  std::memcpy(out, &bits, sizeof bits);
+  return true;
+}
+
+[[noreturn]] void fail(const std::string& what) {
+  throw std::runtime_error("sweep journal: " + what);
+}
+
+[[noreturn]] void fail_errno(const std::string& what) {
+  fail(what + ": " + std::strerror(errno));
+}
+
+/// Exact non-negative integer (job indices, counts) out of a JSON number.
+bool read_index(const JsonValue* value, std::uint64_t limit,
+                std::uint64_t* out) {
+  if (value == nullptr || !value->is_number()) return false;
+  const double number = value->as_number();
+  if (!(number >= 0.0) || std::floor(number) != number ||
+      number >= static_cast<double>(limit)) {
+    return false;
+  }
+  *out = static_cast<std::uint64_t>(number);
+  return true;
+}
+
+}  // namespace
+
+std::string SweepJournal::journal_path(const std::string& dir) {
+  return (std::filesystem::path(dir) / "journal.ndjson").string();
+}
+
+SweepJournal::SweepJournal(const std::string& dir, const SweepPlan& plan,
+                           bool resume) {
+  std::error_code ec;
+  std::filesystem::create_directories(dir, ec);
+  if (ec) fail("cannot create checkpoint directory '" + dir + "'");
+  const std::string path = journal_path(dir);
+
+  std::string text;
+  {
+    std::ifstream in(path, std::ios::binary);
+    if (in.is_open()) {
+      std::ostringstream buffer;
+      buffer << in.rdbuf();
+      text = buffer.str();
+    }
+  }
+  if (!text.empty() && !resume) {
+    fail("'" + path +
+         "' already holds a checkpoint; pass --resume to continue it or "
+         "point --checkpoint at a fresh directory");
+  }
+
+  fd_ = ::open(path.c_str(), O_WRONLY | O_APPEND | O_CREAT | O_CLOEXEC,
+               0644);
+  if (fd_ < 0) fail_errno("cannot open '" + path + "'");
+
+  // A crash can tear only the final write: everything after the last
+  // newline is the torn tail of an unsynced record. Drop it (ftruncate)
+  // so this run appends to a clean line boundary, then parse the rest —
+  // which must all be intact.
+  const std::size_t keep = text.find('\n') == std::string::npos
+                               ? 0
+                               : text.rfind('\n') + 1;
+  if (keep != text.size()) {
+    if (::ftruncate(fd_, static_cast<off_t>(keep)) != 0) {
+      fail_errno("cannot drop torn record in '" + path + "'");
+    }
+    text.resize(keep);
+  }
+  if (text.empty()) {
+    // Fresh journal (first run, or the header itself was torn before the
+    // first sync — nothing durable was lost either way).
+    std::ostringstream header;
+    header << "{\"ev\":\"journal_begin\",\"schema\":1,\"fingerprint\":\""
+           << hex_u64(plan.fingerprint()) << "\",\"jobs\":"
+           << plan.job_count() << ",\"metrics\":"
+           << plan.metric_names().size() << "}\n";
+    write_line(header.str());
+    sync();
+    return;
+  }
+  load(text, plan);
+}
+
+SweepJournal::~SweepJournal() {
+  if (fd_ >= 0) ::close(fd_);
+}
+
+void SweepJournal::load(const std::string& text, const SweepPlan& plan) {
+  const std::size_t metric_count = plan.metric_names().size();
+  std::map<std::uint64_t, std::vector<double>> rows;
+  bool saw_header = false;
+  std::size_t begin = 0;
+  std::size_t line_number = 0;
+  while (begin < text.size()) {
+    const std::size_t end = text.find('\n', begin);
+    const std::string_view line(text.data() + begin, end - begin);
+    begin = end + 1;
+    ++line_number;
+    std::string error;
+    const std::optional<JsonValue> json = JsonValue::parse(line, &error);
+    if (!json.has_value() || !json->is_object()) {
+      fail("corrupt record at line " + std::to_string(line_number) + ": " +
+           (json.has_value() ? "not an object" : error));
+    }
+    const JsonValue* ev = json->find("ev");
+    if (ev == nullptr || !ev->is_string()) {
+      fail("record without \"ev\" at line " + std::to_string(line_number));
+    }
+    if (!saw_header) {
+      if (ev->as_string() != "journal_begin") {
+        fail("first line is not journal_begin");
+      }
+      const JsonValue* schema = json->find("schema");
+      if (schema == nullptr || !schema->is_number() ||
+          schema->as_number() != 1.0) {
+        fail("unsupported journal schema");
+      }
+      const JsonValue* fingerprint = json->find("fingerprint");
+      if (fingerprint == nullptr || !fingerprint->is_string() ||
+          fingerprint->as_string() != hex_u64(plan.fingerprint())) {
+        fail("plan fingerprint mismatch — this checkpoint belongs to a "
+             "different sweep (grid, seed, metrics, observers or knobs "
+             "changed)");
+      }
+      std::uint64_t jobs = 0;
+      std::uint64_t metrics = 0;
+      if (!read_index(json->find("jobs"), plan.job_count() + 1, &jobs) ||
+          jobs != plan.job_count() ||
+          !read_index(json->find("metrics"), metric_count + 1, &metrics) ||
+          metrics != metric_count) {
+        fail("plan shape mismatch in journal_begin");
+      }
+      saw_header = true;
+      continue;
+    }
+    if (ev->as_string() != "done") {
+      fail("unknown event at line " + std::to_string(line_number));
+    }
+    std::uint64_t job = 0;
+    if (!read_index(json->find("job"), plan.job_count(), &job)) {
+      fail("bad job index at line " + std::to_string(line_number));
+    }
+    const JsonValue* values = json->find("v");
+    if (values == nullptr || !values->is_array() ||
+        values->items().size() != metric_count) {
+      fail("bad value row at line " + std::to_string(line_number));
+    }
+    std::vector<double> row;
+    row.reserve(metric_count);
+    for (const JsonValue& item : values->items()) {
+      double value = 0.0;
+      if (!item.is_string() || !parse_hex_double(item.as_string(), &value)) {
+        fail("bad value bits at line " + std::to_string(line_number));
+      }
+      row.push_back(value);
+    }
+    rows[job] = std::move(row);  // duplicate records: last one wins
+  }
+  if (!saw_header) fail("journal has no header");
+  completed_.assign(std::make_move_iterator(rows.begin()),
+                    std::make_move_iterator(rows.end()));
+}
+
+void SweepJournal::append(std::uint64_t job, std::uint64_t seed,
+                          const std::vector<double>& values) {
+  std::string line = "{\"ev\":\"done\",\"job\":" + std::to_string(job) +
+                     ",\"seed\":\"" + hex_u64(seed) + "\",\"v\":[";
+  for (std::size_t m = 0; m < values.size(); ++m) {
+    if (m > 0) line.push_back(',');
+    line.push_back('"');
+    line += hex_double(values[m]);
+    line.push_back('"');
+  }
+  line += "]}\n";
+  write_line(line);
+  ++appended_;
+}
+
+void SweepJournal::write_line(const std::string& line) {
+  const char* data = line.data();
+  std::size_t remaining = line.size();
+  while (remaining > 0) {
+    const ssize_t wrote = ::write(fd_, data, remaining);
+    if (wrote < 0) {
+      if (errno == EINTR) continue;
+      fail_errno("write failed");
+    }
+    data += wrote;
+    remaining -= static_cast<std::size_t>(wrote);
+  }
+}
+
+void SweepJournal::sync() {
+  if (::fsync(fd_) != 0) fail_errno("fsync failed");
+}
+
+}  // namespace churnet

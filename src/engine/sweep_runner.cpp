@@ -385,11 +385,13 @@ void SweepResult::write_csv(std::ostream& os) const {
 }
 
 void SweepResult::write_json(std::ostream& os) const {
+  // Deliberately no wall-clock or thread-count fields: the JSON sink, like
+  // the CSV, is a pure function of (spec, samples), so runs at any thread
+  // or worker count — and resumed runs — emit identical bytes (the sweep
+  // service's determinism contract, docs/sweep-service.md).
   const PrecisionGuard precision(os);
   os << "{\"replications\":" << spec_.replications
-     << ",\"base_seed\":" << spec_.base_seed
-     << ",\"threads\":" << threads_used_
-     << ",\"wall_seconds\":" << wall_seconds_ << ",\"cells\":[";
+     << ",\"base_seed\":" << spec_.base_seed << ",\"cells\":[";
   for (std::size_t c = 0; c < cells_.size(); ++c) {
     if (c > 0) os << ',';
     const SweepCellKey& cell = cells_[c];
@@ -429,23 +431,35 @@ void SweepResult::write_json(std::ostream& os) const {
   os << "]}";
 }
 
-SweepRunner::SweepRunner(SweepSpec spec) : spec_(std::move(spec)) {
+namespace {
+
+/// FNV-1a over `bytes`, continuing from `h` (seed with kFnvOffset).
+constexpr std::uint64_t kFnvOffset = 14695981039346656037ULL;
+constexpr std::uint64_t kFnvPrime = 1099511628211ULL;
+
+std::uint64_t fnv1a_mix(std::uint64_t h, std::string_view bytes) {
+  for (const char c : bytes) {
+    h ^= static_cast<unsigned char>(c);
+    h *= kFnvPrime;
+  }
+  return h;
+}
+
+}  // namespace
+
+SweepPlan::SweepPlan(SweepSpec spec, const ScenarioRegistry& registry)
+    : spec_(std::move(spec)) {
   if (const std::optional<std::string> reason = spec_.validate()) {
     std::fprintf(stderr, "invalid sweep spec: %s\n", reason->c_str());
     std::abort();
   }
-}
-
-SweepResult SweepRunner::run(unsigned threads,
-                             const ScenarioRegistry& registry) const {
   // Resolve every scenario once (aborts with the known names on typos),
   // then expand the grid scenario-major, protocol axis next: an empty
   // protocol list means one cell per scenario under the scenario's own
   // protocol; explicit entries override it.
-  std::vector<Scenario> resolved;
-  resolved.reserve(spec_.scenarios.size());
+  scenarios_.reserve(spec_.scenarios.size());
   for (const std::string& name : spec_.scenarios) {
-    resolved.push_back(registry.resolve(name));
+    scenarios_.push_back(registry.resolve(name));
   }
   std::vector<std::optional<ProtocolSpec>> protocol_axis;
   if (spec_.protocols.empty()) {
@@ -457,28 +471,21 @@ SweepResult SweepRunner::run(unsigned threads,
           ProtocolSpec::parse(text, &error);
       if (!parsed.has_value()) {  // validate() already checked; belt and
         std::fprintf(stderr, "%s\n", error.c_str());  // braces for direct
-        std::abort();                                 // run() callers
+        std::abort();                                 // callers
       }
       protocol_axis.push_back(parsed);
     }
   }
-
-  struct Cell {
-    const Scenario* scenario;
-    ProtocolSpec protocol;
-    std::uint32_t n;
-    std::uint32_t d;
-  };
-  std::vector<Cell> cells;
-  std::vector<SweepCellKey> keys;
-  cells.reserve(spec_.cell_count());
-  for (const Scenario& scenario : resolved) {
+  cells_.reserve(spec_.cell_count());
+  keys_.reserve(spec_.cell_count());
+  for (std::size_t s = 0; s < scenarios_.size(); ++s) {
+    const Scenario& scenario = scenarios_[s];
     for (const std::optional<ProtocolSpec>& axis : protocol_axis) {
       const ProtocolSpec protocol = axis.value_or(scenario.protocol());
       for (const std::uint32_t n : spec_.n_values) {
         for (const std::uint32_t d : spec_.d_values) {
-          cells.push_back(Cell{&scenario, protocol, n, d});
-          keys.push_back(SweepCellKey{
+          cells_.push_back(Cell{s, protocol, n, d});
+          keys_.push_back(SweepCellKey{
               scenario.name(),
               scenario.has_churn() ? scenario.churn().canonical() : "none",
               protocol.canonical(), n, d});
@@ -487,277 +494,325 @@ SweepResult SweepRunner::run(unsigned threads,
     }
   }
 
-  std::vector<const MetricInfo*> metrics;
-  bool needs_snapshot = false;
-  bool needs_flood = false;
+  metric_ids_.reserve(spec_.metrics.size());
   for (const std::string& name : spec_.metrics) {
     const MetricInfo* info = find_metric(name);
     CHURNET_ASSERT(info != nullptr);  // validate() already checked
-    metrics.push_back(info);
-    needs_snapshot |= info->needs_snapshot;
-    needs_flood |= info->needs_flood;
+    metric_ids_.push_back(info->id);
+    needs_snapshot_ |= info->needs_snapshot;
+    needs_flood_ |= info->needs_flood;
   }
 
   // The attached observer set: parsed once here; instantiated per worker
   // (thread_local, like protocol instances) and fully reset per trial, so
   // observer values stay pure functions of the replication seed. Its
   // metric columns follow the spec's own metrics in every row.
-  const ObserverSpec observer_spec = [this] {
+  observer_spec_ = [this] {
     std::string error;
     const std::optional<ObserverSpec> parsed =
         ObserverSpec::parse(spec_.observers, &error);
     if (!parsed.has_value()) {  // validate() already checked; belt and
       std::fprintf(stderr, "%s\n", error.c_str());  // braces for direct
-      std::abort();                                 // run() callers
+      std::abort();                                 // callers
     }
     return *parsed;
   }();
-  const std::string observer_key = observer_spec.canonical();
-  const bool has_observers = !observer_spec.empty();
-  std::vector<std::string> metric_names = spec_.metrics;
-  for (std::string& name : make_observer_set(observer_spec).metric_names()) {
-    metric_names.push_back(std::move(name));
+  observer_key_ = observer_spec_.canonical();
+  has_observers_ = !observer_spec_.empty();
+  metric_names_ = spec_.metrics;
+  for (std::string& name :
+       make_observer_set(observer_spec_).metric_names()) {
+    metric_names_.push_back(std::move(name));
   }
+
+  spec_json_ = sweep_spec_json(spec_);
+
+  // The fingerprint covers everything that determines job identity: the
+  // spec provenance (grid, seeds, observers, knobs), the resolved metric
+  // columns and cell keys, and the job count. Fields are separated by a
+  // 0x1f byte so ("ab","c") never collides with ("a","bc").
+  std::uint64_t h = fnv1a_mix(kFnvOffset, spec_json_);
+  for (const std::string& name : metric_names_) {
+    h = fnv1a_mix(h, "\x1f");
+    h = fnv1a_mix(h, name);
+  }
+  for (const SweepCellKey& key : keys_) {
+    h = fnv1a_mix(h, "\x1f");
+    h = fnv1a_mix(h, key.scenario);
+    h = fnv1a_mix(h, "\x1f");
+    h = fnv1a_mix(h, key.churn);
+    h = fnv1a_mix(h, "\x1f");
+    h = fnv1a_mix(h, key.protocol);
+    h = fnv1a_mix(h, "\x1f");
+    h = fnv1a_mix(h, std::to_string(key.n));
+    h = fnv1a_mix(h, "\x1f");
+    h = fnv1a_mix(h, std::to_string(key.d));
+  }
+  h = fnv1a_mix(h, "\x1f");
+  h = fnv1a_mix(h, std::to_string(job_count()));
+  fingerprint_ = h;
+}
+
+std::uint64_t SweepPlan::job_seed(std::uint64_t job) const {
+  return derive_seed(spec_.base_seed, job_cell(job), job_replication(job));
+}
+
+std::vector<double> SweepPlan::run_job(std::uint64_t job) const {
+  const std::uint64_t cell_index = job_cell(job);
+  const std::uint64_t replication = job_replication(job);
+  const Cell& cell = cells_[cell_index];
+  const bool has_observers = has_observers_;
+  const bool incremental = spec_.incremental_observers && has_observers;
+  const std::uint32_t intra_threads = spec_.intra_threads;
+
+  // Telemetry slice for this job: thread-local snapshot-diff around
+  // the body (reads the steady clock only — no RNG, no effect on any
+  // computed value). Emitted to the installed sink, if any, at the
+  // bottom of the function.
+  telemetry::TraceSink* const sink = telemetry::TraceSink::global();
+  const telemetry::TrialRecorder recorder;
+  const auto job_start = std::chrono::steady_clock::now();
+
+  ScenarioParams params;
+  params.n = cell.n;
+  params.d = cell.d;
+  params.seed = derive_seed(spec_.base_seed, cell_index, replication);
+  params.max_in_degree = spec_.max_in_degree;
+  params.intra_threads = intra_threads;
+  AnyNetwork net = scenarios_[cell.scenario].make_warmed(params);
+
+  // Observer instances live per worker like protocol instances;
+  // begin_trial resets them under a stream (params.seed, 2, ·)
+  // disjoint from the network's own seed and the protocol stream
+  // (params.seed, 1, 0). An observation window, when requested,
+  // advances the network BEFORE any metric is measured — the window
+  // is part of the cell's definition, identical at every thread
+  // count.
+  thread_local ObserverSet observers;
+  thread_local std::string observers_key;
+  if (has_observers) {
+    if (observers.empty() || observers_key != observer_key_) {
+      observers = make_observer_set(observer_spec_);
+      observers_key = observer_key_;
+    }
+    const std::uint64_t trial_seed = derive_seed(params.seed, 2, 0);
+    if (incremental) {
+      // Delta-fed mode: the per-worker feed is attached for the
+      // window only (dissemination churn is not observed) and
+      // retains capacity across jobs — zero-allocation steady state.
+      thread_local ChangeFeed feed;
+      net.attach_change_feed(&feed);
+      observers.begin_incremental_trial(trial_seed, net.graph(),
+                                        net.now());
+      const std::uint32_t window = observers.observation_rounds();
+      {
+        // One span over the whole window (never per step: two clock
+        // reads per churn round would blow the <3% overhead budget).
+        // on_deltas' own delta_fold span nests inside.
+        const telemetry::PhaseTimer churn_span(
+            telemetry::Phase::kChurn);
+        for (std::uint32_t r = 0; r < window; ++r) {
+          feed.clear();
+          net.step();
+          observers.on_round(net.graph(), net.now());
+          observers.on_deltas(net.graph(), feed.deltas(), net.now());
+        }
+      }
+      net.attach_change_feed(nullptr);
+    } else {
+      observers.begin_trial(trial_seed);
+      const std::uint32_t window = observers.observation_rounds();
+      {
+        const telemetry::PhaseTimer churn_span(
+            telemetry::Phase::kChurn);
+        for (std::uint32_t r = 0; r < window; ++r) {
+          net.step();
+          observers.on_round(net.graph(), net.now());
+        }
+      }
+    }
+  }
+
+  const double alive =
+      static_cast<double>(net.graph().alive_count());
+  DegreeStats degrees;
+  Components components;
+  // The observer set's one shared snapshot (built only when some
+  // observer needs the dense form) doubles as the engine metrics'
+  // snapshot; a local capture covers the no-observer /
+  // delta-fed-only cases. Capture itself is RNG-free, so this
+  // restructuring changes no measured value.
+  const Snapshot* snap =
+      has_observers ? observers.observe(net.graph(), net.now())
+                    : nullptr;
+  Snapshot local;
+  if (needs_snapshot_ && snap == nullptr) {
+    local = net.snapshot();
+    snap = &local;
+  }
+  if (needs_snapshot_) {
+    degrees = degree_stats(*snap);
+    components = connected_components(*snap);
+  }
+  FloodTrace trace;
+  ProtocolStats proto_stats;
+  if (needs_flood_ ||
+      (has_observers && observers.wants_dissemination())) {
+    // The cell's protocol through the generic dissemination driver;
+    // its RNG stream is derived from the replication seed, so the
+    // job stays a pure function of (base_seed, cell, replication).
+    // Protocol instances are reusable across runs (begin_run resets
+    // everything), so each worker keeps one per canonical spec —
+    // jobs are cell-contiguous, making rebuilds rare.
+    thread_local ProtocolScratch scratch;
+    thread_local std::unique_ptr<DisseminationProtocol> protocol;
+    thread_local std::string protocol_key;
+    const std::string& key = keys_[cell_index].protocol;
+    if (protocol == nullptr || protocol_key != key) {
+      protocol = make_protocol(cell.protocol);
+      protocol_key = key;
+    }
+    ProtocolOptions options = protocol_options(
+        cell.protocol, derive_seed(params.seed, 1, 0));
+    options.flood.intra_threads = intra_threads;
+    ProtocolResult run = net.disseminate(*protocol, options, scratch);
+    if (has_observers) {
+      observers.on_dissemination(run.trace, &run.stats);
+    }
+    trace = std::move(run.trace);
+    proto_stats = run.stats;
+  }
+
+  std::vector<double> values;
+  values.reserve(metric_ids_.size());
+  for (const SweepMetric id : metric_ids_) {
+    switch (id) {
+      case SweepMetric::kAlive:
+        values.push_back(alive);
+        break;
+      case SweepMetric::kMeanDegree:
+        values.push_back(degrees.mean);
+        break;
+      case SweepMetric::kMaxDegree:
+        values.push_back(static_cast<double>(degrees.max));
+        break;
+      case SweepMetric::kIsolated:
+        values.push_back(static_cast<double>(degrees.isolated));
+        break;
+      case SweepMetric::kLargestComponentFrac:
+        values.push_back(
+            alive > 0.0
+                ? static_cast<double>(components.largest_size) / alive
+                : std::nan(""));
+        break;
+      case SweepMetric::kCompletionStep:
+        values.push_back(trace.completed
+                             ? static_cast<double>(
+                                   trace.completion_step)
+                             : std::nan(""));
+        break;
+      case SweepMetric::kFinalFraction:
+        values.push_back(trace.final_fraction);
+        break;
+      case SweepMetric::kPeakInformed:
+        values.push_back(static_cast<double>(trace.peak_informed));
+        break;
+      case SweepMetric::kFloodSteps:
+        values.push_back(static_cast<double>(trace.steps));
+        break;
+      case SweepMetric::kMessages:
+        values.push_back(
+            static_cast<double>(proto_stats.total_messages()));
+        break;
+      case SweepMetric::kUsefulDeliveries:
+        values.push_back(
+            static_cast<double>(proto_stats.useful_deliveries));
+        break;
+      case SweepMetric::kDuplicateDeliveries:
+        values.push_back(
+            static_cast<double>(proto_stats.duplicate_deliveries));
+        break;
+      case SweepMetric::kLostMessages:
+        values.push_back(
+            static_cast<double>(proto_stats.lost_messages));
+        break;
+    }
+  }
+  if (has_observers) observers.append_values(values);
+  if (sink != nullptr) {
+    const double wall = std::chrono::duration<double>(
+                            std::chrono::steady_clock::now() -
+                            job_start)
+                            .count();
+    const SweepCellKey& key = keys_[cell_index];
+    std::ostringstream identity;
+    identity << "\"scenario\":";
+    write_json_string(identity, key.scenario);
+    identity << ",\"churn\":";
+    write_json_string(identity, key.churn);
+    identity << ",\"protocol\":";
+    write_json_string(identity, key.protocol);
+    identity << ",\"n\":" << key.n << ",\"d\":" << key.d;
+    sink->job(cell_index, replication, params.seed, wall,
+              recorder.finish(), identity.str());
+  }
+  return values;
+}
+
+SweepResult SweepPlan::fold(
+    const std::vector<std::vector<double>>& flat_samples,
+    double wall_seconds, unsigned threads_used) const {
+  CHURNET_ASSERT(flat_samples.size() == job_count());
+  // Regroup the flat job samples per cell (row j belongs to cell j / reps,
+  // replication j % reps — reading by index, so the regrouping is
+  // independent of the order rows were computed in).
+  const std::uint64_t reps = spec_.replications;
+  std::vector<std::vector<std::vector<double>>> samples(cells_.size());
+  for (std::size_t c = 0; c < cells_.size(); ++c) {
+    samples[c].assign(
+        flat_samples.begin() + static_cast<std::ptrdiff_t>(c * reps),
+        flat_samples.begin() + static_cast<std::ptrdiff_t>((c + 1) * reps));
+  }
+  return SweepResult(spec_, metric_names_, keys_, std::move(samples),
+                     wall_seconds, threads_used);
+}
+
+SweepRunner::SweepRunner(SweepSpec spec) : spec_(std::move(spec)) {
+  if (const std::optional<std::string> reason = spec_.validate()) {
+    std::fprintf(stderr, "invalid sweep spec: %s\n", reason->c_str());
+    std::abort();
+  }
+}
+
+SweepResult SweepRunner::run(unsigned threads,
+                             const ScenarioRegistry& registry) const {
+  const SweepPlan plan(spec_, registry);
 
   // Flatten to (cell, replication) jobs on the engine's pool. Job seeds
   // are derive_seed(base, cell, rep) — ctx.seed (stream 0) is ignored so
   // every cell is its own seed stream, stable under grid reshapes.
-  const std::uint64_t reps = spec_.replications;
-  const std::uint64_t jobs = cells.size() * reps;
   TrialRunnerOptions options;
-  options.replications = jobs;
+  options.replications = plan.job_count();
   options.threads = threads;
   options.base_seed = spec_.base_seed;
   options.stream = 0;
 
-  const std::uint64_t base_seed = spec_.base_seed;
-  const std::uint32_t max_in_degree = spec_.max_in_degree;
-  const std::uint32_t intra_threads = spec_.intra_threads;
-  const bool incremental = spec_.incremental_observers && has_observers;
-
   telemetry::TraceSink* const sweep_sink = telemetry::TraceSink::global();
   if (sweep_sink != nullptr) {
-    sweep_sink->sweep_begin("sweep", cells.size(), reps, jobs, threads,
-                            sweep_spec_json(spec_));
+    sweep_sink->sweep_begin("sweep", plan.keys().size(),
+                            plan.replications(), plan.job_count(), threads,
+                            plan.spec_json());
   }
   const TrialResult flat = TrialRunner(options).run(
-      metric_names,
-      [&cells, &keys, &metrics, &observer_spec, &observer_key, has_observers,
-       incremental, needs_snapshot, needs_flood, reps, base_seed,
-       max_in_degree, intra_threads](const TrialContext& ctx) {
-        const std::uint64_t cell_index = ctx.replication / reps;
-        const std::uint64_t replication = ctx.replication % reps;
-        const Cell& cell = cells[cell_index];
-
-        // Telemetry slice for this job: thread-local snapshot-diff around
-        // the body (reads the steady clock only — no RNG, no effect on any
-        // computed value). Emitted to the installed sink, if any, at the
-        // bottom of the lambda.
-        telemetry::TraceSink* const sink = telemetry::TraceSink::global();
-        const telemetry::TrialRecorder recorder;
-        const auto job_start = std::chrono::steady_clock::now();
-
-        ScenarioParams params;
-        params.n = cell.n;
-        params.d = cell.d;
-        params.seed = derive_seed(base_seed, cell_index, replication);
-        params.max_in_degree = max_in_degree;
-        params.intra_threads = intra_threads;
-        AnyNetwork net = cell.scenario->make_warmed(params);
-
-        // Observer instances live per worker like protocol instances;
-        // begin_trial resets them under a stream (params.seed, 2, ·)
-        // disjoint from the network's own seed and the protocol stream
-        // (params.seed, 1, 0). An observation window, when requested,
-        // advances the network BEFORE any metric is measured — the window
-        // is part of the cell's definition, identical at every thread
-        // count.
-        thread_local ObserverSet observers;
-        thread_local std::string observers_key;
-        if (has_observers) {
-          if (observers.empty() || observers_key != observer_key) {
-            observers = make_observer_set(observer_spec);
-            observers_key = observer_key;
-          }
-          const std::uint64_t trial_seed = derive_seed(params.seed, 2, 0);
-          if (incremental) {
-            // Delta-fed mode: the per-worker feed is attached for the
-            // window only (dissemination churn is not observed) and
-            // retains capacity across jobs — zero-allocation steady state.
-            thread_local ChangeFeed feed;
-            net.attach_change_feed(&feed);
-            observers.begin_incremental_trial(trial_seed, net.graph(),
-                                              net.now());
-            const std::uint32_t window = observers.observation_rounds();
-            {
-              // One span over the whole window (never per step: two clock
-              // reads per churn round would blow the <3% overhead budget).
-              // on_deltas' own delta_fold span nests inside.
-              const telemetry::PhaseTimer churn_span(
-                  telemetry::Phase::kChurn);
-              for (std::uint32_t r = 0; r < window; ++r) {
-                feed.clear();
-                net.step();
-                observers.on_round(net.graph(), net.now());
-                observers.on_deltas(net.graph(), feed.deltas(), net.now());
-              }
-            }
-            net.attach_change_feed(nullptr);
-          } else {
-            observers.begin_trial(trial_seed);
-            const std::uint32_t window = observers.observation_rounds();
-            {
-              const telemetry::PhaseTimer churn_span(
-                  telemetry::Phase::kChurn);
-              for (std::uint32_t r = 0; r < window; ++r) {
-                net.step();
-                observers.on_round(net.graph(), net.now());
-              }
-            }
-          }
-        }
-
-        const double alive =
-            static_cast<double>(net.graph().alive_count());
-        DegreeStats degrees;
-        Components components;
-        // The observer set's one shared snapshot (built only when some
-        // observer needs the dense form) doubles as the engine metrics'
-        // snapshot; a local capture covers the no-observer /
-        // delta-fed-only cases. Capture itself is RNG-free, so this
-        // restructuring changes no measured value.
-        const Snapshot* snap =
-            has_observers ? observers.observe(net.graph(), net.now())
-                          : nullptr;
-        Snapshot local;
-        if (needs_snapshot && snap == nullptr) {
-          local = net.snapshot();
-          snap = &local;
-        }
-        if (needs_snapshot) {
-          degrees = degree_stats(*snap);
-          components = connected_components(*snap);
-        }
-        FloodTrace trace;
-        ProtocolStats proto_stats;
-        if (needs_flood ||
-            (has_observers && observers.wants_dissemination())) {
-          // The cell's protocol through the generic dissemination driver;
-          // its RNG stream is derived from the replication seed, so the
-          // job stays a pure function of (base_seed, cell, replication).
-          // Protocol instances are reusable across runs (begin_run resets
-          // everything), so each worker keeps one per canonical spec —
-          // jobs are cell-contiguous, making rebuilds rare.
-          thread_local ProtocolScratch scratch;
-          thread_local std::unique_ptr<DisseminationProtocol> protocol;
-          thread_local std::string protocol_key;
-          const std::string& key = keys[cell_index].protocol;
-          if (protocol == nullptr || protocol_key != key) {
-            protocol = make_protocol(cell.protocol);
-            protocol_key = key;
-          }
-          ProtocolOptions options = protocol_options(
-              cell.protocol, derive_seed(params.seed, 1, 0));
-          options.flood.intra_threads = intra_threads;
-          ProtocolResult run = net.disseminate(*protocol, options, scratch);
-          if (has_observers) {
-            observers.on_dissemination(run.trace, &run.stats);
-          }
-          trace = std::move(run.trace);
-          proto_stats = run.stats;
-        }
-
-        std::vector<double> values;
-        values.reserve(metrics.size());
-        for (const MetricInfo* info : metrics) {
-          switch (info->id) {
-            case SweepMetric::kAlive:
-              values.push_back(alive);
-              break;
-            case SweepMetric::kMeanDegree:
-              values.push_back(degrees.mean);
-              break;
-            case SweepMetric::kMaxDegree:
-              values.push_back(static_cast<double>(degrees.max));
-              break;
-            case SweepMetric::kIsolated:
-              values.push_back(static_cast<double>(degrees.isolated));
-              break;
-            case SweepMetric::kLargestComponentFrac:
-              values.push_back(
-                  alive > 0.0
-                      ? static_cast<double>(components.largest_size) / alive
-                      : std::nan(""));
-              break;
-            case SweepMetric::kCompletionStep:
-              values.push_back(trace.completed
-                                   ? static_cast<double>(
-                                         trace.completion_step)
-                                   : std::nan(""));
-              break;
-            case SweepMetric::kFinalFraction:
-              values.push_back(trace.final_fraction);
-              break;
-            case SweepMetric::kPeakInformed:
-              values.push_back(static_cast<double>(trace.peak_informed));
-              break;
-            case SweepMetric::kFloodSteps:
-              values.push_back(static_cast<double>(trace.steps));
-              break;
-            case SweepMetric::kMessages:
-              values.push_back(
-                  static_cast<double>(proto_stats.total_messages()));
-              break;
-            case SweepMetric::kUsefulDeliveries:
-              values.push_back(
-                  static_cast<double>(proto_stats.useful_deliveries));
-              break;
-            case SweepMetric::kDuplicateDeliveries:
-              values.push_back(
-                  static_cast<double>(proto_stats.duplicate_deliveries));
-              break;
-            case SweepMetric::kLostMessages:
-              values.push_back(
-                  static_cast<double>(proto_stats.lost_messages));
-              break;
-          }
-        }
-        if (has_observers) observers.append_values(values);
-        if (sink != nullptr) {
-          const double wall = std::chrono::duration<double>(
-                                  std::chrono::steady_clock::now() -
-                                  job_start)
-                                  .count();
-          const SweepCellKey& key = keys[cell_index];
-          std::ostringstream identity;
-          identity << "\"scenario\":";
-          write_json_string(identity, key.scenario);
-          identity << ",\"churn\":";
-          write_json_string(identity, key.churn);
-          identity << ",\"protocol\":";
-          write_json_string(identity, key.protocol);
-          identity << ",\"n\":" << key.n << ",\"d\":" << key.d;
-          sink->job(cell_index, replication, params.seed, wall,
-                    recorder.finish(), identity.str());
-        }
-        return values;
+      plan.metric_names(), [&plan](const TrialContext& ctx) {
+        return plan.run_job(ctx.replication);
       });
 
   if (sweep_sink != nullptr) {
     sweep_sink->sweep_end("sweep", flat.wall_seconds());
   }
-
-  // Regroup the flat job samples per cell (job order == fold order, so the
-  // regrouping is deterministic too).
-  std::vector<std::vector<std::vector<double>>> samples(cells.size());
-  for (std::size_t c = 0; c < cells.size(); ++c) {
-    samples[c].assign(flat.samples().begin() + static_cast<std::ptrdiff_t>(c * reps),
-                      flat.samples().begin() +
-                          static_cast<std::ptrdiff_t>((c + 1) * reps));
-  }
-  return SweepResult(spec_, std::move(metric_names), std::move(keys),
-                     std::move(samples), flat.wall_seconds(),
-                     flat.threads_used());
+  return plan.fold(flat.samples(), flat.wall_seconds(),
+                   flat.threads_used());
 }
 
 }  // namespace churnet

@@ -45,6 +45,7 @@
 #include "common/table.hpp"
 #include "engine/scenario.hpp"
 #include "engine/trial_runner.hpp"
+#include "observe/observer_spec.hpp"
 
 namespace churnet {
 
@@ -147,6 +148,86 @@ struct SweepCellKey {
   std::string protocol;  // canonical protocol spec ("flood", "push(3)")
   std::uint32_t n = 0;
   std::uint32_t d = 0;
+};
+
+class SweepResult;
+
+/// A fully resolved sweep: scenario x protocol x n x d cells, the combined
+/// metric column list (spec metrics + observer columns), and the per-job
+/// body. Jobs are numbered job = cell * replications + replication, and
+/// run_job(job) is a pure function of (spec.base_seed, cell, replication)
+/// — the plan is what every execution mode shares (the in-process
+/// SweepRunner::run pool, the sweep service's streaming/checkpointed runs
+/// and its forked worker processes), so rows computed anywhere, in any
+/// completion order, fold into identical results.
+class SweepPlan {
+ public:
+  /// Resolves every scenario/protocol/observer once (aborts with the known
+  /// catalogs on typos, CLI semantics — like SweepRunner's constructor).
+  SweepPlan(SweepSpec spec, const ScenarioRegistry& registry);
+
+  const SweepSpec& spec() const { return spec_; }
+  const std::vector<SweepCellKey>& keys() const { return keys_; }
+  /// All metric columns: spec metrics, then observer metrics.
+  const std::vector<std::string>& metric_names() const {
+    return metric_names_;
+  }
+  std::uint64_t replications() const { return spec_.replications; }
+  std::uint64_t job_count() const {
+    return keys_.size() * spec_.replications;
+  }
+  std::uint64_t job_cell(std::uint64_t job) const {
+    return job / spec_.replications;
+  }
+  std::uint64_t job_replication(std::uint64_t job) const {
+    return job % spec_.replications;
+  }
+  /// derive_seed(base_seed, cell, replication) — the job's only seed.
+  std::uint64_t job_seed(std::uint64_t job) const;
+
+  /// Spec provenance as a raw JSON object fragment (the telemetry
+  /// sweep_begin "spec" field and the result stream / journal headers).
+  const std::string& spec_json() const { return spec_json_; }
+  /// FNV-1a over the spec provenance, metric columns and cell keys: two
+  /// plans with equal fingerprints run the same jobs with the same seeds,
+  /// so a checkpoint journal records it and refuses to resume anything
+  /// else (engine/sweep_journal.hpp).
+  std::uint64_t fingerprint() const { return fingerprint_; }
+
+  /// Runs one job (build, warm, observe, disseminate, measure) and returns
+  /// its sample row, one value per metric_names() entry. Emits a job event
+  /// to the installed telemetry sink, if any. Thread-safe; also safe in a
+  /// forked worker process.
+  std::vector<double> run_job(std::uint64_t job) const;
+
+  /// Folds flat job-order samples (samples[job], NaN-padded for metrics
+  /// a replication did not observe) into a SweepResult. The fold reads
+  /// rows by index, so it is independent of the completion order that
+  /// produced them.
+  SweepResult fold(const std::vector<std::vector<double>>& flat_samples,
+                   double wall_seconds, unsigned threads_used) const;
+
+ private:
+  struct Cell {
+    std::size_t scenario;  // index into scenarios_
+    ProtocolSpec protocol;
+    std::uint32_t n = 0;
+    std::uint32_t d = 0;
+  };
+
+  SweepSpec spec_;
+  std::vector<Scenario> scenarios_;
+  std::vector<Cell> cells_;
+  std::vector<SweepCellKey> keys_;
+  std::vector<SweepMetric> metric_ids_;
+  bool needs_snapshot_ = false;
+  bool needs_flood_ = false;
+  ObserverSpec observer_spec_;
+  std::string observer_key_;
+  bool has_observers_ = false;
+  std::vector<std::string> metric_names_;
+  std::string spec_json_;
+  std::uint64_t fingerprint_ = 0;
 };
 
 /// Everything a sweep produced: per-cell aggregates + the sample matrix.

@@ -53,6 +53,10 @@ TraceSink::TraceSink(Options options)
       start_(std::chrono::steady_clock::now()) {
   std::string line = "{\"ev\":\"trace_begin\",\"schema\":1,\"tool\":";
   append_json_string(line, options_.tool);
+  if (options_.worker >= 0) {
+    line += ",\"worker\":";
+    append_u(line, static_cast<std::uint64_t>(options_.worker));
+  }
   line += ",\"ts_ms\":";
   append_u(line,
            static_cast<std::uint64_t>(
@@ -127,10 +131,14 @@ void TraceSink::span_end(std::string_view name) {
 void TraceSink::sweep_begin(std::string_view label, std::uint64_t cells,
                             std::uint64_t replications,
                             std::uint64_t jobs_total, unsigned threads,
-                            std::string_view spec_json) {
+                            std::string_view spec_json,
+                            std::uint64_t resumed) {
   {
     const std::lock_guard<std::mutex> lock(mutex_);
-    jobs_done_ = 0;
+    // A resumed campaign starts with `resumed` jobs already done; this
+    // run's rate (and the ETA) is measured over the remaining jobs only.
+    jobs_done_ = resumed;
+    jobs_resumed_ = resumed;
     jobs_total_ = jobs_total;
     sweep_started_s_ = elapsed_seconds();
     next_heartbeat_s_ = sweep_started_s_ + options_.heartbeat_seconds;
@@ -143,6 +151,8 @@ void TraceSink::sweep_begin(std::string_view label, std::uint64_t cells,
   append_u(line, replications);
   line += ",\"jobs\":";
   append_u(line, jobs_total);
+  line += ",\"resumed\":";
+  append_u(line, resumed);
   line += ",\"threads\":";
   append_u(line, threads);
   line += ",\"t_s\":";
@@ -191,6 +201,10 @@ void TraceSink::job(std::uint64_t cell, std::uint64_t replication,
   if (!identity_json.empty()) {
     line += ',';
     line += identity_json;
+  }
+  if (options_.worker >= 0) {
+    line += ",\"worker\":";
+    append_u(line, static_cast<std::uint64_t>(options_.worker));
   }
   line += ",\"t_s\":";
   append_f(line, "%.3f", elapsed_seconds());
@@ -246,6 +260,7 @@ void TraceSink::job_finished() {
 
 void TraceSink::emit_heartbeat() {
   std::uint64_t done = 0;
+  std::uint64_t resumed = 0;
   std::uint64_t total = 0;
   std::uint64_t busy = 0;
   double eta_s = 0.0;
@@ -253,12 +268,17 @@ void TraceSink::emit_heartbeat() {
   {
     const std::lock_guard<std::mutex> lock(mutex_);
     done = jobs_done_;
+    resumed = jobs_resumed_;
     total = jobs_total_;
     busy = threads_busy_;
     now_s = elapsed_seconds();
     const double elapsed = now_s - sweep_started_s_;
-    eta_s = (done > 0 && total > done)
-                ? elapsed / static_cast<double>(done) *
+    // Rate over jobs *this run* completed (done - resumed): journaled
+    // jobs cost this run nothing, so folding them into the rate would
+    // make a resumed campaign's ETA wildly optimistic.
+    const std::uint64_t fresh = done - resumed;
+    eta_s = (fresh > 0 && total > done)
+                ? elapsed / static_cast<double>(fresh) *
                       static_cast<double>(total - done)
                 : 0.0;
   }
@@ -266,6 +286,8 @@ void TraceSink::emit_heartbeat() {
   append_f(line, "%.3f", now_s);
   line += ",\"jobs_done\":";
   append_u(line, done);
+  line += ",\"jobs_resumed\":";
+  append_u(line, resumed);
   line += ",\"jobs_total\":";
   append_u(line, total);
   line += ",\"eta_s\":";
@@ -275,9 +297,16 @@ void TraceSink::emit_heartbeat() {
   line += '}';
   write_line(line);
   if (options_.progress) {
-    std::fprintf(stderr, "[%" PRIu64 "/%" PRIu64 "] eta %.0fs, %" PRIu64
-                         " thread(s) busy\n",
-                 done, total, eta_s, busy);
+    if (resumed > 0) {
+      std::fprintf(stderr,
+                   "[%" PRIu64 "/%" PRIu64 "] (%" PRIu64
+                   " resumed) eta %.0fs, %" PRIu64 " thread(s) busy\n",
+                   done, total, resumed, eta_s, busy);
+    } else {
+      std::fprintf(stderr, "[%" PRIu64 "/%" PRIu64 "] eta %.0fs, %" PRIu64
+                           " thread(s) busy\n",
+                   done, total, eta_s, busy);
+    }
   }
 }
 

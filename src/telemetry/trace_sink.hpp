@@ -9,14 +9,16 @@
 // Event vocabulary (schema version 1; telemetry_report.py --check
 // validates it):
 //
-//   trace_begin  {"ev","schema","tool","ts_ms"}            first line
+//   trace_begin  {"ev","schema","tool","ts_ms"[,"worker"]}  first line
 //   span_begin   {"ev","name","t_s"}                        coarse phases
 //   span_end     {"ev","name","t_s","wall_s"}               (targets, sweeps)
-//   sweep_begin  {"ev","label","cells","reps","jobs","threads","t_s", spec}
+//   sweep_begin  {"ev","label","cells","reps","jobs","resumed","threads",
+//                 "t_s", spec}
 //   job          {"ev","cell","replication","seed","t_s","wall_s",
-//                 "phases":{...s},"counters":{...}, + cell identity fields}
-//   heartbeat    {"ev","t_s","jobs_done","jobs_total","eta_s",
-//                 "threads_busy"}                           periodic
+//                 "phases":{...s},"counters":{...}, + cell identity
+//                 fields [,"worker"]}
+//   heartbeat    {"ev","t_s","jobs_done","jobs_resumed","jobs_total",
+//                 "eta_s","threads_busy"}                   periodic
 //   sweep_end    {"ev","label","jobs","wall_s","t_s",
 //                 "phases":{...},"counters":{...}}          aggregate
 //   trace_end    {"ev","t_s"}                               last line
@@ -63,6 +65,10 @@ class TraceSink {
     double heartbeat_seconds = 1.0;
     /// Recorded in trace_begin ("churnet_sweep", "churnet_repro", ...).
     std::string tool;
+    /// Sweep-service worker id; >= 0 tags trace_begin and every job event
+    /// with "worker":k so tools/telemetry_report.py can fold per-worker
+    /// trace files and attribute jobs. -1 = not a worker (default).
+    int worker = -1;
   };
 
   explicit TraceSink(Options options);
@@ -85,10 +91,15 @@ class TraceSink {
   // ---- sweep lifecycle (called by SweepRunner) --------------------------
 
   /// `spec_json` is a raw JSON object fragment ({"scenarios":...}) spliced
-  /// into the sweep_begin event as its "spec" field; pass "{}" when unknown.
+  /// into the sweep_begin event as its "spec" field; pass "{}" when
+  /// unknown. `resumed` is how many of jobs_total were restored from a
+  /// checkpoint journal: progress starts at [resumed/total] and the
+  /// heartbeat ETA is computed from this run's own completion rate over
+  /// the *remaining* jobs, not the whole-campaign average.
   void sweep_begin(std::string_view label, std::uint64_t cells,
                    std::uint64_t replications, std::uint64_t jobs_total,
-                   unsigned threads, std::string_view spec_json);
+                   unsigned threads, std::string_view spec_json,
+                   std::uint64_t resumed = 0);
   /// One completed (cell, replication) job with its phase/counter slice.
   /// `identity_json` is a raw fragment of extra key/value pairs to splice
   /// into the event ("\"scenario\":\"SDG\",\"n\":500"); may be empty.
@@ -127,6 +138,7 @@ class TraceSink {
   Totals aggregate_;
   std::uint64_t jobs_done_ = 0;
   std::uint64_t jobs_total_ = 0;
+  std::uint64_t jobs_resumed_ = 0;
   std::uint64_t threads_busy_ = 0;
   double sweep_started_s_ = 0.0;
   double next_heartbeat_s_ = 0.0;

@@ -11,6 +11,8 @@
 //   ./churnet_repro                        # reproduce everything (slow!)
 //   ./churnet_repro --only table1,spectral-gap --threads 8
 //   ./churnet_repro --quick --only spectral-gap   # pinned-seed smoke subset
+//   ./churnet_repro --workers 4 --checkpoint ckpt/   # forked workers +
+//   ./churnet_repro --workers 4 --checkpoint ckpt/ --resume  # crash-resume
 //
 // --quick swaps each target for its pinned small-scale variant: the same
 // grid shape at toy sizes, bit-identical for a fixed seed at any --threads
@@ -267,6 +269,17 @@ int main(int argc, char** argv) {
   cli.add_int("seed", 12345, "base seed (recorded in every manifest)");
   cli.add_int("threads", 1,
               "worker threads (0 = all cores); never changes the data");
+  cli.add_int("workers", 0,
+              "worker *processes* per target (coordinator/worker mode, "
+              ">= 2); 0/1 = in-process --threads pool; never changes the "
+              "data");
+  cli.add_string("checkpoint", "",
+                 "journal each target's completed jobs under "
+                 "<dir>/<target>/ so a killed run can --resume with "
+                 "byte-identical datasets");
+  cli.add_flag("resume",
+               "resume targets from --checkpoint's journals: completed "
+               "jobs are restored, only missing ones run");
   cli.add_flag("quick",
                "pinned small-scale variants (seconds, bit-identical at any "
                "--threads; the CI smoke surface)");
@@ -334,6 +347,13 @@ int main(int argc, char** argv) {
   const bool quiet = cli.get_flag("quiet");
   const auto seed = static_cast<std::uint64_t>(cli.get_int("seed"));
   const auto threads = static_cast<unsigned>(cli.get_int("threads"));
+  const auto workers = static_cast<unsigned>(cli.get_int("workers"));
+  const std::filesystem::path checkpoint_dir(cli.get_string("checkpoint"));
+  const bool resume = cli.get_flag("resume");
+  if (resume && checkpoint_dir.empty()) {
+    std::fprintf(stderr, "--resume needs --checkpoint <dir>\n");
+    return 1;
+  }
   const std::filesystem::path out_dir(cli.get_string("out"));
   std::error_code ec;
   std::filesystem::create_directories(out_dir, ec);
@@ -380,7 +400,32 @@ int main(int argc, char** argv) {
     if (scoped_sink.has_value()) {
       scoped_sink->sink().span_begin(target->name);
     }
-    const SweepResult result = SweepRunner(spec).run(threads);
+    // Each target journals into its own checkpoint subdirectory so a
+    // multi-target run can be killed and resumed per target; the service
+    // path is byte-identical to plain SweepRunner(spec).run(threads).
+    SweepServiceOptions service;
+    service.threads = threads;
+    service.workers = workers;
+    if (!checkpoint_dir.empty()) {
+      service.checkpoint_dir = (checkpoint_dir / target->name).string();
+    }
+    service.resume = resume;
+    service.tool = "churnet_repro";
+    SweepServiceReport report;
+    std::optional<SweepResult> result;
+    try {
+      result.emplace(SweepService(spec, service)
+                         .run(ScenarioRegistry::extended(), &report));
+    } catch (const std::exception& error) {
+      std::fprintf(stderr, "%s: %s\n", target->name.c_str(), error.what());
+      return 1;
+    }
+    if (!quiet && report.jobs_resumed > 0) {
+      std::printf("    checkpoint: %llu job(s) resumed, %llu run this "
+                  "session\n",
+                  static_cast<unsigned long long>(report.jobs_resumed),
+                  static_cast<unsigned long long>(report.jobs_run));
+    }
 
     const std::filesystem::path csv_path = out_dir / (target->name + ".csv");
     const std::filesystem::path json_path =
@@ -389,11 +434,11 @@ int main(int argc, char** argv) {
         out_dir / (target->name + ".manifest.json");
     {
       std::ofstream csv = open_or_die(csv_path, "CSV");
-      result.write_csv(csv);
+      result->write_csv(csv);
     }
     {
       std::ofstream json = open_or_die(json_path, "JSON");
-      result.write_json(json);
+      result->write_json(json);
     }
     if (scoped_sink.has_value()) {
       scoped_sink->sink().span_end(target->name);
@@ -404,15 +449,16 @@ int main(int argc, char** argv) {
             .count();
     {
       std::ofstream manifest = open_or_die(manifest_path, "manifest");
-      write_manifest(manifest, *target, spec, result, quick, sha,
+      write_manifest(manifest, *target, spec, *result, quick, sha,
                      target_wall, telemetry_path);
     }
     if (!quiet) {
-      result.to_table().print(std::cout);
+      result->to_table().print(std::cout);
       std::printf("    wrote %s + .json + .manifest.json (%.2fs on %u "
-                  "thread(s))\n\n",
-                  csv_path.string().c_str(), result.wall_seconds(),
-                  result.threads_used());
+                  "%s)\n\n",
+                  csv_path.string().c_str(), result->wall_seconds(),
+                  report.workers_used,
+                  workers >= 2 ? "worker process(es)" : "thread(s)");
     }
   }
   return 0;
