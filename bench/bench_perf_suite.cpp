@@ -171,6 +171,55 @@ int main(int argc, char** argv) {
   json << "\n      }\n    },\n";
   churn_table.print(std::cout);
 
+  // --- section 1.5: adversarial churn overhead ----------------------------
+  // Victim selection reads the live graph (degree scans, BFS balls), so
+  // adversarial regimes pay per-death work the oblivious regimes skip.
+  // This section tracks that overhead as perf (events/sec, with plain PDGR
+  // rerun at the same size as the in-section baseline) and pins the
+  // redirected-death trajectories as seed-pinned checksums. Sizes are a
+  // notch below section 1: the maxdeg scan is O(alive) per death.
+  const auto adv_n = std::max<std::uint32_t>(1000, n / 20);
+  const std::uint64_t adv_steps = std::max<std::uint64_t>(10000, steps / 10);
+  std::printf("\n--- adversarial churn overhead (n=%u, %llu steps each) "
+              "---\n",
+              adv_n, static_cast<unsigned long long>(adv_steps));
+  Table adv_table({"scenario", "events/sec", "alive", "edges", "checksum"});
+  json << "    \"adversarial_churn\": {\n      \"config\": {\"n\": " << adv_n
+       << ", \"d\": 8, \"steps\": " << adv_steps << "},\n"
+       << "      \"scenarios\": {\n";
+  first = true;
+  for (const char* name :
+       {"PDGR", "PDGR+maxdeg(1)", "PDGR+eclipse(1)", "PDGR+cutset(1)",
+        "PDGR+massfail(0.1,1)", "SDGR+maxdeg(1)"}) {
+    ScenarioParams params;
+    params.n = adv_n;
+    params.d = 8;
+    params.seed = derive_seed(seed, 7, 0);
+    AnyNetwork net =
+        ScenarioRegistry::extended().resolve(name).make_warmed(params);
+    const auto start = std::chrono::steady_clock::now();
+    for (std::uint64_t i = 0; i < adv_steps; ++i) net.step();
+    const double elapsed = seconds_since(start);
+    const double rate = static_cast<double>(adv_steps) / elapsed;
+    const std::uint64_t checksum = graph_checksum(net.graph());
+    adv_table.add_row({name, fmt_sci(rate, 2),
+                       fmt_int(net.graph().alive_count()),
+                       fmt_int(static_cast<std::int64_t>(
+                           net.graph().edge_count())),
+                       hex(checksum)});
+    json << (first ? "" : ",\n") << "        \"" << name
+         << "\": {\"deterministic\": {\"alive\": "
+         << net.graph().alive_count()
+         << ", \"edges\": " << net.graph().edge_count()
+         << ", \"births\": " << net.graph().total_births()
+         << ", \"graph_checksum\": \"" << hex(checksum)
+         << "\"}, \"perf\": {\"events_per_sec\": " << fmt_fixed(rate, 1)
+         << ", \"wall_seconds\": " << fmt_fixed(elapsed, 4) << "}}";
+    first = false;
+  }
+  json << "\n      }\n    },\n";
+  adv_table.print(std::cout);
+
   // --- section 2: flood steps/sec ----------------------------------------
   std::printf("\n--- flooding throughput (n=%u, %llu reps each) ---\n",
               flood_n, static_cast<unsigned long long>(flood_reps));

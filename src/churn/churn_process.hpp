@@ -21,24 +21,67 @@
 //   * A death event names its victim rule: `kUniform` lets the network pick
 //     a uniform random alive node from its own RNG stream (the paper's
 //     Poisson models), `kScheduled` pins the exact node chosen by the
-//     process (streaming oldest-first, lifetime expiry).
+//     process (streaming oldest-first, lifetime expiry), and `kAdversarial`
+//     defers the choice to the instant the death is realized: the network
+//     calls back `select_victim(view)` with a read-only view of the current
+//     topology, so adversarial rules (max-degree targeting, eclipse
+//     capture, ...) can inspect graph state that does not exist when the
+//     event is sampled. See DESIGN.md decision 18 for the contract.
 //   * All of a process's randomness comes from its own seed; processes never
 //     touch the network's RNG, so churn and wiring streams stay decoupled.
 #pragma once
 
 #include <cstdint>
 #include <string>
+#include <vector>
 
+#include "common/assertx.hpp"
 #include "graph/node_id.hpp"
 
 namespace churnet {
+
+/// Read-only topology view handed to ChurnProcess::select_victim at the
+/// moment a kAdversarial death is realized. An abstract interface (rather
+/// than DynamicGraph itself) for two reasons: churn processes stay
+/// decoupled from the graph's storage layout, and tests can implement the
+/// view over a shadow adjacency to differentially verify victim selection.
+///
+/// Slots are the graph's dense node indices: every alive node occupies a
+/// distinct slot below slot_upper_bound(), so a slot-ascending scan visits
+/// the alive set in a deterministic, view-independent order — adversary
+/// rules break ties toward the smallest slot, which keeps their choices
+/// reproducible by any conforming view implementation.
+class GraphReadView {
+ public:
+  virtual ~GraphReadView() = default;
+
+  /// Number of currently alive nodes.
+  virtual std::uint64_t alive_count() const = 0;
+
+  /// Exclusive upper bound on slot indices hosting alive nodes.
+  virtual std::uint32_t slot_upper_bound() const = 0;
+
+  /// Full id of the alive node hosted at `slot`, or an invalid id when the
+  /// slot is empty / dead.
+  virtual NodeId alive_at(std::uint32_t slot) const = 0;
+
+  /// Total degree (out + in, parallel edges with multiplicity) of an alive
+  /// node.
+  virtual std::uint32_t degree(NodeId node) const = 0;
+
+  /// Appends the alive neighbors of `node` (with multiplicity, any order —
+  /// consumers that need a canonical order sort).
+  virtual void append_neighbors(NodeId node,
+                                std::vector<NodeId>& out) const = 0;
+};
 
 class ChurnProcess {
  public:
   /// How a death event selects its victim.
   enum class Victim : std::uint8_t {
-    kUniform,    // network draws a uniform random alive node
-    kScheduled,  // the process names the exact node (victim_id)
+    kUniform,      // network draws a uniform random alive node
+    kScheduled,    // the process names the exact node (victim_id)
+    kAdversarial,  // network calls back select_victim() with a graph view
   };
 
   /// One churn event: a birth, or the death of a node.
@@ -65,6 +108,19 @@ class ChurnProcess {
   virtual void on_death(NodeId id, double time) {
     (void)id;
     (void)time;
+  }
+
+  /// Names the victim of a kAdversarial death event. Called by the network
+  /// exactly once per kAdversarial event, after the event is sampled and
+  /// before the removal, with a view of the then-current topology; must
+  /// return an alive node. Only processes that emit kAdversarial events
+  /// implement it (requires view.alive_count() > 0).
+  virtual NodeId select_victim(const GraphReadView& view) {
+    (void)view;
+    CHURNET_ASSERT(false &&
+                   "select_victim on a process that never emits "
+                   "kAdversarial events");
+    return kInvalidNode;
   }
 
   /// Canonical spec name of the regime ("poisson", "pareto(2.5)", ...).

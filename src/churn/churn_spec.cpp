@@ -2,6 +2,8 @@
 
 #include <vector>
 
+#include "churn/adversary.hpp"
+#include "churn/burst_churn.hpp"
 #include "churn/lifetime_churn.hpp"
 #include "churn/phased_churn.hpp"
 #include "churn/poisson_churn.hpp"
@@ -20,6 +22,9 @@ constexpr double kDefaultWeibullShape = 0.7;
 constexpr double kDefaultBurstyBoost = 4.0;
 constexpr double kDefaultBurstyPhase = 0.5;
 constexpr double kDefaultDriftGrowth = 2.0;
+constexpr double kDefaultAdversaryBudget = 1.0;
+constexpr double kDefaultBurstFraction = 0.1;
+constexpr double kDefaultBurstPeriod = 1.0;
 
 // The one name -> kind table: parse() dispatches through it and
 // is_known_name() scans it, so a regime added here is automatically
@@ -35,6 +40,12 @@ constexpr KnownRegime kKnownRegimes[] = {
     {"weibull", ChurnSpec::Kind::kWeibull},
     {"bursty", ChurnSpec::Kind::kBursty},
     {"drift", ChurnSpec::Kind::kDrift},
+    {"maxdeg", ChurnSpec::Kind::kMaxDeg},
+    {"mindeg", ChurnSpec::Kind::kMinDeg},
+    {"cutset", ChurnSpec::Kind::kCutSet},
+    {"eclipse", ChurnSpec::Kind::kEclipse},
+    {"massfail", ChurnSpec::Kind::kMassFail},
+    {"flashcrowd", ChurnSpec::Kind::kFlashCrowd},
 };
 
 const KnownRegime* find_regime(std::string_view name) {
@@ -69,7 +80,55 @@ std::vector<std::pair<std::string, std::string>> ChurnSpec::catalog() {
        "lifetimes (defaults 4, 0.5)"},
       {"drift(g)",
        "stationary through warm-up, then birth rate g*lambda (default 2)"},
+      {"maxdeg(b)",
+       "adversarial max-degree kills with budget b in [0,1] (default 1); "
+       "streaming and Poisson-family models"},
+      {"mindeg(b)",
+       "adversarial min-degree kills, budget b in [0,1] (default 1)"},
+      {"cutset(b)",
+       "adversarial small-set boundary kills (BFS-ball frontiers), budget "
+       "b in [0,1] (default 1)"},
+      {"eclipse(b)",
+       "adversarial neighborhood capture of a persistent target, budget b "
+       "in [0,1] (default 1)"},
+      {"massfail(p,T)",
+       "kills floor(p*alive) at once every T lifetimes, p in (0,1), T > 0 "
+       "(defaults 0.1, 1); Poisson-family models only"},
+      {"flashcrowd(f,T)",
+       "births floor(f*alive) at once every T lifetimes, f > 0, T > 0 "
+       "(defaults 0.1, 1); Poisson-family models only"},
   };
+}
+
+std::vector<std::string> ChurnSpec::known_names() {
+  std::vector<std::string> names;
+  for (const KnownRegime& regime : kKnownRegimes) {
+    names.emplace_back(regime.name);
+  }
+  return names;
+}
+
+AdversaryConfig ChurnSpec::adversary_config() const {
+  CHURNET_EXPECTS(adversarial());
+  AdversaryConfig config;
+  switch (kind) {
+    case Kind::kMaxDeg:
+      config.rule = AdversaryRule::kMaxDegree;
+      break;
+    case Kind::kMinDeg:
+      config.rule = AdversaryRule::kMinDegree;
+      break;
+    case Kind::kCutSet:
+      config.rule = AdversaryRule::kCutSet;
+      break;
+    case Kind::kEclipse:
+      config.rule = AdversaryRule::kEclipse;
+      break;
+    default:
+      CHURNET_ASSERT(false);
+  }
+  config.budget = a;
+  return config;
 }
 
 std::string ChurnSpec::canonical() const {
@@ -86,6 +145,18 @@ std::string ChurnSpec::canonical() const {
       return "bursty(" + fmt_fixed(a, 2) + "," + fmt_fixed(b, 2) + ")";
     case Kind::kDrift:
       return "drift(" + fmt_fixed(a, 2) + ")";
+    case Kind::kMaxDeg:
+      return "maxdeg(" + fmt_fixed(a, 2) + ")";
+    case Kind::kMinDeg:
+      return "mindeg(" + fmt_fixed(a, 2) + ")";
+    case Kind::kCutSet:
+      return "cutset(" + fmt_fixed(a, 2) + ")";
+    case Kind::kEclipse:
+      return "eclipse(" + fmt_fixed(a, 2) + ")";
+    case Kind::kMassFail:
+      return "massfail(" + fmt_fixed(a, 2) + "," + fmt_fixed(b, 2) + ")";
+    case Kind::kFlashCrowd:
+      return "flashcrowd(" + fmt_fixed(a, 2) + "," + fmt_fixed(b, 2) + ")";
   }
   CHURNET_ASSERT(false);
   return "";
@@ -108,9 +179,15 @@ std::optional<ChurnSpec> ChurnSpec::parse(std::string_view text,
 
   const KnownRegime* regime = find_regime(name);
   if (regime == nullptr) {
-    fail(error, "unknown churn regime '" + name +
-                    "'; known: stream, poisson, pareto(a), weibull(k), "
-                    "bursty(b,p), drift(g)");
+    // List the full catalog's spellings so the error can never drift from
+    // what --list-churn prints (the catalog-completeness test pins both
+    // against the factory table above).
+    std::string known;
+    for (const auto& [spelling, description] : catalog()) {
+      if (!known.empty()) known += ", ";
+      known += spelling;
+    }
+    fail(error, "unknown churn regime '" + name + "'; known: " + known);
     return std::nullopt;
   }
   ChurnSpec spec;
@@ -163,6 +240,52 @@ std::optional<ChurnSpec> ChurnSpec::parse(std::string_view text,
         return std::nullopt;
       }
       return spec;
+    case Kind::kMaxDeg:
+    case Kind::kMinDeg:
+    case Kind::kCutSet:
+    case Kind::kEclipse:
+      if (!arity(1)) return std::nullopt;
+      spec.a = args.empty() ? kDefaultAdversaryBudget : args[0];
+      if (!(spec.a >= 0.0 && spec.a <= 1.0)) {  // negated: also rejects NaN
+        fail(error, std::string(regime->name) +
+                        " budget must be in [0,1] (got " +
+                        fmt_fixed(spec.a, 3) +
+                        "); it is the probability a death is adversarial");
+        return std::nullopt;
+      }
+      return spec;
+    case Kind::kMassFail:
+      if (!arity(2)) return std::nullopt;
+      spec.a = args.empty() ? kDefaultBurstFraction : args[0];
+      spec.b = args.size() < 2 ? kDefaultBurstPeriod : args[1];
+      if (!(spec.a > 0.0 && spec.a < 1.0)) {
+        fail(error, "massfail fraction must be in (0,1) (got " +
+                        fmt_fixed(spec.a, 3) +
+                        "); a full-fraction burst would empty the network "
+                        "mid-burst");
+        return std::nullopt;
+      }
+      if (!(spec.b > 0.0)) {
+        fail(error, "massfail period must be > 0 lifetimes (got " +
+                        fmt_fixed(spec.b, 3) + ")");
+        return std::nullopt;
+      }
+      return spec;
+    case Kind::kFlashCrowd:
+      if (!arity(2)) return std::nullopt;
+      spec.a = args.empty() ? kDefaultBurstFraction : args[0];
+      spec.b = args.size() < 2 ? kDefaultBurstPeriod : args[1];
+      if (!(spec.a > 0.0)) {
+        fail(error, "flashcrowd burst fraction must be > 0 (got " +
+                        fmt_fixed(spec.a, 3) + ")");
+        return std::nullopt;
+      }
+      if (!(spec.b > 0.0)) {
+        fail(error, "flashcrowd period must be > 0 lifetimes (got " +
+                        fmt_fixed(spec.b, 3) + ")");
+        return std::nullopt;
+      }
+      return spec;
   }
   CHURNET_ASSERT(false);
   return std::nullopt;
@@ -191,6 +314,23 @@ std::unique_ptr<ChurnProcess> make_churn_process(const ChurnSpec& spec,
     case ChurnSpec::Kind::kDrift:
       return std::make_unique<PhasedChurn>(
           make_drift_churn(spec.a, lambda, mu, seed));
+    case ChurnSpec::Kind::kMaxDeg:
+    case ChurnSpec::Kind::kMinDeg:
+    case ChurnSpec::Kind::kCutSet:
+    case ChurnSpec::Kind::kEclipse:
+      // The paper's jump chain drives times and the birth/death mix (with
+      // the exact poisson seed, so budget 0 replays "poisson" bit-for-
+      // bit); the policy redirects budgeted deaths from its own stream.
+      return std::make_unique<AdversarialChurn>(
+          std::make_unique<PoissonJumpChurn>(lambda, mu, seed),
+          spec.adversary_config(), adversary_seed(network_seed),
+          spec.canonical());
+    case ChurnSpec::Kind::kMassFail:
+      return std::make_unique<BurstChurn>(BurstChurn::Kind::kMassFail,
+                                          spec.a, spec.b, lambda, mu, seed);
+    case ChurnSpec::Kind::kFlashCrowd:
+      return std::make_unique<BurstChurn>(BurstChurn::Kind::kFlashCrowd,
+                                          spec.a, spec.b, lambda, mu, seed);
   }
   CHURNET_ASSERT(false);
   return nullptr;

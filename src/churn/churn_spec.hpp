@@ -5,7 +5,8 @@
 //
 //   spec    := name | name '(' args ')'
 //   name    := "stream" | "poisson" | "pareto" | "weibull" | "bursty"
-//              | "drift"
+//              | "drift" | "maxdeg" | "mindeg" | "cutset" | "eclipse"
+//              | "massfail" | "flashcrowd"
 //   args    := number (',' number)*
 //
 //   stream          the paper's streaming round schedule (Def. 3.2);
@@ -16,6 +17,17 @@
 //   bursty(b,p)     on/off death rates mu*b / mu/b (b > 1), phase length
 //                   p > 0 expected lifetimes
 //   drift(g)        stationary through warm-up, then birth rate g*lambda
+//   maxdeg(b)       adversarial: each death is a max-degree kill with
+//                   probability b in [0,1] (the budget); runs on streaming
+//                   AND Poisson-family bases (churn/adversary.hpp)
+//   mindeg(b)       adversarial min-degree kills, budget b
+//   cutset(b)       adversarial small-set boundary kills, budget b
+//   eclipse(b)      adversarial neighborhood capture of a target, budget b
+//   massfail(p,T)   kills floor(p*alive) at once every T lifetimes,
+//                   jump-chain baseline between bursts; Poisson-family
+//                   models only (churn/burst_churn.hpp)
+//   flashcrowd(f,T) births floor(f*alive) at once every T lifetimes;
+//                   Poisson-family models only
 //
 // Omitted arguments take the documented defaults. Malformed specs are
 // rejected with a one-line reason (unknown name, wrong arity, parameter
@@ -31,6 +43,7 @@
 #include <utility>
 #include <vector>
 
+#include "churn/adversary.hpp"
 #include "churn/churn_process.hpp"
 
 namespace churnet {
@@ -43,18 +56,39 @@ struct ChurnSpec {
     kWeibull,
     kBursty,
     kDrift,
+    kMaxDeg,
+    kMinDeg,
+    kCutSet,
+    kEclipse,
+    kMassFail,
+    kFlashCrowd,
   };
 
   Kind kind = Kind::kJumpChain;
   /// First parameter: pareto alpha / weibull shape / bursty boost /
-  /// drift growth factor. Unused for stream and poisson.
+  /// drift growth factor / adversary budget / burst fraction. Unused for
+  /// stream and poisson.
   double a = 0.0;
-  /// Second parameter: bursty phase length in expected lifetimes.
+  /// Second parameter: bursty phase length or burst period, in expected
+  /// lifetimes.
   double b = 0.0;
 
   /// True for every regime the continuous-time simulator can run (all but
   /// the streaming round schedule).
   bool continuous() const { return kind != Kind::kStream; }
+
+  /// True for the adversarial victim-selection rules
+  /// (maxdeg/mindeg/cutset/eclipse) — the only non-stream specs a
+  /// streaming model also accepts (the base schedule is implied by the
+  /// model; only victim selection changes).
+  bool adversarial() const {
+    return kind == Kind::kMaxDeg || kind == Kind::kMinDeg ||
+           kind == Kind::kCutSet || kind == Kind::kEclipse;
+  }
+
+  /// The adversary rule + budget an adversarial spec names; requires
+  /// adversarial().
+  AdversaryConfig adversary_config() const;
 
   /// The spec in canonical text form ("pareto(2.50)", "poisson", ...);
   /// matches ChurnProcess::name() of the instantiated process.
@@ -72,8 +106,15 @@ struct ChurnSpec {
 
   /// The churn-regime catalog as (spelling, description) rows — the same
   /// shape as ProtocolSpec::catalog() / ObserverSpec::catalog(), consumed
-  /// by the shared listing helper (engine/spec_catalog.hpp).
+  /// by the shared listing helper (engine/spec_catalog.hpp). Every
+  /// spelling's call name is a known_names() entry and vice versa (pinned
+  /// by the catalog-completeness test).
   static std::vector<std::pair<std::string, std::string>> catalog();
+
+  /// Every regime name parse() dispatches on, in registration order — the
+  /// factory-side name list the catalog-completeness test cross-checks
+  /// against catalog().
+  static std::vector<std::string> known_names();
 
   friend bool operator==(const ChurnSpec&, const ChurnSpec&) = default;
 };

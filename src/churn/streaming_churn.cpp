@@ -1,5 +1,7 @@
 #include "churn/streaming_churn.hpp"
 
+#include <utility>
+
 #include "common/assertx.hpp"
 
 namespace churnet {
@@ -24,6 +26,26 @@ void StreamingChurn::push_newest(NodeId id) {
   ++size_;
 }
 
+void StreamingChurn::remove_from_ring(NodeId id) {
+  // Adversarial victims are arbitrary ring members; shift the younger
+  // suffix one position toward the head so age order is preserved. O(n)
+  // worst case, but only on adversarial rounds.
+  for (std::uint32_t i = 0; i < size_; ++i) {
+    std::uint32_t pos = head_ + i;
+    if (pos >= n_) pos -= n_;
+    if (ring_[pos] != id) continue;
+    for (std::uint32_t j = i + 1; j < size_; ++j) {
+      std::uint32_t from = head_ + j;
+      if (from >= n_) from -= n_;
+      const std::uint32_t to = from == 0 ? n_ - 1 : from - 1;
+      ring_[to] = ring_[from];
+    }
+    --size_;
+    return;
+  }
+  CHURNET_ASSERT(false && "adversarial victim not in the streaming ring");
+}
+
 std::optional<NodeId> StreamingChurn::begin_round() {
   CHURNET_EXPECTS(!birth_pending_);
   ++round_;
@@ -44,6 +66,19 @@ ChurnProcess::Step StreamingChurn::next(std::uint64_t alive) {
   (void)alive;  // the schedule is the authority on the population
   Step step;
   if (!birth_pending_) {
+    if (size_ == n_ && adversary_.has_value() && adversary_->take_death()) {
+      // Adversarial round: a death still happens (the size stays pinned at
+      // n), but the victim comes from select_victim() instead of the FIFO
+      // head; on_death() removes it from the ring.
+      CHURNET_ASSERT(!adversarial_pending_);
+      ++round_;
+      birth_pending_ = true;
+      adversarial_pending_ = true;
+      step.time = static_cast<double>(round_);
+      step.is_birth = false;
+      step.victim = Victim::kAdversarial;
+      return step;
+    }
     // Round boundary: begin the next round; a full network emits the death
     // of the FIFO head first, otherwise the round is birth-only.
     const std::optional<NodeId> victim = begin_round();
@@ -64,6 +99,28 @@ ChurnProcess::Step StreamingChurn::next(std::uint64_t alive) {
 void StreamingChurn::on_birth(NodeId id, double time) {
   (void)time;
   record_birth(id);
+}
+
+void StreamingChurn::on_death(NodeId id, double time) {
+  (void)time;
+  if (adversarial_pending_) {
+    remove_from_ring(id);
+    adversarial_pending_ = false;
+  }
+  if (adversary_.has_value()) adversary_->on_death(id);
+}
+
+NodeId StreamingChurn::select_victim(const GraphReadView& view) {
+  CHURNET_EXPECTS(adversary_.has_value());
+  CHURNET_EXPECTS(adversarial_pending_);
+  return adversary_->select(view);
+}
+
+void StreamingChurn::set_adversary(AdversaryConfig config, std::uint64_t seed,
+                                   std::string name) {
+  CHURNET_EXPECTS(round_ == 0);
+  adversary_.emplace(config, seed);
+  name_ = std::move(name);
 }
 
 }  // namespace churnet

@@ -15,12 +15,23 @@
 // is full) followed by one birth event, both stamped with the round number.
 // The original round-structured API (begin_round/record_birth) remains for
 // direct consumers and is what the event adapter drives internally.
+//
+// With set_adversary() installed, each full-network round's death is
+// redirected to the adversary with probability `budget`: the event carries
+// Victim::kAdversarial, the driver calls select_victim() against the live
+// graph, and on_death() removes the chosen node from the age ring (a linear
+// scan — adversarial victims are arbitrary, not the FIFO head). The round
+// count, pinned size, and birth schedule are unchanged, and with no
+// adversary installed (or budget 0, which draws nothing) the event stream
+// is byte-identical to the plain schedule.
 #pragma once
 
 #include <cstdint>
 #include <optional>
+#include <string>
 #include <vector>
 
+#include "churn/adversary.hpp"
 #include "churn/churn_process.hpp"
 #include "graph/node_id.hpp"
 
@@ -52,7 +63,21 @@ class StreamingChurn final : public ChurnProcess {
   /// Realizes the pending birth event (same contract as record_birth).
   void on_birth(NodeId id, double time) override;
 
-  std::string name() const override { return "stream"; }
+  /// Realizes an adversarial death (removes `id` from the age ring) and
+  /// notifies the adversary; a no-op ring-wise for kScheduled deaths,
+  /// whose victim was already popped by begin_round().
+  void on_death(NodeId id, double time) override;
+
+  /// Delegates to the installed adversary; only called by drivers after a
+  /// kAdversarial death event.
+  NodeId select_victim(const GraphReadView& view) override;
+
+  /// Installs adversarial victim selection (before round 1). `name` is the
+  /// canonical spec the process reports ("maxdeg(0.50)", ...).
+  void set_adversary(AdversaryConfig config, std::uint64_t seed,
+                     std::string name);
+
+  std::string name() const override { return name_; }
 
   /// Every lifetime is exactly n rounds.
   double mean_lifetime() const override { return static_cast<double>(n_); }
@@ -68,19 +93,28 @@ class StreamingChurn final : public ChurnProcess {
   /// Number of currently alive nodes tracked by the schedule.
   std::uint32_t alive() const { return size_; }
 
+  /// The installed adversary, nullptr for the plain schedule.
+  const AdversaryPolicy* adversary() const {
+    return adversary_.has_value() ? &*adversary_ : nullptr;
+  }
+
  private:
   NodeId pop_oldest();
   void push_newest(NodeId id);
+  void remove_from_ring(NodeId id);
 
   std::uint32_t n_;
   std::uint64_t round_ = 0;
   bool birth_pending_ = false;
+  bool adversarial_pending_ = false;  // death emitted, victim not yet realized
   // Fixed-capacity ring buffer of alive nodes in age order; head_ indexes
   // the oldest. Capacity is exactly n: begin_round() pops before
   // record_birth() pushes, so size_ never exceeds n.
   std::vector<NodeId> ring_;
   std::uint32_t head_ = 0;
   std::uint32_t size_ = 0;
+  std::optional<AdversaryPolicy> adversary_;
+  std::string name_ = "stream";
 };
 
 }  // namespace churnet

@@ -43,9 +43,11 @@ void require_compatible(const std::string& name, ModelKind model,
                         const ChurnSpec& spec) {
   switch (model) {
     case ModelKind::kStreaming:
-      if (spec.kind != ChurnSpec::Kind::kStream) {
+      if (spec.kind != ChurnSpec::Kind::kStream && !spec.adversarial()) {
         abort_scenario("scenario '" + name + "': streaming models take only "
-                       "the 'stream' churn spec (got '" + spec.canonical() +
+                       "the 'stream' schedule or an adversarial spec "
+                       "(maxdeg/mindeg/cutset/eclipse) (got '" +
+                       spec.canonical() +
                        "'); continuous regimes run on Poisson-family bases "
                        "(PDG/PDGR)");
       }
@@ -121,7 +123,6 @@ ChurnSpec Scenario::effective_churn(const ScenarioParams& params) const {
 AnyNetwork Scenario::make(const ScenarioParams& params) const {
   switch (model_) {
     case ModelKind::kStreaming: {
-      effective_churn(params);  // validates; streaming has one schedule
       StreamingConfig config;
       config.n = params.n;
       config.d = params.d;
@@ -129,6 +130,7 @@ AnyNetwork Scenario::make(const ScenarioParams& params) const {
       config.seed = params.seed;
       config.max_in_degree = params.max_in_degree;
       config.intra_threads = params.intra_threads;
+      config.churn = effective_churn(params);  // stream or adversarial
       return AnyNetwork(StreamingNetwork(config));
     }
     case ModelKind::kPoisson: {
@@ -212,6 +214,14 @@ const ScenarioRegistry& ScenarioRegistry::extended() {
     r.add(pdgr.with_churn(spec("drift(2)")));
     r.add(pdgr.with_churn(spec("drift(0.5)")));
     r.add(pdg.with_churn(spec("pareto(2.5)")));
+    // Headline adversarial / correlated regimes (the resilience target
+    // sweeps these axes; any budget or burst shape remains reachable
+    // through composite names).
+    const Scenario& sdgr = paper().at("SDGR");
+    r.add(sdgr.with_churn(spec("maxdeg(0.5)")));
+    r.add(pdgr.with_churn(spec("maxdeg(0.5)")));
+    r.add(pdgr.with_churn(spec("eclipse(0.5)")));
+    r.add(pdgr.with_churn(spec("massfail(0.1,1)")));
     return r;
   }();
   return registry;

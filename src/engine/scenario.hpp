@@ -87,8 +87,9 @@ class Scenario {
 
   /// A copy of this scenario running under `churn` instead (name gains a
   /// "+spec" suffix). Aborts with the reason when the spec cannot drive
-  /// this model (streaming models take only "stream"; Poisson-family
-  /// models take any continuous regime; baselines take none).
+  /// this model (streaming models take "stream" or an adversarial spec;
+  /// Poisson-family models take any continuous regime, adversarial and
+  /// burst included; baselines take none).
   Scenario with_churn(const ChurnSpec& churn) const;
 
   /// A copy of this scenario measured under `protocol` instead (name gains

@@ -360,6 +360,14 @@ class DynamicGraph {
     return slot < core_.size() && core_[slot].alive != 0;
   }
 
+  /// Full NodeId of the alive node hosted at `slot`; requires
+  /// slot_alive(slot). Pairs with slot_alive for slot-scan consumers (e.g.
+  /// the GraphReadView adapter) that need generation-checked handles.
+  NodeId alive_id_at(std::uint32_t slot) const {
+    CHURNET_EXPECTS(slot_alive(slot));
+    return NodeId{slot, core_[slot].generation};
+  }
+
   /// Bulk genesis wiring (src/graph/bulk_wiring.cpp): installs the edge
   /// list of a pure-growth phase — edge e points out-slot (e % out_slots)
   /// of slot (e / out_slots) at slot targets[e], kInvalidSlot entries

@@ -1,5 +1,6 @@
 #include "models/poisson_network.hpp"
 
+#include "models/graph_view.hpp"
 #include "models/wiring.hpp"
 
 namespace churnet {
@@ -63,11 +64,18 @@ PoissonNetwork::EventReport PoissonNetwork::apply(
 
   // Death: memoryless regimes emit kUniform (every alive node is equally
   // likely, rate N*mu, zero on an empty network); lifetime regimes schedule
-  // the exact victim at its birth.
+  // the exact victim at its birth; adversarial regimes pick theirs against
+  // a read view of the live graph (DESIGN.md decision 18).
   CHURNET_ASSERT(graph_.alive_count() > 0);
-  const NodeId victim = event.victim == ChurnProcess::Victim::kScheduled
-                            ? event.victim_id
-                            : graph_.random_alive(rng_);
+  NodeId victim;
+  if (event.victim == ChurnProcess::Victim::kScheduled) {
+    victim = event.victim_id;
+  } else if (event.victim == ChurnProcess::Victim::kAdversarial) {
+    const DynamicGraphView view(graph_);
+    victim = churn_->select_victim(view);
+  } else {
+    victim = graph_.random_alive(rng_);
+  }
   CHURNET_ASSERT(graph_.is_alive(victim));
   if (hooks_.on_death) hooks_.on_death(victim, event.time);
   graph_.remove_node(victim, removal_scratch_);

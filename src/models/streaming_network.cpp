@@ -3,6 +3,7 @@
 #include <vector>
 
 #include "common/intra.hpp"
+#include "models/graph_view.hpp"
 #include "models/wiring.hpp"
 #include "telemetry/telemetry.hpp"
 
@@ -11,6 +12,16 @@ namespace churnet {
 StreamingNetwork::StreamingNetwork(StreamingConfig config)
     : config_(config), churn_(config.n), rng_(config.seed) {
   CHURNET_EXPECTS(config.n >= 1);
+  if (config.churn.adversarial()) {
+    // The schedule (and its budget-0 byte-identity to plain kStream) is
+    // unchanged; only victim selection is redirected. The policy draws
+    // from its own derived stream, disjoint from the wiring RNG.
+    churn_.set_adversary(config.churn.adversary_config(),
+                         adversary_seed(config.seed),
+                         config.churn.canonical());
+  } else {
+    CHURNET_EXPECTS(config.churn.kind == ChurnSpec::Kind::kStream);
+  }
   // The population is pinned at n, so warm-up fills every arena once and
   // the steady-state round loop never grows a pool.
   graph_.reserve(config.n, config.d);
@@ -27,8 +38,15 @@ StreamingNetwork::RoundReport StreamingNetwork::step() {
 
   ChurnProcess::Step event = churn.next(graph_.alive_count());
   if (!event.is_birth) {
-    CHURNET_ASSERT(event.victim == ChurnProcess::Victim::kScheduled);
-    const NodeId victim = event.victim_id;
+    NodeId victim;
+    if (event.victim == ChurnProcess::Victim::kAdversarial) {
+      const DynamicGraphView view(graph_);
+      victim = churn.select_victim(view);
+      CHURNET_ASSERT(graph_.is_alive(victim));
+    } else {
+      CHURNET_ASSERT(event.victim == ChurnProcess::Victim::kScheduled);
+      victim = event.victim_id;
+    }
     report.died = victim;
     if (hooks_.on_death) hooks_.on_death(victim, event.time);
     graph_.remove_node(victim, removal_scratch_);

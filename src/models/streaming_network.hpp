@@ -18,6 +18,7 @@
 #include <cstdint>
 #include <optional>
 
+#include "churn/churn_spec.hpp"
 #include "churn/streaming_churn.hpp"
 #include "common/rng.hpp"
 #include "graph/dynamic_graph.hpp"
@@ -41,6 +42,10 @@ struct StreamingConfig {
   /// (0 = one per hardware thread). Purely a wall-clock knob: results are
   /// byte-identical at every value.
   std::uint32_t intra_threads = 1;
+  /// Churn regime: kStream (the paper's schedule) or an adversarial spec
+  /// (maxdeg/mindeg/cutset/eclipse), which keeps the round schedule but
+  /// redirects budgeted deaths through AdversaryPolicy victim selection.
+  ChurnSpec churn{ChurnSpec::Kind::kStream};
 };
 
 class StreamingNetwork {

@@ -161,6 +161,37 @@ std::vector<ReproTarget> make_targets() {
       base_spec({"SDGR", "PDGR"}, {400}, {8}, {"alive"},
                 "expansion(8)+spectral", 2, /*incremental=*/true)});
 
+  // -- Resilience under adversarial and correlated churn (beyond the
+  // paper's oblivious model; ROADMAP item 2): how expansion, spectral gap,
+  // isolation and flooding coverage degrade as the adversary budget grows,
+  // and under correlated mass failures / flash crowds.
+  targets.push_back(ReproTarget{
+      "resilience", "beyond-paper: adversarial/correlated churn",
+      "degradation of expansion, spectral gap, isolated census and "
+      "flooding coverage versus adversary budget (maxdeg/mindeg/cutset/"
+      "eclipse at budgets 0.25/0.5/1) and under massfail/flashcrowd "
+      "bursts, with the oblivious models as the budget-0 baseline",
+      "~45 min full scale",
+      base_spec({"SDGR", "SDGR+maxdeg(0.25)", "SDGR+maxdeg(0.5)",
+                 "SDGR+maxdeg(1)", "SDGR+mindeg(0.5)", "SDGR+cutset(0.5)",
+                 "SDGR+eclipse(0.5)", "PDGR", "PDGR+maxdeg(0.25)",
+                 "PDGR+maxdeg(0.5)", "PDGR+maxdeg(1)", "PDGR+mindeg(0.5)",
+                 "PDGR+cutset(0.5)", "PDGR+cutset(1)", "PDGR+eclipse(0.5)",
+                 "PDGR+eclipse(1)", "PDG", "PDG+maxdeg(0.5)",
+                 "PDG+mindeg(0.5)", "PDGR+massfail(0.1,1)",
+                 "PDGR+massfail(0.3,1)", "PDGR+flashcrowd(0.25,1)",
+                 "PDG+massfail(0.1,1)"},
+                {8000}, {8, 21},
+                {"alive", "isolated", "completion_step", "final_fraction",
+                 "peak_informed"},
+                "expansion(8)+spectral+isolated", 3),
+      base_spec({"SDGR", "SDGR+maxdeg(1)", "SDGR+eclipse(0.5)", "PDGR",
+                 "PDGR+maxdeg(1)", "PDGR+cutset(0.5)",
+                 "PDGR+massfail(0.2,1)", "PDGR+flashcrowd(0.25,1)"},
+                {300}, {8},
+                {"alive", "isolated", "completion_step", "final_fraction"},
+                "expansion(4)+spectral+isolated", 2)});
+
   // -- Spectral gap per model (the Table-1 supplement): zero gap for the
   // isolating models, baseline-comparable gap under regeneration.
   targets.push_back(ReproTarget{

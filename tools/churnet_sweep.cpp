@@ -138,6 +138,7 @@ int main(int argc, char** argv) {
   cli.add_flag("list-scenarios", "print the extended registry and exit");
   cli.add_flag("list-protocols", "print the protocol catalog and exit");
   cli.add_flag("list-observers", "print the observer catalog and exit");
+  cli.add_flag("list-churn", "print the churn-regime catalog and exit");
   cli.add_flag("list-specs",
                "print every spec catalog (scenarios, churn, protocols, "
                "observers, metrics) and exit");
@@ -165,6 +166,10 @@ int main(int argc, char** argv) {
   }
   if (cli.get_flag("list-observers")) {
     print_observer_catalog(std::cout);
+    return 0;
+  }
+  if (cli.get_flag("list-churn")) {
+    print_churn_catalog(std::cout);
     return 0;
   }
 
